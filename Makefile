@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench experiments traces cover fmt clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# One reduced-size benchmark per paper table/figure plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at the paper's 1M-reference scale.
+experiments:
+	$(GO) run ./cmd/experiments -refs 1000000 -out results
+
+# Write the 25-workload synthetic trace suite to traces/.
+traces:
+	$(GO) run ./cmd/tracegen -all -n 1000000 -out traces
+
+cover:
+	$(GO) test -cover ./...
+
+fmt:
+	gofmt -w .
+
+clean:
+	rm -rf results traces

@@ -1,0 +1,143 @@
+package subcache
+
+import (
+	"fmt"
+	"sort"
+
+	"subcache/internal/stackdist"
+	"subcache/internal/trace"
+)
+
+// Characteristics summarises a workload the way the paper characterises
+// its traces (§3.3, §4.2.5): reference mix, footprint, the sequential
+// bias of the instruction stream, and the LRU working-set curve
+// computed in a single Mattson stack-distance pass (the paper's
+// citation [16] for efficient LRU simulation).
+type Characteristics struct {
+	// WordSize is the data-path width the analysis used.
+	WordSize int
+	// WordAccesses is the total number of word accesses after
+	// data-path splitting; IFetches/Reads/Writes partition it.
+	WordAccesses uint64
+	IFetches     uint64
+	Reads        uint64
+	Writes       uint64
+	// FootprintBytes is the number of distinct bytes touched.
+	FootprintBytes uint64
+	// MeanRunWords is the mean length (in words) of forward-sequential
+	// instruction-fetch runs, the forward bias load-forward exploits.
+	MeanRunWords float64
+	// BlockSize is the granularity of the working-set curve.
+	BlockSize int
+	// MissRatioAt maps cache capacity in bytes to the miss ratio of a
+	// fully-associative LRU cache of that capacity (reads + ifetches).
+	MissRatioAt map[int]float64
+	// WorkingSet50/90 are the smallest capacities in bytes reaching 50%
+	// and 90% hit ratios (0 if unreachable due to cold misses).
+	WorkingSet50 int
+	WorkingSet90 int
+}
+
+// Capacities returns the sorted capacities of the working-set curve.
+func (c Characteristics) Capacities() []int {
+	out := make([]int, 0, len(c.MissRatioAt))
+	for k := range c.MissRatioAt {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// String renders a one-line summary.
+func (c Characteristics) String() string {
+	return fmt.Sprintf("accesses=%d footprint=%dB meanRun=%.1fw ws90=%dB",
+		c.WordAccesses, c.FootprintBytes, c.MeanRunWords, c.WorkingSet90)
+}
+
+// AnalyzeOptions tunes Characterize.  The zero value is usable.
+type AnalyzeOptions struct {
+	// WordSize overrides the data-path width (default: the workload
+	// architecture's width for CharacterizeWorkload, else 2).
+	WordSize int
+	// BlockSize sets the working-set-curve granularity (default 8).
+	BlockSize int
+	// Capacities lists the byte capacities to evaluate (default
+	// 32..8192 in powers of two).
+	Capacities []int
+}
+
+func (o *AnalyzeOptions) fill(defaultWord int) {
+	if o.WordSize == 0 {
+		o.WordSize = defaultWord
+	}
+	if o.BlockSize == 0 {
+		o.BlockSize = 8
+	}
+	if len(o.Capacities) == 0 {
+		for c := 32; c <= 8192; c *= 2 {
+			o.Capacities = append(o.Capacities, c)
+		}
+	}
+}
+
+// CharacterizeWorkload analyses n references of a named synthetic
+// workload.
+func CharacterizeWorkload(name string, n int, opts AnalyzeOptions) (Characteristics, error) {
+	prof, ok := WorkloadByName(name)
+	if !ok {
+		return Characteristics{}, fmt.Errorf("subcache: unknown workload %q", name)
+	}
+	refs, err := GenerateWorkload(name, n)
+	if err != nil {
+		return Characteristics{}, err
+	}
+	opts.fill(prof.Arch.WordSize())
+	return Characterize(NewSliceSource(refs), opts)
+}
+
+// Characterize analyses an arbitrary reference stream.  Options default
+// to a 2-byte word and an 8-byte-block working-set curve over 32B-8KB.
+func Characterize(src Source, opts AnalyzeOptions) (Characteristics, error) {
+	opts.fill(2)
+	refs, err := trace.Collect(src, 0)
+	if err != nil {
+		return Characteristics{}, err
+	}
+	st, err := trace.Measure(trace.NewSliceSource(refs), opts.WordSize)
+	if err != nil {
+		return Characteristics{}, err
+	}
+	_, meanRun, err := trace.RunLengths(trace.NewSliceSource(refs), opts.WordSize)
+	if err != nil {
+		return Characteristics{}, err
+	}
+	prof, err := stackdist.New(opts.BlockSize, 1, false)
+	if err != nil {
+		return Characteristics{}, err
+	}
+	if err := prof.Run(trace.NewSplitter(trace.NewSliceSource(refs), opts.WordSize)); err != nil {
+		return Characteristics{}, err
+	}
+
+	ch := Characteristics{
+		WordSize:       opts.WordSize,
+		WordAccesses:   st.Total,
+		IFetches:       st.ByKind[trace.IFetch],
+		Reads:          st.ByKind[trace.Read],
+		Writes:         st.ByKind[trace.Write],
+		FootprintBytes: st.FootprintLen,
+		MeanRunWords:   meanRun,
+		BlockSize:      opts.BlockSize,
+		MissRatioAt:    make(map[int]float64, len(opts.Capacities)),
+	}
+	for _, capBytes := range opts.Capacities {
+		ch.MissRatioAt[capBytes] = prof.MissRatio(capBytes / opts.BlockSize)
+	}
+	if blocks := prof.Percentile(0.5); blocks > 0 {
+		ch.WorkingSet50 = blocks * opts.BlockSize
+	}
+	if blocks := prof.Percentile(0.9); blocks > 0 {
+		ch.WorkingSet90 = blocks * opts.BlockSize
+	}
+	return ch, nil
+}

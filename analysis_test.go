@@ -1,0 +1,142 @@
+package subcache
+
+import (
+	"testing"
+)
+
+func TestCharacterizeWorkload(t *testing.T) {
+	ch, err := CharacterizeWorkload("ED", 50000, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.WordSize != 2 {
+		t.Errorf("word size = %d, want PDP-11's 2", ch.WordSize)
+	}
+	if ch.WordAccesses == 0 || ch.IFetches == 0 || ch.Reads == 0 || ch.Writes == 0 {
+		t.Errorf("reference mix incomplete: %+v", ch)
+	}
+	if ch.IFetches+ch.Reads+ch.Writes != ch.WordAccesses {
+		t.Error("kinds do not partition accesses")
+	}
+	if ch.FootprintBytes == 0 {
+		t.Error("zero footprint")
+	}
+	if ch.MeanRunWords < 2 {
+		t.Errorf("mean run = %g, want sequential bias", ch.MeanRunWords)
+	}
+	if ch.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestCharacterizeCurveMonotone(t *testing.T) {
+	ch, err := CharacterizeWorkload("FGO1", 50000, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := ch.Capacities()
+	if len(caps) < 5 {
+		t.Fatalf("only %d capacities", len(caps))
+	}
+	for i := 1; i < len(caps); i++ {
+		if caps[i] <= caps[i-1] {
+			t.Fatal("capacities not sorted")
+		}
+		if ch.MissRatioAt[caps[i]] > ch.MissRatioAt[caps[i-1]]+1e-12 {
+			t.Errorf("miss ratio rose from %dB to %dB", caps[i-1], caps[i])
+		}
+	}
+}
+
+func TestCharacterizeWorkingSets(t *testing.T) {
+	small, err := CharacterizeWorkload("GREP", 60000, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := CharacterizeWorkload("PGO2", 60000, AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.WorkingSet90 == 0 || big.WorkingSet90 == 0 {
+		t.Skip("cold misses dominate at this trace length")
+	}
+	// The System/370 PL/I job needs a far larger cache for 90% hits
+	// than the Z8000 grep.
+	if big.WorkingSet90 <= small.WorkingSet90 {
+		t.Errorf("working sets out of order: PGO2 %dB <= GREP %dB",
+			big.WorkingSet90, small.WorkingSet90)
+	}
+}
+
+func TestCharacterizeOptions(t *testing.T) {
+	ch, err := CharacterizeWorkload("ED", 20000, AnalyzeOptions{
+		WordSize:   4,
+		BlockSize:  16,
+		Capacities: []int{64, 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.WordSize != 4 || ch.BlockSize != 16 {
+		t.Errorf("options not honoured: %+v", ch)
+	}
+	if len(ch.MissRatioAt) != 2 {
+		t.Errorf("capacities not honoured: %v", ch.MissRatioAt)
+	}
+}
+
+func TestCharacterizeUnknownWorkload(t *testing.T) {
+	if _, err := CharacterizeWorkload("NOSUCH", 10, AnalyzeOptions{}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestCharacterizeCustomSource(t *testing.T) {
+	refs := []Ref{
+		{Addr: 0x100, Kind: IFetch, Size: 2},
+		{Addr: 0x102, Kind: IFetch, Size: 2},
+		{Addr: 0x100, Kind: IFetch, Size: 2},
+	}
+	ch, err := Characterize(NewSliceSource(refs), AnalyzeOptions{Capacities: []int{8, 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.WordAccesses != 3 || ch.FootprintBytes != 4 {
+		t.Errorf("custom source stats wrong: %+v", ch)
+	}
+	// All three accesses land in one 8-byte block: one cold miss.
+	if got := ch.MissRatioAt[8]; got != 1.0/3 {
+		t.Errorf("miss at 8B = %g, want 1/3", got)
+	}
+}
+
+// TestCharacterizeAgreesWithSimulator: the Mattson curve must match a
+// directly simulated fully-associative LRU cache at the same geometry.
+func TestCharacterizeAgreesWithSimulator(t *testing.T) {
+	const n, blockSize, capBytes = 30000, 8, 256
+	refs, err := GenerateWorkload("SORT", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := Characterize(NewSliceSource(refs), AnalyzeOptions{
+		WordSize: 2, BlockSize: blockSize, Capacities: []int{capBytes},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The oracle ignores writes entirely, so the simulator must too
+	// (write-allocate would perturb LRU recency).
+	sim, err := New(Config{
+		NetSize: capBytes, BlockSize: blockSize, SubBlockSize: blockSize,
+		Assoc: capBytes / blockSize, WordSize: 2, Write: WriteIgnore,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(NewSliceSource(refs)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ch.MissRatioAt[capBytes], sim.MissRatio(); got != want {
+		t.Errorf("oracle %.6f != simulator %.6f", got, want)
+	}
+}

@@ -1,0 +1,251 @@
+package subcache
+
+// Benchmarks for the extension experiments (DESIGN.md sections 2.2/2.3
+// substrates and §3.1 further studies): instruction buffers, the RISC II
+// instruction cache, split I/D caches, and write-policy traffic.
+
+import (
+	"testing"
+
+	"subcache/internal/busim"
+	"subcache/internal/cache"
+	"subcache/internal/ibuffer"
+	"subcache/internal/riscii"
+	"subcache/internal/synth"
+	"subcache/internal/trace"
+)
+
+func pdpWords(b *testing.B, name string, n int) []trace.Ref {
+	b.Helper()
+	prof, ok := synth.ProfileByName(name)
+	if !ok {
+		b.Fatalf("workload %s missing", name)
+	}
+	refs, err := synth.Generate(prof, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	words, err := trace.SplitAll(trace.NewSliceSource(refs), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return words
+}
+
+// BenchmarkExtensionIBuffer drives both §2.2 buffer archetypes.
+func BenchmarkExtensionIBuffer(b *testing.B) {
+	words := pdpWords(b, "ED", benchRefs)
+	b.Run("sequential", func(b *testing.B) {
+		var hit float64
+		for i := 0; i < b.N; i++ {
+			buf, err := ibuffer.NewSequential(2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ibuffer.Run(buf, trace.NewSliceSource(words)); err != nil {
+				b.Fatal(err)
+			}
+			hit = buf.Stats().HitRatio()
+		}
+		b.ReportMetric(hit, "hit-ratio")
+	})
+	b.Run("loop4x128", func(b *testing.B) {
+		var traffic float64
+		for i := 0; i < b.N; i++ {
+			buf, err := ibuffer.NewLoop(4, 128, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ibuffer.Run(buf, trace.NewSliceSource(words)); err != nil {
+				b.Fatal(err)
+			}
+			traffic = buf.Stats().TrafficRatio()
+		}
+		b.ReportMetric(traffic, "traffic")
+	})
+}
+
+// BenchmarkExtensionRISCII runs the §2.3 chip study: the 512-byte
+// direct-mapped cache with remote PC and code compaction.
+func BenchmarkExtensionRISCII(b *testing.B) {
+	refs, err := synth.Generate(riscii.Workload(11), benchRefs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comp, err := riscii.NewCompactor(0x1000, riscii.Workload(11).CodeSize+64, 4, 0.4, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var plain, compacted riscii.Result
+	for i := 0; i < b.N; i++ {
+		rpc, err := riscii.NewRemotePC(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plain, err = riscii.Evaluate(riscii.ICacheConfig{}, trace.NewSliceSource(refs), nil, rpc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		compacted, err = riscii.Evaluate(riscii.ICacheConfig{}, trace.NewSliceSource(refs), comp, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(plain.MissRatio, "miss")
+	b.ReportMetric(compacted.MissRatio, "miss-compacted")
+	b.ReportMetric(plain.PredictionAccuracy, "rpc-accuracy")
+}
+
+// BenchmarkExtensionSplitCache compares unified and split I/D caches.
+func BenchmarkExtensionSplitCache(b *testing.B) {
+	words := pdpWords(b, "ED", benchRefs)
+	mk := func(net int) *cache.Cache {
+		c, err := cache.New(cache.Config{NetSize: net, BlockSize: 16,
+			SubBlockSize: 8, Assoc: 4, WordSize: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	var unified, split float64
+	for i := 0; i < b.N; i++ {
+		u := mk(512)
+		ic, dc := mk(256), mk(256)
+		for _, r := range words {
+			u.Access(r)
+			if r.Kind == trace.IFetch {
+				ic.Access(r)
+			} else {
+				dc.Access(r)
+			}
+		}
+		var s cache.Stats
+		s.Add(ic.Stats())
+		s.Add(dc.Stats())
+		unified, split = u.Stats().MissRatio(), s.MissRatio()
+	}
+	b.ReportMetric(unified, "unified-miss")
+	b.ReportMetric(split, "split-miss")
+}
+
+// BenchmarkExtensionWritePolicy measures store traffic per write under
+// write-through and copy-back.
+func BenchmarkExtensionWritePolicy(b *testing.B) {
+	words := pdpWords(b, "SIMP", benchRefs)
+	for _, cb := range []bool{false, true} {
+		cb := cb
+		name := "write-through"
+		if cb {
+			name = "copy-back"
+		}
+		b.Run(name, func(b *testing.B) {
+			var per float64
+			for i := 0; i < b.N; i++ {
+				c, err := cache.New(cache.Config{NetSize: 1024, BlockSize: 16,
+					SubBlockSize: 2, Assoc: 4, WordSize: 2, CopyBack: cb})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range words {
+					c.Access(r)
+				}
+				c.FlushUsage()
+				per = c.Stats().WriteTrafficPerStore()
+			}
+			b.ReportMetric(per, "words/store")
+		})
+	}
+}
+
+// BenchmarkExtensionCtxSwitch interleaves three tasks at a fixed
+// quantum through one cache (the §3.3 context-switch study).
+func BenchmarkExtensionCtxSwitch(b *testing.B) {
+	var miss float64
+	for i := 0; i < b.N; i++ {
+		srcs := make([]trace.Source, 0, 3)
+		for _, n := range []string{"ED", "ROFF", "SIMP"} {
+			prof, _ := synth.ProfileByName(n)
+			g, err := synth.NewGenerator(prof, benchRefs/3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srcs = append(srcs, g)
+		}
+		src, err := trace.Interleave(1000, srcs...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := cache.New(cache.Config{NetSize: 1024, BlockSize: 16,
+			SubBlockSize: 8, Assoc: 4, WordSize: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Run(trace.NewSplitter(src, 2)); err != nil {
+			b.Fatal(err)
+		}
+		miss = c.Stats().MissRatio()
+	}
+	b.ReportMetric(miss, "miss")
+}
+
+// BenchmarkExtensionPrefetch measures tagged OBL prefetch against
+// demand fetch.
+func BenchmarkExtensionPrefetch(b *testing.B) {
+	words := pdpWords(b, "ED", benchRefs)
+	for _, obl := range []bool{false, true} {
+		obl := obl
+		name := "demand"
+		if obl {
+			name = "tagged-obl"
+		}
+		b.Run(name, func(b *testing.B) {
+			var miss, traffic float64
+			for i := 0; i < b.N; i++ {
+				c, err := cache.New(cache.Config{NetSize: 512, BlockSize: 16,
+					SubBlockSize: 8, Assoc: 4, WordSize: 2, PrefetchOBL: obl})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range words {
+					c.Access(r)
+				}
+				miss, traffic = c.Stats().MissRatio(), c.Stats().TrafficRatio()
+			}
+			b.ReportMetric(miss, "miss")
+			b.ReportMetric(traffic, "traffic")
+		})
+	}
+}
+
+// BenchmarkExtensionBusSat runs the discrete-event shared-bus system
+// with four cached processors.
+func BenchmarkExtensionBusSat(b *testing.B) {
+	names := []string{"ED", "ROFF", "SIMP", "PLOT"}
+	procs := make([]busim.Processor, len(names))
+	for i, n := range names {
+		prof, _ := synth.ProfileByName(n)
+		refs, err := synth.Generate(prof, benchRefs/2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		words, err := trace.SplitAll(trace.NewSliceSource(refs), 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		procs[i] = busim.Processor{
+			Name: n,
+			Config: cache.Config{NetSize: 1024, BlockSize: 16,
+				SubBlockSize: 8, Assoc: 4, WordSize: 2},
+			Accesses: words,
+		}
+	}
+	var thpt float64
+	for i := 0; i < b.N; i++ {
+		res, err := busim.Run(busim.Config{CacheCycles: 1, BusCyclesPerWord: 4}, procs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		thpt = res.Throughput
+	}
+	b.ReportMetric(thpt, "accesses/cycle")
+}

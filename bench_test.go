@@ -1,0 +1,418 @@
+package subcache
+
+// This file provides one benchmark per table and figure of the paper
+// (see DESIGN.md's experiment index) plus ablation benches for the
+// design choices the paper fixes.  Each benchmark executes a reduced-
+// length version of the corresponding experiment -- the full 1M-reference
+// runs are produced by cmd/experiments -- and reports the headline
+// metric(s) via b.ReportMetric so regressions in simulation *results*
+// are as visible as regressions in speed.
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"subcache/internal/cache"
+	"subcache/internal/membus"
+	"subcache/internal/metrics"
+	"subcache/internal/stackdist"
+	"subcache/internal/sweep"
+	"subcache/internal/synth"
+	"subcache/internal/trace"
+)
+
+// benchRefs is the per-workload trace length used in benchmarks: long
+// enough to exercise warm behaviour, short enough to keep -bench=. fast.
+const benchRefs = 50000
+
+func benchGrid(b *testing.B, arch synth.Arch, nets []int) *sweep.Result {
+	b.Helper()
+	var res *sweep.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = sweep.Run(sweep.Request{
+			Arch:   arch,
+			Points: sweep.Grid(nets, arch.WordSize()),
+			Refs:   benchRefs,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+// reportAnchor publishes a summary metric for the sweep's anchor point.
+func reportAnchor(b *testing.B, res *sweep.Result, p sweep.Point) {
+	if s, ok := res.Summaries[p]; ok {
+		b.ReportMetric(s.Miss, "miss")
+		b.ReportMetric(s.Traffic, "traffic")
+	}
+}
+
+// BenchmarkTable6 regenerates Table 6: the 360/85 sector cache versus
+// set-associative organisations at 16 KB on the System/370 suite.
+func BenchmarkTable6(b *testing.B) {
+	sector := sweep.Point{Net: 16384, Block: 1024, Sub: 64}
+	sa := sweep.Point{Net: 16384, Block: 64, Sub: 64}
+	var sectorMiss, way4Miss float64
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range []struct {
+			p     sweep.Point
+			assoc int
+			out   *float64
+		}{
+			{sector, 16, &sectorMiss},
+			{sa, 4, &way4Miss},
+			{sa, 8, nil},
+			{sa, 16, nil},
+		} {
+			assoc := cfg.assoc
+			res, err := sweep.Run(sweep.Request{
+				Arch: synth.S370, Points: []sweep.Point{cfg.p}, Refs: benchRefs,
+				Override: func(c *cache.Config) { c.Assoc = assoc },
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if cfg.out != nil {
+				*cfg.out = res.Summaries[cfg.p].Miss
+			}
+		}
+	}
+	if way4Miss > 0 {
+		b.ReportMetric(sectorMiss/way4Miss, "sector/4way")
+	}
+}
+
+// BenchmarkTable7 regenerates the full Table 7 grid for all four
+// architectures at net sizes 64/256/1024.
+func BenchmarkTable7(b *testing.B) {
+	anchor := sweep.Point{Net: 1024, Block: 16, Sub: 8}
+	for i := 0; i < b.N; i++ {
+		for _, a := range synth.AllArchs() {
+			res, err := sweep.Run(sweep.Request{
+				Arch:   a,
+				Points: sweep.Grid([]int{64, 256, 1024}, a.WordSize()),
+				Refs:   benchRefs,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if a == synth.PDP11 {
+				if s, ok := res.Summaries[anchor]; ok {
+					b.ReportMetric(s.Miss, "pdp-16,8-miss")
+				}
+			}
+		}
+	}
+}
+
+func table8Points() []sweep.Point {
+	return []sweep.Point{
+		{Net: 64, Block: 8, Sub: 8},
+		{Net: 64, Block: 8, Sub: 2, Fetch: cache.LoadForward},
+		{Net: 64, Block: 8, Sub: 2},
+		{Net: 64, Block: 2, Sub: 2},
+		{Net: 256, Block: 16, Sub: 16},
+		{Net: 256, Block: 16, Sub: 2, Fetch: cache.LoadForward},
+		{Net: 256, Block: 16, Sub: 2},
+		{Net: 256, Block: 8, Sub: 8},
+		{Net: 256, Block: 8, Sub: 2, Fetch: cache.LoadForward},
+		{Net: 256, Block: 8, Sub: 2},
+		{Net: 256, Block: 2, Sub: 2},
+	}
+}
+
+// BenchmarkTable8 regenerates the load-forward study on the Z8000
+// compiler traces.
+func BenchmarkTable8(b *testing.B) {
+	var res *sweep.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = sweep.Run(sweep.Request{
+			Arch: synth.Z8000, Points: table8Points(), Refs: benchRefs,
+			Workloads: []string{"CCP", "C1", "C2"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	lf := res.Summaries[sweep.Point{Net: 256, Block: 16, Sub: 2, Fetch: cache.LoadForward}]
+	b.ReportMetric(lf.Miss, "lf-miss")
+	b.ReportMetric(lf.Traffic, "lf-traffic")
+}
+
+// BenchmarkFigure1 .. BenchmarkFigure6: the per-architecture
+// miss-versus-traffic scatter figures.
+func BenchmarkFigure1(b *testing.B) {
+	res := benchGrid(b, synth.PDP11, []int{32, 128, 512})
+	reportAnchor(b, res, sweep.Point{Net: 512, Block: 16, Sub: 8})
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	res := benchGrid(b, synth.PDP11, []int{64, 256, 1024})
+	reportAnchor(b, res, sweep.Point{Net: 1024, Block: 16, Sub: 8})
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	res := benchGrid(b, synth.Z8000, []int{32, 128, 512})
+	reportAnchor(b, res, sweep.Point{Net: 512, Block: 16, Sub: 8})
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	res := benchGrid(b, synth.Z8000, []int{64, 256, 1024})
+	reportAnchor(b, res, sweep.Point{Net: 1024, Block: 16, Sub: 8})
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	res := benchGrid(b, synth.VAX11, []int{64, 256, 1024})
+	reportAnchor(b, res, sweep.Point{Net: 1024, Block: 16, Sub: 8})
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	res := benchGrid(b, synth.S370, []int{64, 256, 1024})
+	reportAnchor(b, res, sweep.Point{Net: 1024, Block: 16, Sub: 8})
+}
+
+// BenchmarkFigure7 and BenchmarkFigure8: the nibble-mode scalings of the
+// PDP-11 figures.  The simulation work is the same grid; the reported
+// metric is the scaled traffic ratio at the anchor.
+func BenchmarkFigure7(b *testing.B) {
+	res := benchGrid(b, synth.PDP11, []int{32, 128, 512})
+	if s, ok := res.Summaries[sweep.Point{Net: 512, Block: 16, Sub: 8}]; ok {
+		b.ReportMetric(s.Scaled, "nibble-traffic")
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	res := benchGrid(b, synth.PDP11, []int{64, 256, 1024})
+	if s, ok := res.Summaries[sweep.Point{Net: 1024, Block: 16, Sub: 8}]; ok {
+		b.ReportMetric(s.Scaled, "nibble-traffic")
+	}
+}
+
+// BenchmarkFigure9: the load-forward figure (same sweep as Table 8 with
+// the Z80,000 design point reported).
+func BenchmarkFigure9(b *testing.B) {
+	var res *sweep.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = sweep.Run(sweep.Request{
+			Arch: synth.Z8000, Points: table8Points(), Refs: benchRefs,
+			Workloads: []string{"CCP", "C1", "C2"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	z80k := res.Summaries[sweep.Point{Net: 256, Block: 16, Sub: 2, Fetch: cache.LoadForward}]
+	b.ReportMetric(z80k.Miss, "z80k-miss")
+}
+
+// --- Ablation benches (DESIGN.md section 5) ---
+
+// BenchmarkAblationReplacement compares replacement policies.
+func BenchmarkAblationReplacement(b *testing.B) {
+	p := sweep.Point{Net: 1024, Block: 16, Sub: 8}
+	for _, pol := range []cache.Replacement{cache.LRU, cache.FIFO, cache.Random} {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			var res *sweep.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = sweep.Run(sweep.Request{
+					Arch: synth.PDP11, Points: []sweep.Point{p}, Refs: benchRefs,
+					Override: func(c *cache.Config) {
+						c.Replacement = pol
+						c.RandomSeed = 1984
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Summaries[p].Miss, "miss")
+		})
+	}
+}
+
+// BenchmarkAblationAssociativity sweeps associativity at fixed geometry.
+func BenchmarkAblationAssociativity(b *testing.B) {
+	p := sweep.Point{Net: 1024, Block: 16, Sub: 8}
+	for _, assoc := range []int{1, 2, 4, 8} {
+		assoc := assoc
+		b.Run(map[int]string{1: "direct", 2: "2way", 4: "4way", 8: "8way"}[assoc], func(b *testing.B) {
+			var res *sweep.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = sweep.Run(sweep.Request{
+					Arch: synth.PDP11, Points: []sweep.Point{p}, Refs: benchRefs,
+					Override: func(c *cache.Config) { c.Assoc = assoc },
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Summaries[p].Miss, "miss")
+		})
+	}
+}
+
+// BenchmarkAblationLoadForward compares the redundant and optimized
+// load-forward schemes.
+func BenchmarkAblationLoadForward(b *testing.B) {
+	for _, f := range []cache.Fetch{cache.LoadForward, cache.LoadForwardOptimized} {
+		f := f
+		b.Run(f.String(), func(b *testing.B) {
+			p := sweep.Point{Net: 256, Block: 16, Sub: 2, Fetch: f}
+			var res *sweep.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = sweep.Run(sweep.Request{
+					Arch: synth.Z8000, Points: []sweep.Point{p}, Refs: benchRefs,
+					Workloads: []string{"CCP", "C1", "C2"},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Summaries[p].Traffic, "traffic")
+		})
+	}
+}
+
+// BenchmarkAblationWarmStart contrasts warm- and cold-start accounting.
+func BenchmarkAblationWarmStart(b *testing.B) {
+	p := sweep.Point{Net: 1024, Block: 16, Sub: 8}
+	for _, warm := range []bool{true, false} {
+		warm := warm
+		name := "cold"
+		if warm {
+			name = "warm"
+		}
+		b.Run(name, func(b *testing.B) {
+			var res *sweep.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = sweep.Run(sweep.Request{
+					Arch: synth.Z8000, Points: []sweep.Point{p}, Refs: benchRefs,
+					Override: func(c *cache.Config) { c.WarmStart = warm },
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Summaries[p].Miss, "miss")
+		})
+	}
+}
+
+// BenchmarkAblationStackdist compares the event-driven simulator against
+// the Mattson one-pass oracle over a size sweep (the efficiency argument
+// behind the paper's LRU choice).
+func BenchmarkAblationStackdist(b *testing.B) {
+	prof, _ := synth.ProfileByName("ED")
+	refs, err := synth.Generate(prof, benchRefs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	words, err := trace.SplitAll(trace.NewSliceSource(refs), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sizes := []int{64, 128, 256, 512, 1024, 2048}
+	b.Run("simulator-per-size", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, net := range sizes {
+				c, err := cache.New(cache.Config{
+					NetSize: net, BlockSize: 8, SubBlockSize: 8,
+					Assoc: net / 8, WordSize: 2,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range words {
+					c.Access(r)
+				}
+			}
+		}
+	})
+	b.Run("mattson-one-pass", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			prof, err := stackdist.New(8, 1, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range words {
+				prof.Touch(r)
+			}
+			for _, net := range sizes {
+				_ = prof.MissRatio(net / 8)
+			}
+		}
+	})
+}
+
+// --- Core micro-benchmarks ---
+
+// BenchmarkCacheAccess measures raw simulator throughput.
+func BenchmarkCacheAccess(b *testing.B) {
+	prof, _ := synth.ProfileByName("ED")
+	refs, _ := synth.Generate(prof, 100000)
+	words, _ := trace.SplitAll(trace.NewSliceSource(refs), 2)
+	c, err := cache.New(cache.Config{
+		NetSize: 1024, BlockSize: 16, SubBlockSize: 8, Assoc: 4, WordSize: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(words[i%len(words)])
+	}
+}
+
+// BenchmarkGenerator measures synthetic trace production rate.
+func BenchmarkGenerator(b *testing.B) {
+	prof, _ := synth.ProfileByName("FGO1")
+	g, err := synth.NewGenerator(prof, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScaledTraffic measures nibble-model pricing of a transaction
+// histogram.
+func BenchmarkScaledTraffic(b *testing.B) {
+	st := &cache.Stats{
+		Accesses:     1000000,
+		Transactions: map[int]uint64{1: 10000, 2: 20000, 4: 30000, 8: 5000, 16: 100},
+	}
+	for i := 0; i < b.N; i++ {
+		_ = membus.ScaledTraffic(st, membus.PaperNibble)
+	}
+}
+
+// BenchmarkEndToEnd measures one full (workload, config) simulation, the
+// unit of all experiment sweeps.
+func BenchmarkEndToEnd(b *testing.B) {
+	prof, _ := synth.ProfileByName("GREP")
+	cfg := cache.Config{NetSize: 1024, BlockSize: 16, SubBlockSize: 8, Assoc: 4, WordSize: 2}
+	var run metrics.Run
+	var err error
+	for i := 0; i < b.N; i++ {
+		run, err = sweep.RunOne(prof, cfg, benchRefs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(run.Miss, "miss")
+}

@@ -1,0 +1,52 @@
+package subcache
+
+import (
+	"fmt"
+
+	"subcache/internal/busim"
+	"subcache/internal/synth"
+	"subcache/internal/trace"
+)
+
+// Shared-bus multiprocessor simulation, the system the paper's §1
+// motivates: several cached processors arbitrating for one memory bus.
+// Two models are provided: the quick analytic estimate (SharedBus-style
+// sizing used by examples/multibus via MaxBusProcessors) and the exact
+// discrete-event simulation exposed here.
+type (
+	// BusProcessor is one node: a cache configuration plus the word
+	// accesses driving it.
+	BusProcessor = busim.Processor
+	// BusConfig sets hit cost, bus cycles per word, and the transaction
+	// cost model.
+	BusConfig = busim.Config
+	// BusResult reports per-processor and system outcomes.
+	BusResult = busim.Result
+	// BusProcessorResult is one node's outcome.
+	BusProcessorResult = busim.ProcessorResult
+)
+
+// SimulateSharedBus runs the discrete-event shared-bus system to
+// completion: FIFO bus arbitration, processors stalled during their
+// miss transfers.
+func SimulateSharedBus(cfg BusConfig, procs []BusProcessor) (*BusResult, error) {
+	return busim.Run(cfg, procs)
+}
+
+// BusProcessorFromWorkload builds a node from a named synthetic
+// workload: n references generated, split to the cache's word size.
+func BusProcessorFromWorkload(name string, cacheCfg Config, n int) (BusProcessor, error) {
+	prof, ok := synth.ProfileByName(name)
+	if !ok {
+		return BusProcessor{}, fmt.Errorf("subcache: unknown workload %q", name)
+	}
+	g, err := synth.NewGenerator(prof, n)
+	if err != nil {
+		return BusProcessor{}, err
+	}
+	words, err := trace.SplitAll(g, cacheCfg.WordSize)
+	if err != nil {
+		return BusProcessor{}, err
+	}
+	return BusProcessor{Name: name, Config: cacheCfg, Accesses: words}, nil
+}

@@ -1,0 +1,67 @@
+package subcache
+
+import "testing"
+
+func TestSimulateSharedBus(t *testing.T) {
+	cfg := paperConfig()
+	var procs []BusProcessor
+	for _, name := range []string{"ED", "ROFF"} {
+		p, err := BusProcessorFromWorkload(name, cfg, 20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, p)
+	}
+	res, err := SimulateSharedBus(BusConfig{CacheCycles: 1, BusCyclesPerWord: 4}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Processors) != 2 {
+		t.Fatalf("got %d processor results", len(res.Processors))
+	}
+	for _, p := range res.Processors {
+		if p.Accesses == 0 || p.Cycles == 0 || p.CPA < 1 {
+			t.Errorf("implausible processor result: %+v", p)
+		}
+	}
+	if res.BusUtilization <= 0 || res.BusUtilization > 1 {
+		t.Errorf("bus utilization = %g", res.BusUtilization)
+	}
+	if res.Throughput <= 0 {
+		t.Errorf("throughput = %g", res.Throughput)
+	}
+}
+
+func TestBusProcessorFromWorkloadErrors(t *testing.T) {
+	if _, err := BusProcessorFromWorkload("NOSUCH", paperConfig(), 10); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestSharedBusScalesWithCaches(t *testing.T) {
+	// The public-API version of the paper's core system argument: two
+	// well-cached processors outrun one.
+	cfg := paperConfig()
+	p1, err := BusProcessorFromWorkload("ED", cfg, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := BusProcessorFromWorkload("ROFF", cfg, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := SimulateSharedBus(BusConfig{}, []BusProcessor{p1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Processors consume their access slices; rebuild for the duo run.
+	p1b, _ := BusProcessorFromWorkload("ED", cfg, 20000)
+	duo, err := SimulateSharedBus(BusConfig{}, []BusProcessor{p1b, p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if duo.Throughput <= solo.Throughput {
+		t.Errorf("adding a cached processor did not raise throughput: %g vs %g",
+			duo.Throughput, solo.Throughput)
+	}
+}

@@ -1,0 +1,228 @@
+// Command cachesim runs one cache configuration over a trace and prints
+// the paper's metrics, in the spirit of the classic Dinero simulators.
+//
+// The trace may come from a file (text din or binary .strc; see
+// tracegen) or be synthesised on the fly from the built-in workload
+// catalog:
+//
+//	cachesim -trace traces/ed.din -size 1024 -block 16 -sub 8 -word 2
+//	cachesim -workload ED -n 1000000 -size 1024 -block 16 -sub 8 -word 2
+//	cachesim -workload CCP -size 256 -block 16 -sub 2 -fetch lf -word 2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"subcache"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file (din text or .strc binary)")
+		workload  = flag.String("workload", "", "synthetic workload name (alternative to -trace)")
+		n         = flag.Int("n", 1000000, "max references (with -workload: exact count)")
+
+		size     = flag.Int("size", 1024, "net cache size in bytes")
+		block    = flag.Int("block", 16, "block size in bytes (bytes per tag)")
+		sub      = flag.Int("sub", 0, "sub-block size in bytes (default: block size)")
+		assoc    = flag.Int("assoc", 4, "set associativity")
+		word     = flag.Int("word", 2, "data-path word size in bytes")
+		repl     = flag.String("repl", "lru", "replacement: lru, fifo, random")
+		fetch    = flag.String("fetch", "demand", "fetch: demand, lf, lfopt, block")
+		warm     = flag.Bool("warm", false, "warm-start accounting (skip cache-fill misses)")
+		seed     = flag.Uint64("seed", 0, "seed for random replacement")
+		copyback = flag.Bool("copyback", false, "copy-back (write-back) memory update instead of write-through")
+		prefetch = flag.Bool("prefetch", false, "tagged one-block-lookahead prefetch")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+		subs     = flag.String("subs", "", "comma-separated sub-block sizes to sweep (prints a tradeoff table)")
+	)
+	flag.Parse()
+
+	if *sub == 0 {
+		*sub = *block
+	}
+	cfg := subcache.Config{
+		NetSize: *size, BlockSize: *block, SubBlockSize: *sub,
+		Assoc: *assoc, WordSize: *word,
+		WarmStart: *warm, RandomSeed: *seed,
+		CopyBack: *copyback, PrefetchOBL: *prefetch,
+	}
+	var err error
+	if cfg.Replacement, err = parseRepl(*repl); err != nil {
+		fatal(err)
+	}
+	if cfg.Fetch, err = parseFetch(*fetch); err != nil {
+		fatal(err)
+	}
+
+	refs, err := loadRefs(*tracePath, *workload, *n)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *subs != "" {
+		if err := sweepSubBlocks(cfg, refs, *subs); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	sim, err := subcache.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sim.Run(subcache.NewSliceSource(refs)); err != nil {
+		fatal(err)
+	}
+	st := sim.Stats()
+	if *jsonOut {
+		if err := emitJSON(cfg, sim); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("cache:          %v\n", cfg)
+	fmt.Printf("gross size:     %.0f bytes (net %d)\n", cfg.GrossSize(), cfg.NetSize)
+	fmt.Printf("accesses:       %d (ifetch %d, read %d; writes excluded: %d)\n",
+		st.Accesses, st.IFetches, st.Reads, st.WriteAccesses)
+	fmt.Printf("misses:         %d (block %d, sub-block %d)\n",
+		st.Misses, st.BlockMisses, st.SubBlockMisses)
+	fmt.Printf("miss ratio:     %.4f\n", st.MissRatio())
+	fmt.Printf("traffic ratio:  %.4f (%d words fetched)\n", st.TrafficRatio(), st.WordsFetched)
+	fmt.Printf("nibble traffic: %.4f (cost 1 + (w-1)/3)\n", sim.ScaledTrafficRatio(subcache.NibbleModel()))
+	if st.RedundantLoads > 0 {
+		fmt.Printf("redundant:      %d of %d sub-block loads (%.4f)\n",
+			st.RedundantLoads, st.SubBlockFills, st.RedundantLoadFraction())
+	}
+	if st.ResidencySubBlocks > 0 && cfg.SubBlockSize < cfg.BlockSize {
+		fmt.Printf("sub-block use:  %.2f of each block touched while resident\n", st.SubBlockUtilization())
+	}
+	if *warm {
+		fmt.Printf("warm-up:        %d accesses, %d misses (not counted)\n",
+			st.WarmupAccesses, st.WarmupMisses)
+	}
+	if st.WriteAccesses > 0 {
+		fmt.Printf("store traffic:  %.3f words/store (%d write-through, %d write-back)\n",
+			st.WriteTrafficPerStore(), st.WriteThroughWords, st.WriteBackWords)
+	}
+	if st.PrefetchFills > 0 {
+		fmt.Printf("prefetch:       %d fills, %.2f used, %.2f evicted unused\n",
+			st.PrefetchFills,
+			float64(st.PrefetchUsed)/float64(st.PrefetchFills),
+			float64(st.PrefetchEvictedUnused)/float64(st.PrefetchFills))
+	}
+}
+
+// loadRefs materialises the input references from a file or workload.
+func loadRefs(tracePath, workload string, n int) ([]subcache.Ref, error) {
+	switch {
+	case tracePath != "":
+		tf, err := subcache.OpenTraceFile(tracePath, subcache.FormatAuto)
+		if err != nil {
+			return nil, err
+		}
+		defer tf.Close()
+		var refs []subcache.Ref
+		src := subcache.Limit(tf, n)
+		for {
+			r, err := src.Next()
+			if err == subcache.EOF {
+				return refs, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			refs = append(refs, r)
+		}
+	case workload != "":
+		return subcache.GenerateWorkload(workload, n)
+	default:
+		return nil, fmt.Errorf("specify -trace or -workload")
+	}
+}
+
+// sweepSubBlocks replays the trace at each requested sub-block size and
+// prints the miss/traffic tradeoff table (the paper's operating-point
+// argument, CLI edition).
+func sweepSubBlocks(base subcache.Config, refs []subcache.Ref, subs string) error {
+	fmt.Printf("%-9s %-8s %-9s %-9s %s\n", "sub", "miss", "traffic", "nibble", "gross")
+	for _, field := range strings.Split(subs, ",") {
+		sub, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil {
+			return fmt.Errorf("bad sub-block size %q: %v", field, err)
+		}
+		cfg := base
+		cfg.SubBlockSize = sub
+		sim, err := subcache.New(cfg)
+		if err != nil {
+			return err
+		}
+		if err := sim.Run(subcache.NewSliceSource(refs)); err != nil {
+			return err
+		}
+		fmt.Printf("%-9d %-8.4f %-9.4f %-9.4f %.0f\n",
+			sub, sim.MissRatio(), sim.TrafficRatio(),
+			sim.ScaledTrafficRatio(subcache.NibbleModel()), cfg.GrossSize())
+	}
+	return nil
+}
+
+// jsonResult is the machine-readable report shape.
+type jsonResult struct {
+	Config        subcache.Config `json:"config"`
+	GrossSize     float64         `json:"grossSize"`
+	MissRatio     float64         `json:"missRatio"`
+	TrafficRatio  float64         `json:"trafficRatio"`
+	NibbleTraffic float64         `json:"nibbleTrafficRatio"`
+	Stats         *subcache.Stats `json:"stats"`
+}
+
+func emitJSON(cfg subcache.Config, sim *subcache.Simulator) error {
+	out := jsonResult{
+		Config:        cfg,
+		GrossSize:     cfg.GrossSize(),
+		MissRatio:     sim.MissRatio(),
+		TrafficRatio:  sim.TrafficRatio(),
+		NibbleTraffic: sim.ScaledTrafficRatio(subcache.NibbleModel()),
+		Stats:         sim.Stats(),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func parseRepl(s string) (subcache.Replacement, error) {
+	switch strings.ToLower(s) {
+	case "lru":
+		return subcache.LRU, nil
+	case "fifo":
+		return subcache.FIFO, nil
+	case "random", "rand":
+		return subcache.Random, nil
+	}
+	return 0, fmt.Errorf("unknown replacement %q", s)
+}
+
+func parseFetch(s string) (subcache.Fetch, error) {
+	switch strings.ToLower(s) {
+	case "demand", "":
+		return subcache.DemandSubBlock, nil
+	case "lf", "load-forward":
+		return subcache.LoadForward, nil
+	case "lfopt":
+		return subcache.LoadForwardOptimized, nil
+	case "block", "whole-block":
+		return subcache.WholeBlock, nil
+	}
+	return 0, fmt.Errorf("unknown fetch policy %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cachesim:", err)
+	os.Exit(1)
+}

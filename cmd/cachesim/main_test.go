@@ -1,0 +1,58 @@
+package main
+
+import (
+	"testing"
+
+	"subcache"
+)
+
+func TestParseRepl(t *testing.T) {
+	cases := []struct {
+		in   string
+		want subcache.Replacement
+		ok   bool
+	}{
+		{"lru", subcache.LRU, true},
+		{"LRU", subcache.LRU, true},
+		{"fifo", subcache.FIFO, true},
+		{"random", subcache.Random, true},
+		{"rand", subcache.Random, true},
+		{"plru", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := parseRepl(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("parseRepl(%q) = %v, %v", c.in, got, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("parseRepl(%q) accepted", c.in)
+		}
+	}
+}
+
+func TestParseFetch(t *testing.T) {
+	cases := []struct {
+		in   string
+		want subcache.Fetch
+		ok   bool
+	}{
+		{"demand", subcache.DemandSubBlock, true},
+		{"", subcache.DemandSubBlock, true},
+		{"lf", subcache.LoadForward, true},
+		{"load-forward", subcache.LoadForward, true},
+		{"lfopt", subcache.LoadForwardOptimized, true},
+		{"block", subcache.WholeBlock, true},
+		{"whole-block", subcache.WholeBlock, true},
+		{"nextline", 0, false},
+	}
+	for _, c := range cases {
+		got, err := parseFetch(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("parseFetch(%q) = %v, %v", c.in, got, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("parseFetch(%q) accepted", c.in)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Command calib prints architecture-average miss/traffic ratios for a
+// few reference configurations, used to calibrate the synthetic
+// workload profiles against Table 7.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"subcache/internal/cache"
+	"subcache/internal/metrics"
+	"subcache/internal/synth"
+	"subcache/internal/trace"
+)
+
+const refs = 1000000
+
+func main() {
+	type target struct {
+		net, block, sub int
+		paper           map[synth.Arch][2]float64 // miss, traffic
+	}
+	targets := []target{
+		{1024, 16, 8, map[synth.Arch][2]float64{
+			synth.PDP11: {0.052, 0.206}, synth.Z8000: {0.023, 0.092},
+			synth.VAX11: {0.1058, 0.2116}, synth.S370: {0.2632, 0.5264}}},
+		{256, 8, 8, map[synth.Arch][2]float64{
+			synth.PDP11: {0.168, 0.672}, synth.Z8000: {0.108, 0.432},
+			synth.VAX11: {0.2367, 0.4734}, synth.S370: {0.3645, 0.7290}}},
+		{64, 8, 8, map[synth.Arch][2]float64{
+			synth.PDP11: {0.339, 1.356}, synth.Z8000: {0.298, 1.192},
+			synth.VAX11: {0.3892, 0.7784}, synth.S370: {0.5475, 1.0950}}},
+		{64, 4, 2, map[synth.Arch][2]float64{
+			synth.PDP11: {0.666, 0.666}, synth.Z8000: {0.671, 0.671}}},
+		{1024, 32, 32, map[synth.Arch][2]float64{
+			synth.PDP11: {0.033, 0.533}, synth.Z8000: {0.013, 0.208},
+			synth.VAX11: {0.0588, 0.4704}, synth.S370: {0.1266, 1.0128}}},
+	}
+	for _, tg := range targets {
+		for _, a := range synth.AllArchs() {
+			paper, ok := tg.paper[a]
+			if !ok {
+				continue
+			}
+			if tg.sub < a.WordSize() {
+				continue
+			}
+			var runs []metrics.Run
+			for _, p := range synth.Workloads(a) {
+				cfg := cache.Config{NetSize: tg.net, BlockSize: tg.block,
+					SubBlockSize: tg.sub, Assoc: 4, WordSize: a.WordSize(),
+					WarmStart: a.WarmStart()}
+				c, err := cache.New(cfg)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				g, err := synth.NewGenerator(p, refs)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				if err := c.Run(trace.NewSplitter(g, a.WordSize())); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				runs = append(runs, metrics.NewRun(p.Name, cfg, c.Stats()))
+			}
+			s := metrics.Average(runs)
+			fmt.Printf("%4dB %2d,%2d %-10s miss=%.4f (paper %.4f)  traffic=%.4f (paper %.4f)\n",
+				tg.net, tg.block, tg.sub, a, s.Miss, paper[0], s.Traffic, paper[1])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,92 @@
+package main
+
+// The shared-bus saturation experiment: a discrete-event measurement of
+// the multiprocessor scaling the paper's §1 argues for and the multibus
+// example estimates analytically.
+
+import (
+	"fmt"
+
+	"subcache/internal/busim"
+	"subcache/internal/cache"
+	"subcache/internal/report"
+	"subcache/internal/synth"
+	"subcache/internal/trace"
+)
+
+func init() {
+	experiments = append(experiments,
+		experiment{"bussat", "Extension: shared-bus saturation, discrete-event (S1 motivation)", runBusSat},
+	)
+}
+
+// runBusSat sweeps the processor count for three per-processor cache
+// choices and reports aggregate throughput and bus utilisation.
+func runBusSat(ctx *runCtx) (artifact, error) {
+	names := []string{"ED", "ROFF", "SIMP", "PLOT", "OPSYS", "TRACE", "ED", "ROFF"}
+	perProc := ctx.refs / 4
+	if perProc > 250000 {
+		perProc = 250000 // the discrete-event run is per-access; cap it
+	}
+
+	type choice struct {
+		label string
+		net   int // 0 = no cache: model as 2,2 cache of 32B? no -- absent
+	}
+	choices := []choice{
+		{"64B 16,16 (traffic > 1)", 64},
+		{"64B 4,2 minimum cache", -64},
+		{"1024B 16,8", 1024},
+	}
+	t := report.NewTable("Shared-bus saturation (discrete event, 4 bus cycles/word)",
+		"per-processor cache", "N=1 thpt", "N=2", "N=4", "N=8", "bus util @8")
+
+	for _, ch := range choices {
+		cells := []string{ch.label}
+		var util8 float64
+		for _, n := range []int{1, 2, 4, 8} {
+			procs := make([]busim.Processor, n)
+			for i := 0; i < n; i++ {
+				cfg := cache.Config{Assoc: 4, WordSize: 2}
+				switch {
+				case ch.net > 0 && ch.net == 64:
+					cfg.NetSize, cfg.BlockSize, cfg.SubBlockSize = 64, 16, 16
+				case ch.net < 0:
+					cfg.NetSize, cfg.BlockSize, cfg.SubBlockSize = 64, 4, 2
+				default:
+					cfg.NetSize, cfg.BlockSize, cfg.SubBlockSize = 1024, 16, 8
+				}
+				prof, ok := synth.ProfileByName(names[i])
+				if !ok {
+					return artifact{}, fmt.Errorf("workload %s missing", names[i])
+				}
+				prof.Seed += uint64(i * 101) // distinct tasks even with repeated names
+				g, err := synth.NewGenerator(prof, perProc)
+				if err != nil {
+					return artifact{}, err
+				}
+				words, err := trace.SplitAll(g, 2)
+				if err != nil {
+					return artifact{}, err
+				}
+				procs[i] = busim.Processor{Name: fmt.Sprintf("%s/%d", names[i], i), Config: cfg, Accesses: words}
+			}
+			res, err := busim.Run(busim.Config{CacheCycles: 1, BusCyclesPerWord: 4}, procs)
+			if err != nil {
+				return artifact{}, err
+			}
+			cells = append(cells, fmt.Sprintf("%.3f", res.Throughput))
+			if n == 8 {
+				util8 = res.BusUtilization
+			}
+		}
+		cells = append(cells, fmt.Sprintf("%.2f", util8))
+		t.Add(cells...)
+	}
+	note := "\nThroughput = aggregate word accesses per cycle.  With low-traffic\n" +
+		"caches throughput scales with the processor count until the bus\n" +
+		"saturates; the traffic-ratio>1 organisation saturates immediately --\n" +
+		"the discrete-event confirmation of the paper's S1 argument and of\n" +
+		"the analytic model in examples/multibus.\n"
+	return artifact{text: t.String() + note, csv: t.CSV()}, nil
+}

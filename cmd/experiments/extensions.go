@@ -1,0 +1,286 @@
+package main
+
+// Extension experiments: the paper's qualitative discussions (§2.2
+// instruction buffers, §2.3 RISC II) and its flagged further studies
+// (§3.1: split I/D caches, write-through vs copy-back), quantified with
+// the same harness.
+
+import (
+	"fmt"
+
+	"subcache/internal/cache"
+	"subcache/internal/ibuffer"
+	"subcache/internal/report"
+	"subcache/internal/riscii"
+	"subcache/internal/synth"
+	"subcache/internal/trace"
+)
+
+func init() {
+	experiments = append(experiments,
+		experiment{"ibuf", "Extension: instruction buffers vs minimum cache (S2.2)", runIBuffer},
+		experiment{"riscii", "Extension: RISC II instruction cache (S2.3)", runRISCII},
+		experiment{"split", "Extension: split I/D caches vs unified (S3.1 further study)", runSplit},
+		experiment{"writepol", "Extension: write-through vs copy-back traffic (S3.1 further study)", runWritePolicy},
+	)
+}
+
+// runIBuffer compares the paper's §2.2 alternatives on instruction
+// fetches: a VAX-style sequential buffer, CRAY-style loop buffers, and
+// caches of comparable cost, on the PDP-11 suite.
+func runIBuffer(ctx *runCtx) (artifact, error) {
+	t := report.NewTable("Instruction-stream alternatives (PDP-11 suite, ifetches only)",
+		"organisation", "bytes", "miss/fetch", "traffic")
+
+	type accum struct {
+		name          string
+		bytes         int
+		miss, traffic float64
+	}
+	var rows []*accum
+	add := func(name string, bytes int, miss, traffic float64) {
+		for _, r := range rows {
+			if r.name == name && r.bytes == bytes {
+				r.miss += miss
+				r.traffic += traffic
+				return
+			}
+		}
+		rows = append(rows, &accum{name: name, bytes: bytes, miss: miss, traffic: traffic})
+	}
+
+	profiles := synth.Workloads(synth.PDP11)
+	for _, prof := range profiles {
+		g, err := synth.NewGenerator(prof, ctx.refs)
+		if err != nil {
+			return artifact{}, err
+		}
+		words, err := trace.SplitAll(g, 2)
+		if err != nil {
+			return artifact{}, err
+		}
+
+		seq, err := ibuffer.NewSequential(2)
+		if err != nil {
+			return artifact{}, err
+		}
+		if err := ibuffer.Run(seq, trace.NewSliceSource(words)); err != nil {
+			return artifact{}, err
+		}
+		add("VAX-style sequential buffer", 8, seq.Stats().MissRatio(), seq.Stats().TrafficRatio())
+
+		loop, err := ibuffer.NewLoop(4, 128, 2)
+		if err != nil {
+			return artifact{}, err
+		}
+		if err := ibuffer.Run(loop, trace.NewSliceSource(words)); err != nil {
+			return artifact{}, err
+		}
+		add("CRAY-style 4x128B loop buffers", 512, loop.Stats().MissRatio(), loop.Stats().TrafficRatio())
+
+		for _, net := range []int{64, 512} {
+			cfg := cache.Config{NetSize: net, BlockSize: 8, SubBlockSize: 4,
+				Assoc: 4, WordSize: 2}
+			c, err := cache.New(cfg)
+			if err != nil {
+				return artifact{}, err
+			}
+			for _, r := range words {
+				if r.Kind == trace.IFetch {
+					c.Access(r)
+				}
+			}
+			add(fmt.Sprintf("%dB cache 8,4 4-way", net), net,
+				c.Stats().MissRatio(), c.Stats().TrafficRatio())
+		}
+	}
+	n := float64(len(profiles))
+	for _, r := range rows {
+		t.Add(r.name, fmt.Sprint(r.bytes),
+			fmt.Sprintf("%.4f", r.miss/n), fmt.Sprintf("%.4f", r.traffic/n))
+	}
+	note := "\nPaper S2.2: simple buffers reduce latency but not bandwidth\n" +
+		"(traffic ~1.0); buffers recognising branch targets (CRAY-1) hold\n" +
+		"loops; a small cache dominates both per byte.\n"
+	return artifact{text: t.String() + note, csv: t.CSV()}, nil
+}
+
+// runRISCII reproduces the §2.3 RISC II instruction-cache study: miss
+// ratio versus size, the remote program counter's prediction accuracy
+// and access-time reduction, and the effect of code compaction.
+func runRISCII(ctx *runCtx) (artifact, error) {
+	refs, err := synth.Generate(riscii.Workload(11), ctx.refs)
+	if err != nil {
+		return artifact{}, err
+	}
+	t := report.NewTable("RISC II instruction cache (direct-mapped, 8B blocks)",
+		"size", "miss", "paper miss", "miss (compacted)", "improvement")
+	paper := map[int]float64{512: 0.148, 1024: 0.125, 2048: 0.098, 4096: 0.078}
+	comp, err := riscii.NewCompactor(0x1000, riscii.Workload(11).CodeSize+64, 4, 0.4, 11)
+	if err != nil {
+		return artifact{}, err
+	}
+	for _, size := range []int{512, 1024, 2048, 4096} {
+		plain, err := riscii.Evaluate(riscii.ICacheConfig{Size: size},
+			trace.NewSliceSource(refs), nil, nil)
+		if err != nil {
+			return artifact{}, err
+		}
+		compacted, err := riscii.Evaluate(riscii.ICacheConfig{Size: size},
+			trace.NewSliceSource(refs), comp, nil)
+		if err != nil {
+			return artifact{}, err
+		}
+		t.Add(fmt.Sprint(size),
+			fmt.Sprintf("%.4f", plain.MissRatio),
+			fmt.Sprintf("%.3f", paper[size]),
+			fmt.Sprintf("%.4f", compacted.MissRatio),
+			fmt.Sprintf("%.1f%%", 100*(1-compacted.MissRatio/plain.MissRatio)))
+	}
+
+	rpc, err := riscii.NewRemotePC(4)
+	if err != nil {
+		return artifact{}, err
+	}
+	res, err := riscii.Evaluate(riscii.ICacheConfig{}, trace.NewSliceSource(refs), nil, rpc)
+	if err != nil {
+		return artifact{}, err
+	}
+	note := fmt.Sprintf(
+		"\nremote PC: %.1f%% of next addresses predicted (chip: 89.9%%);\n"+
+			"with 47%% access overlap that is a %.1f%% access-time cut (chip: 42.2%%).\n"+
+			"code compaction: %.1f%% static size saving (chip: ~20%%).\n",
+		100*res.PredictionAccuracy,
+		100*riscii.AccessTimeReduction(res.PredictionAccuracy, 0.47),
+		100*comp.StaticSavings())
+	return artifact{text: t.String() + note, csv: t.CSV()}, nil
+}
+
+// runSplit compares a unified cache against split instruction/data
+// caches of the same total net size, one of the paper's suggested
+// further studies.
+func runSplit(ctx *runCtx) (artifact, error) {
+	t := report.NewTable("Split I/D vs unified caches (PDP-11 suite, 16-byte blocks, 8-byte sub-blocks)",
+		"total bytes", "unified miss", "split miss (I+D)", "unified traffic", "split traffic")
+	profiles := synth.Workloads(synth.PDP11)
+	for _, total := range []int{256, 512, 1024} {
+		var uMiss, uTraf, sMiss, sTraf float64
+		for _, prof := range profiles {
+			g, err := synth.NewGenerator(prof, ctx.refs)
+			if err != nil {
+				return artifact{}, err
+			}
+			words, err := trace.SplitAll(g, 2)
+			if err != nil {
+				return artifact{}, err
+			}
+			mk := func(net int) (*cache.Cache, error) {
+				return cache.New(cache.Config{NetSize: net, BlockSize: 16,
+					SubBlockSize: 8, Assoc: 4, WordSize: 2})
+			}
+			unified, err := mk(total)
+			if err != nil {
+				return artifact{}, err
+			}
+			icache, err := mk(total / 2)
+			if err != nil {
+				return artifact{}, err
+			}
+			dcache, err := mk(total / 2)
+			if err != nil {
+				return artifact{}, err
+			}
+			for _, r := range words {
+				unified.Access(r)
+				if r.Kind == trace.IFetch {
+					icache.Access(r)
+				} else {
+					dcache.Access(r)
+				}
+			}
+			us := unified.Stats()
+			var split cache.Stats
+			split.Add(icache.Stats())
+			split.Add(dcache.Stats())
+			uMiss += us.MissRatio()
+			uTraf += us.TrafficRatio()
+			sMiss += split.MissRatio()
+			sTraf += split.TrafficRatio()
+		}
+		n := float64(len(profiles))
+		t.Add(fmt.Sprint(total),
+			fmt.Sprintf("%.4f", uMiss/n), fmt.Sprintf("%.4f", sMiss/n),
+			fmt.Sprintf("%.4f", uTraf/n), fmt.Sprintf("%.4f", sTraf/n))
+	}
+	note := "\nPaper S3.1: \"Further studies should look at partitioning\n" +
+		"instruction and data caches...\"  At these tiny sizes a unified\n" +
+		"cache usually wins on miss ratio (it balances I/D demand\n" +
+		"dynamically) while splitting buys implementation bandwidth.\n"
+	return artifact{text: t.String() + note, csv: t.CSV()}, nil
+}
+
+// runWritePolicy quantifies write-through vs copy-back store traffic,
+// the paper's other further study, on all four suites, at two dirty
+// granularities: 8-byte sub-blocks and single-word sub-blocks.
+func runWritePolicy(ctx *runCtx) (artifact, error) {
+	t := report.NewTable("Write-through vs copy-back store traffic (1024B, 16-byte blocks, 4-way)",
+		"arch", "stores/1000 refs", "WT words/store", "CB words/store (sub=8)", "CB words/store (sub=word)")
+	for _, a := range synth.AllArchs() {
+		var wtPer, cb8Per, cbWordPer, storeFrac float64
+		profiles := synth.Workloads(a)
+		for _, prof := range profiles {
+			g, err := synth.NewGenerator(prof, ctx.refs)
+			if err != nil {
+				return artifact{}, err
+			}
+			words, err := trace.SplitAll(g, a.WordSize())
+			if err != nil {
+				return artifact{}, err
+			}
+			run := func(copyBack bool, sub int) (*cache.Stats, error) {
+				c, err := cache.New(cache.Config{NetSize: 1024, BlockSize: 16,
+					SubBlockSize: sub, Assoc: 4, WordSize: a.WordSize(),
+					CopyBack: copyBack})
+				if err != nil {
+					return nil, err
+				}
+				for _, r := range words {
+					c.Access(r)
+				}
+				c.FlushUsage()
+				return c.Stats(), nil
+			}
+			wt, err := run(false, 8)
+			if err != nil {
+				return artifact{}, err
+			}
+			cb8, err := run(true, 8)
+			if err != nil {
+				return artifact{}, err
+			}
+			cbWord, err := run(true, a.WordSize())
+			if err != nil {
+				return artifact{}, err
+			}
+			wtPer += wt.WriteTrafficPerStore()
+			cb8Per += cb8.WriteTrafficPerStore()
+			cbWordPer += cbWord.WriteTrafficPerStore()
+			storeFrac += 1000 * float64(wt.WriteAccesses) /
+				float64(wt.Accesses+wt.WriteAccesses)
+		}
+		n := float64(len(profiles))
+		t.Add(a.String(),
+			fmt.Sprintf("%.0f", storeFrac/n),
+			fmt.Sprintf("%.3f", wtPer/n),
+			fmt.Sprintf("%.3f", cb8Per/n),
+			fmt.Sprintf("%.3f", cbWordPer/n))
+	}
+	note := "\nWrite-through sends every store to memory (1 word/store).\n" +
+		"Copy-back coalesces stores into dirty sub-blocks but must write the\n" +
+		"whole sub-block back: with 8-byte sub-blocks the granularity penalty\n" +
+		"usually exceeds the coalescing gain at these tiny caches -- one\n" +
+		"reason early microprocessors shipped write-through -- while at\n" +
+		"word-granularity dirty tracking copy-back always wins.  Store traffic\n" +
+		"is reported separately and never enters the paper's read-only ratios.\n"
+	return artifact{text: t.String() + note, csv: t.CSV()}, nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"subcache/internal/synth"
+)
+
+func TestRegistryIdsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments {
+		if e.id == "" || e.title == "" || e.run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if seen[e.id] {
+			t.Errorf("duplicate experiment id %q", e.id)
+		}
+		seen[e.id] = true
+	}
+	// Every paper artifact must be present.
+	for _, id := range []string{"table6", "table7", "table8",
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"compare", "optsub", "ibuf", "riscii", "split", "writepol", "ctxswitch", "prefetch", "bussat", "sensitivity", "stackcache"} {
+		if !seen[id] {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+}
+
+func TestGridSweepMemoized(t *testing.T) {
+	ctx := newRunCtx(2000)
+	a, err := ctx.gridSweep(synth.PDP11, []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.gridSweep(synth.PDP11, []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("gridSweep did not memoise")
+	}
+	c, err := ctx.gridSweep(synth.Z8000, []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("memoisation key ignores architecture")
+	}
+}
+
+func TestTable8PointsMatchPaper(t *testing.T) {
+	pts := table8Points()
+	if len(pts) != 11 {
+		t.Fatalf("Table 8 has 11 rows, got %d", len(pts))
+	}
+	lf := 0
+	for _, p := range pts {
+		if p.Fetch != 0 {
+			lf++
+			if p.Sub != 2 {
+				t.Errorf("LF row %v must use 2-byte sub-blocks", p)
+			}
+		}
+	}
+	if lf != 3 {
+		t.Errorf("Table 8 has 3 LF rows, got %d", lf)
+	}
+}
+
+// TestExperimentsRunAtTinyScale executes a representative subset of the
+// experiment runners end-to-end with a tiny trace, checking that each
+// produces a non-empty artifact.
+func TestExperimentsRunAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several simulations")
+	}
+	ctx := newRunCtx(3000)
+	for _, id := range []string{"table6", "table8", "fig9", "optsub", "compare",
+		"ablate-lf", "ibuf", "riscii", "split", "writepol"} {
+		var found bool
+		for _, e := range experiments {
+			if e.id != id {
+				continue
+			}
+			found = true
+			art, err := e.run(ctx)
+			if err != nil {
+				t.Errorf("%s: %v", id, err)
+				continue
+			}
+			if strings.TrimSpace(art.text) == "" {
+				t.Errorf("%s: empty text artifact", id)
+			}
+		}
+		if !found {
+			t.Errorf("experiment %q not found", id)
+		}
+	}
+}

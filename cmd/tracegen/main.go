@@ -1,0 +1,102 @@
+// Command tracegen writes the synthetic workload traces to disk, in the
+// Dinero-style text format or the compact .strc binary format.
+//
+// Usage:
+//
+//	tracegen -workload ED -n 1000000 -out traces/        # one workload
+//	tracegen -arch PDP-11 -n 1000000 -out traces/        # one suite
+//	tracegen -all -n 1000000 -out traces/ -format binary # everything
+//	tracegen -list                                       # show catalog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"subcache"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "single workload name (see -list)")
+		arch     = flag.String("arch", "", "architecture suite: PDP-11, Z8000, VAX-11, System/370")
+		all      = flag.Bool("all", false, "generate every workload")
+		n        = flag.Int("n", 1000000, "references per trace")
+		out      = flag.String("out", "traces", "output directory")
+		format   = flag.String("format", "text", "trace format: text or binary")
+		list     = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range subcache.Architectures() {
+			fmt.Printf("%s (word size %d):\n", a, a.WordSize())
+			for _, w := range subcache.Workloads(a) {
+				fmt.Printf("  %-8s\n", w.Name)
+			}
+		}
+		return
+	}
+
+	var names []string
+	switch {
+	case *all:
+		names = subcache.WorkloadNames()
+	case *arch != "":
+		a, err := archByName(*arch)
+		if err != nil {
+			fatal(err)
+		}
+		for _, w := range subcache.Workloads(a) {
+			names = append(names, w.Name)
+		}
+	case *workload != "":
+		names = []string{*workload}
+	default:
+		fatal(fmt.Errorf("specify -workload, -arch or -all (or -list)"))
+	}
+
+	var tf subcache.TraceFormat
+	var ext string
+	switch strings.ToLower(*format) {
+	case "text":
+		tf, ext = subcache.FormatText, ".din"
+	case "binary", "bin":
+		tf, ext = subcache.FormatBinary, ".strc"
+	default:
+		fatal(fmt.Errorf("unknown format %q (want text or binary)", *format))
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, name := range names {
+		refs, err := subcache.GenerateWorkload(name, *n)
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*out, strings.ToLower(name)+ext)
+		written, err := subcache.WriteTraceFile(path, subcache.NewSliceSource(refs), tf)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-8s -> %s (%d refs)\n", name, path, written)
+	}
+}
+
+func archByName(name string) (subcache.Arch, error) {
+	for _, a := range subcache.Architectures() {
+		if strings.EqualFold(a.String(), name) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown architecture %q (want PDP-11, Z8000, VAX-11 or System/370)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

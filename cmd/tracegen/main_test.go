@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+
+	"subcache"
+)
+
+func TestArchByName(t *testing.T) {
+	cases := []struct {
+		in   string
+		want subcache.Arch
+		ok   bool
+	}{
+		{"PDP-11", subcache.PDP11, true},
+		{"pdp-11", subcache.PDP11, true},
+		{"Z8000", subcache.Z8000, true},
+		{"VAX-11", subcache.VAX11, true},
+		{"System/370", subcache.S370, true},
+		{"system/370", subcache.S370, true},
+		{"68000", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := archByName(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("archByName(%q) = %v, %v", c.in, got, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("archByName(%q) accepted", c.in)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Command traceinfo characterises a trace the way §3.3 and §4.2.5 of
+// the paper characterise workloads: reference mix, footprint,
+// sequential-run behaviour, and the LRU working-set curve (miss ratio
+// versus capacity from a single Mattson stack-distance pass).
+//
+//	traceinfo -workload FGO1 -n 1000000
+//	traceinfo -trace traces/ed.din -word 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"subcache"
+	"subcache/internal/stackdist"
+	"subcache/internal/synth"
+	"subcache/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file (din text or .strc binary)")
+		workload  = flag.String("workload", "", "synthetic workload name (alternative to -trace)")
+		n         = flag.Int("n", 1000000, "max references")
+		word      = flag.Int("word", 0, "data-path word size (default: workload's architecture, else 2)")
+		block     = flag.Int("block", 8, "block size for the working-set curve")
+	)
+	flag.Parse()
+
+	refs, wordSize, err := load(*tracePath, *workload, *n, *word)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceinfo:", err)
+		os.Exit(1)
+	}
+
+	st, err := trace.Measure(trace.NewSliceSource(refs), wordSize)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceinfo:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("word accesses:   %d (ifetch %d, read %d, write %d)\n",
+		st.Total, st.ByKind[trace.IFetch], st.ByKind[trace.Read], st.ByKind[trace.Write])
+	fmt.Printf("word size:       %d bytes\n", wordSize)
+	fmt.Printf("footprint:       %d bytes (%d unique words)\n", st.FootprintLen, st.UniqueWords)
+	fmt.Printf("address range:   [%v, %v]\n", st.MinAddr, st.MaxAddr)
+
+	_, meanRun, err := trace.RunLengths(trace.NewSliceSource(refs), wordSize)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceinfo:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mean ifetch run: %.2f words (forward-sequential)\n", meanRun)
+
+	prof, err := stackdist.New(*block, 1, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceinfo:", err)
+		os.Exit(1)
+	}
+	sp := trace.NewSplitter(trace.NewSliceSource(refs), wordSize)
+	if err := prof.Run(sp); err != nil {
+		fmt.Fprintln(os.Stderr, "traceinfo:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nLRU working-set curve (%d-byte blocks, fully associative, one Mattson pass):\n", *block)
+	fmt.Printf("%10s  %s\n", "capacity", "miss ratio")
+	for _, capBytes := range []int{32, 64, 128, 256, 512, 1024, 2048, 4096, 8192} {
+		fmt.Printf("%9dB  %.4f\n", capBytes, prof.MissRatio(capBytes / *block))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		blocks := prof.Percentile(q)
+		if blocks < 0 {
+			fmt.Printf("hit ratio %.0f%% unreachable (cold misses dominate)\n", 100*q)
+			continue
+		}
+		fmt.Printf("capacity for %2.0f%% hits: %d bytes\n", 100*q, blocks**block)
+	}
+}
+
+// load returns the references and the effective word size.
+func load(tracePath, workload string, n, word int) ([]subcache.Ref, int, error) {
+	switch {
+	case workload != "":
+		prof, ok := synth.ProfileByName(workload)
+		if !ok {
+			return nil, 0, fmt.Errorf("unknown workload %q (have %v)", workload, synth.Names())
+		}
+		refs, err := subcache.GenerateWorkload(workload, n)
+		if err != nil {
+			return nil, 0, err
+		}
+		if word == 0 {
+			word = prof.Arch.WordSize()
+		}
+		return refs, word, nil
+	case tracePath != "":
+		tf, err := subcache.OpenTraceFile(tracePath, subcache.FormatAuto)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer tf.Close()
+		var refs []subcache.Ref
+		src := subcache.Limit(tf, n)
+		for {
+			r, err := src.Next()
+			if err == subcache.EOF {
+				break
+			}
+			if err != nil {
+				return nil, 0, err
+			}
+			refs = append(refs, r)
+		}
+		if word == 0 {
+			word = 2
+		}
+		return refs, word, nil
+	default:
+		return nil, 0, fmt.Errorf("specify -trace or -workload")
+	}
+}

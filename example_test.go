@@ -1,0 +1,77 @@
+package subcache_test
+
+import (
+	"fmt"
+
+	"subcache"
+)
+
+// ExampleSimulateWorkload runs the paper's headline 1024-byte cache on
+// the PDP-11 text-editor workload.  Results are deterministic: the
+// synthetic workloads are seeded.
+func ExampleSimulateWorkload() {
+	cfg := subcache.Config{
+		NetSize:      1024,
+		BlockSize:    16,
+		SubBlockSize: 8,
+		Assoc:        4,
+		WordSize:     2,
+	}
+	run, err := subcache.SimulateWorkload("ED", cfg, 100000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("gross size: %.0f bytes\n", cfg.GrossSize())
+	fmt.Printf("miss ratio in (0, 0.2): %v\n", run.Miss > 0 && run.Miss < 0.2)
+	fmt.Printf("traffic = miss x 4 words: %v\n", run.Traffic == run.Miss*4)
+	// Output:
+	// gross size: 1264 bytes
+	// miss ratio in (0, 0.2): true
+	// traffic = miss x 4 words: true
+}
+
+// ExampleSimulator_Access drives a cache by hand with individual
+// references.
+func ExampleSimulator_Access() {
+	sim, err := subcache.New(subcache.Config{
+		NetSize: 64, BlockSize: 16, SubBlockSize: 4, Assoc: 2, WordSize: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sim.Access(subcache.Ref{Addr: 0x100, Kind: subcache.Read, Size: 2}) // miss
+	sim.Access(subcache.Ref{Addr: 0x102, Kind: subcache.Read, Size: 2}) // hit: same sub-block
+	sim.Access(subcache.Ref{Addr: 0x104, Kind: subcache.Read, Size: 2}) // sub-block miss
+	sim.Finish()
+	st := sim.Stats()
+	fmt.Printf("accesses=%d misses=%d (block=%d sub-block=%d)\n",
+		st.Accesses, st.Misses, st.BlockMisses, st.SubBlockMisses)
+	// Output:
+	// accesses=3 misses=2 (block=1 sub-block=1)
+}
+
+// ExampleConfig_GrossSize reproduces gross-size cells of the paper's
+// Table 7.
+func ExampleConfig_GrossSize() {
+	for _, c := range []subcache.Config{
+		{NetSize: 64, BlockSize: 16, SubBlockSize: 8, Assoc: 4, WordSize: 2},
+		{NetSize: 256, BlockSize: 16, SubBlockSize: 8, Assoc: 4, WordSize: 2},
+		{NetSize: 1024, BlockSize: 16, SubBlockSize: 8, Assoc: 4, WordSize: 2},
+	} {
+		fmt.Printf("%dB net -> %.0f gross\n", c.NetSize, c.GrossSize())
+	}
+	// Output:
+	// 64B net -> 79 gross
+	// 256B net -> 316 gross
+	// 1024B net -> 1264 gross
+}
+
+// ExampleNibbleModel shows the paper's nibble-mode cost arithmetic.
+func ExampleNibbleModel() {
+	m := subcache.NibbleModel()
+	fmt.Printf("cost of 4 sequential words: %.2f\n", m.Cost(4))
+	fmt.Printf("scale factor vs linear: %.2f\n", m.Cost(4)/4)
+	// Output:
+	// cost of 4 sequential words: 2.00
+	// scale factor vs linear: 0.50
+}

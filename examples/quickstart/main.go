@@ -1,0 +1,40 @@
+// Quickstart: simulate the paper's headline configuration -- a
+// 1024-byte, 4-way set-associative cache with 8-byte blocks -- on one
+// workload from each architecture and print the miss and traffic ratios
+// (compare the paper's abstract: PDP-11 .039/.156, Z8000 .015/.060,
+// VAX-11 .080/.160, System/370 .244/.489).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"subcache"
+)
+
+func main() {
+	workloads := map[string]subcache.Arch{
+		"ED":    subcache.PDP11,
+		"CCP":   subcache.Z8000,
+		"SPICE": subcache.VAX11,
+		"FGO1":  subcache.S370,
+	}
+	// Present in a fixed order.
+	for _, name := range []string{"ED", "CCP", "SPICE", "FGO1"} {
+		arch := workloads[name]
+		cfg := subcache.Config{
+			NetSize:      1024,
+			BlockSize:    8,
+			SubBlockSize: 8,
+			Assoc:        4,
+			WordSize:     arch.WordSize(),
+			WarmStart:    arch.WarmStart(),
+		}
+		run, err := subcache.SimulateWorkload(name, cfg, 1000000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %-8s miss=%.3f traffic=%.3f (gross cache %v bytes)\n",
+			arch, name, run.Miss, run.Traffic, cfg.GrossSize())
+	}
+}

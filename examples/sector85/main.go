@@ -1,0 +1,62 @@
+// Sector85: the IBM System/360 Model 85 story (§4.1, Table 6).
+//
+// The 360/85 -- the first machine with a cache -- used sector placement:
+// 16 fully-associative 1024-byte sectors, 64-byte sub-blocks, chosen to
+// keep the associative tag search down to 16 entries.  By 1984 cheap
+// set-associative search had made that organisation obsolete: a 4-way
+// set-associative cache with 64-byte blocks has a third of the misses.
+// This example replays that comparison on the System/370 suite and
+// measures how much of each sector is ever used.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"subcache"
+)
+
+func main() {
+	const refs = 1000000
+	type org struct {
+		name string
+		cfg  subcache.Config
+	}
+	orgs := []org{
+		{"360/85 sector (16x1024B, 64B sub)", subcache.Config{
+			NetSize: 16384, BlockSize: 1024, SubBlockSize: 64,
+			Assoc: 16, WordSize: 4, // 1 set: fully associative
+		}},
+		{"4-way set assoc, 64B blocks", subcache.Config{
+			NetSize: 16384, BlockSize: 64, SubBlockSize: 64,
+			Assoc: 4, WordSize: 4,
+		}},
+		{"8-way set assoc, 64B blocks", subcache.Config{
+			NetSize: 16384, BlockSize: 64, SubBlockSize: 64,
+			Assoc: 8, WordSize: 4,
+		}},
+		{"16-way set assoc, 64B blocks", subcache.Config{
+			NetSize: 16384, BlockSize: 64, SubBlockSize: 64,
+			Assoc: 16, WordSize: 4,
+		}},
+	}
+	fmt.Println("System/370 suite, 16 KB caches, LRU")
+	var sectorMiss float64
+	for i, o := range orgs {
+		_, s, err := subcache.SimulateSuite(subcache.S370, o.cfg, refs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			sectorMiss = s.Miss
+			fmt.Printf("%-36s miss=%.4f  (%.0f%% of each sector never touched)\n",
+				o.name, s.Miss, 100*(1-s.Utilization))
+			continue
+		}
+		fmt.Printf("%-36s miss=%.4f  (%.2fx better than the sector cache)\n",
+			o.name, s.Miss, sectorMiss/s.Miss)
+	}
+	fmt.Println("\nPaper (Table 6): the 360/85 organisation misses 3x more than 4-way")
+	fmt.Println("set-associative, and 72% of sector sub-blocks are never referenced")
+	fmt.Println("while resident -- sectors are far too large at 1024 bytes.")
+}

@@ -1,0 +1,52 @@
+// Workingset: why the four architectures behave so differently (§4.2.5).
+//
+// "The Z8000 traces are all Unix utilities ... mostly small, compact
+// pieces of code.  The PDP-11 programs are also relatively small ...
+// The VAX programs are a mixture of small and large, and the System/370
+// programs are large, using hundreds of kilobytes of storage."
+//
+// This example characterises one workload per architecture with a
+// single Mattson stack-distance pass: footprint, sequential bias, and
+// the cache capacity needed for a 90% hit ratio.  The working-set
+// ordering explains the miss-ratio ordering of every table in the
+// paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"subcache"
+)
+
+func main() {
+	workloads := []struct {
+		name string
+		arch subcache.Arch
+	}{
+		{"GREP", subcache.Z8000},
+		{"ED", subcache.PDP11},
+		{"SPICE", subcache.VAX11},
+		{"PGO2", subcache.S370},
+	}
+	fmt.Printf("%-10s %-8s %-12s %-10s %-10s %s\n",
+		"arch", "trace", "footprint", "mean run", "ws(90%)", "miss@1KB")
+	for _, w := range workloads {
+		ch, err := subcache.CharacterizeWorkload(w.name, 1000000, subcache.AnalyzeOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ws := "n/a"
+		if ch.WorkingSet90 > 0 {
+			ws = fmt.Sprintf("%dB", ch.WorkingSet90)
+		}
+		fmt.Printf("%-10s %-8s %-12s %-10s %-10s %.4f\n",
+			w.arch, w.name,
+			fmt.Sprintf("%dKB", ch.FootprintBytes>>10),
+			fmt.Sprintf("%.1f words", ch.MeanRunWords),
+			ws, ch.MissRatioAt[1024])
+	}
+	fmt.Println("\nThe paper's ordering Z8000 < PDP-11 < VAX-11 < System/370 falls")
+	fmt.Println("directly out of the working-set sizes: a 1 KB on-chip cache holds")
+	fmt.Println("a Unix utility's hot loop but only a sliver of a PL/I compile.")
+}

@@ -1,0 +1,3 @@
+module subcache
+
+go 1.22

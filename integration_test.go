@@ -1,0 +1,224 @@
+package subcache
+
+// End-to-end integration tests across the full pipeline: workload
+// generation -> trace file round trip -> simulation -> metrics, and the
+// paper's main qualitative claims at reduced trace lengths.
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// TestPipelineFileEqualsDirect verifies that simulating a trace read
+// back from disk gives identical results to simulating the in-memory
+// trace, for both file formats.
+func TestPipelineFileEqualsDirect(t *testing.T) {
+	refs, err := GenerateWorkload("SORT", 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{NetSize: 512, BlockSize: 16, SubBlockSize: 4, Assoc: 4, WordSize: 2}
+
+	direct, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.Run(NewSliceSource(refs)); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range []string{"t.din", "t.strc"} {
+		path := filepath.Join(t.TempDir(), name)
+		if _, err := WriteTraceFile(path, NewSliceSource(refs), FormatAuto); err != nil {
+			t.Fatal(err)
+		}
+		tf, err := OpenTraceFile(path, FormatAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(tf); err != nil {
+			t.Fatal(err)
+		}
+		tf.Close()
+		if sim.Stats().Misses != direct.Stats().Misses ||
+			sim.Stats().Accesses != direct.Stats().Accesses ||
+			sim.Stats().WordsFetched != direct.Stats().WordsFetched {
+			t.Errorf("%s: file-driven simulation diverged: %v vs %v",
+				name, sim.Stats(), direct.Stats())
+		}
+	}
+}
+
+// TestSubBlockTradeoffShape checks the paper's central claim on every
+// architecture: for a fixed block size, shrinking the sub-block
+// monotonically raises the miss ratio and lowers the traffic ratio.
+func TestSubBlockTradeoffShape(t *testing.T) {
+	for _, a := range Architectures() {
+		name := Workloads(a)[0].Name
+		var prevMiss, prevTraffic float64
+		first := true
+		for _, sub := range []int{16, 8, 4} {
+			if sub < a.WordSize() {
+				continue
+			}
+			cfg := Config{NetSize: 512, BlockSize: 16, SubBlockSize: sub,
+				Assoc: 4, WordSize: a.WordSize()}
+			run, err := SimulateWorkload(name, cfg, 60000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !first {
+				if run.Miss < prevMiss {
+					t.Errorf("%v %s: miss fell when sub-block shrank to %d (%.4f < %.4f)",
+						a, name, sub, run.Miss, prevMiss)
+				}
+				if run.Traffic > prevTraffic {
+					t.Errorf("%v %s: traffic rose when sub-block shrank to %d (%.4f > %.4f)",
+						a, name, sub, run.Traffic, prevTraffic)
+				}
+			}
+			prevMiss, prevTraffic, first = run.Miss, run.Traffic, false
+		}
+	}
+}
+
+// TestMissRatioFallsWithCacheSize checks monotonicity over the paper's
+// size range on one workload per architecture.
+func TestMissRatioFallsWithCacheSize(t *testing.T) {
+	for _, a := range Architectures() {
+		name := Workloads(a)[0].Name
+		prev := math.Inf(1)
+		for _, net := range []int{64, 256, 1024} {
+			cfg := Config{NetSize: net, BlockSize: 8, SubBlockSize: 8,
+				Assoc: 4, WordSize: a.WordSize()}
+			run, err := SimulateWorkload(name, cfg, 60000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if run.Miss > prev {
+				t.Errorf("%v %s: miss ratio rose with cache size at %dB (%.4f > %.4f)",
+					a, name, net, run.Miss, prev)
+			}
+			prev = run.Miss
+		}
+	}
+}
+
+// TestSectorCacheWorseThan4Way reproduces Table 6's qualitative result
+// at reduced scale: the 360/85 sector organisation misses substantially
+// more than 4-way set-associative at equal net size.
+func TestSectorCacheWorseThan4Way(t *testing.T) {
+	sector := Config{NetSize: 16384, BlockSize: 1024, SubBlockSize: 64, Assoc: 16, WordSize: 4}
+	sa4 := Config{NetSize: 16384, BlockSize: 64, SubBlockSize: 64, Assoc: 4, WordSize: 4}
+	_, sSector, err := SimulateSuite(S370, sector, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s4, err := SimulateSuite(S370, sa4, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sSector.Miss < 1.5*s4.Miss {
+		t.Errorf("sector cache (%.4f) not clearly worse than 4-way (%.4f); paper finds ~3x",
+			sSector.Miss, s4.Miss)
+	}
+	// Most of each sector is never referenced while resident (paper: 72%).
+	if sSector.Utilization > 0.5 {
+		t.Errorf("sector utilization %.2f too high; paper finds 28%% touched", sSector.Utilization)
+	}
+}
+
+// TestLoadForwardBetweenExtremes reproduces Table 8's structure: LF
+// traffic sits between sub-block-only and whole-block fill, and LF miss
+// ratio sits close to whole-block fill.
+func TestLoadForwardBetweenExtremes(t *testing.T) {
+	base := Config{NetSize: 256, BlockSize: 16, Assoc: 4, WordSize: 2, WarmStart: true}
+	wb := base
+	wb.SubBlockSize = 16
+	sb := base
+	sb.SubBlockSize = 2
+	lf := sb
+	lf.Fetch = LoadForward
+
+	avg := func(cfg Config) (miss, traffic float64) {
+		for _, name := range []string{"CCP", "C1", "C2"} {
+			run, err := SimulateWorkload(name, cfg, 150000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			miss += run.Miss / 3
+			traffic += run.Traffic / 3
+		}
+		return
+	}
+	wbMiss, wbTraf := avg(wb)
+	sbMiss, sbTraf := avg(sb)
+	lfMiss, lfTraf := avg(lf)
+
+	if !(lfTraf < wbTraf && lfTraf > sbTraf) {
+		t.Errorf("LF traffic %.4f not between sub-only %.4f and whole-block %.4f",
+			lfTraf, sbTraf, wbTraf)
+	}
+	if !(lfMiss >= wbMiss && lfMiss < sbMiss) {
+		t.Errorf("LF miss %.4f not in [whole-block %.4f, sub-only %.4f)",
+			lfMiss, wbMiss, sbMiss)
+	}
+	// "Load forward ... cuts the miss ratio by a much larger factor"
+	// than its traffic cost, relative to plain sub-blocks.
+	if lfMiss > 0.5*sbMiss {
+		t.Errorf("LF miss %.4f did not substantially improve on sub-only %.4f", lfMiss, sbMiss)
+	}
+}
+
+// TestNibbleModeFavorsLargerSubBlocks reproduces §4.3: under the
+// 1+(w-1)/3 cost model the traffic-optimal sub-block size for a fixed
+// block grows relative to the linear model.
+func TestNibbleModeFavorsLargerSubBlocks(t *testing.T) {
+	bestLinear, bestNibble := 0, 0
+	minLinear, minNibble := math.Inf(1), math.Inf(1)
+	for _, sub := range []int{2, 4, 8, 16} {
+		cfg := Config{NetSize: 512, BlockSize: 16, SubBlockSize: sub, Assoc: 4, WordSize: 2}
+		var traffic, scaled float64
+		for _, w := range Workloads(PDP11)[:3] {
+			run, err := SimulateWorkload(w.Name, cfg, 100000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			traffic += run.Traffic / 3
+			scaled += run.Scaled / 3
+		}
+		if traffic < minLinear {
+			minLinear, bestLinear = traffic, sub
+		}
+		if scaled < minNibble {
+			minNibble, bestNibble = scaled, sub
+		}
+	}
+	if bestNibble < 2*bestLinear {
+		t.Errorf("nibble-optimal sub-block %d not >= 2x linear-optimal %d", bestNibble, bestLinear)
+	}
+}
+
+// TestWarmStartLowersMissRatio: warm-start accounting must never report
+// a higher miss ratio than cold-start on the same trace.
+func TestWarmStartLowersMissRatio(t *testing.T) {
+	cold := Config{NetSize: 1024, BlockSize: 16, SubBlockSize: 8, Assoc: 4, WordSize: 2}
+	warm := cold
+	warm.WarmStart = true
+	rc, err := SimulateWorkload("NROFF", cold, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := SimulateWorkload("NROFF", warm, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Miss > rc.Miss {
+		t.Errorf("warm-start miss %.4f exceeds cold-start %.4f", rw.Miss, rc.Miss)
+	}
+}

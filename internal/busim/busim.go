@@ -1,0 +1,196 @@
+// Package busim is a discrete-event simulation of several cached
+// processors sharing one memory bus -- the system §1 of the paper
+// worries about: "bus traffic can seriously limit system performance.
+// This problem is particularly acute if the bus is to be shared among
+// two or more microprocessors", plus "the contention between the
+// processor, which wants to use the cache, and the bus which is loading
+// and unloading it".
+//
+// Each processor executes a word-access stream through its own cache:
+// hits cost one processor cycle; misses stall the processor while the
+// miss's bus transaction is arbitrated (FIFO by request time) and
+// transferred (priced by a membus.CostModel in bus cycles per
+// single-word transfer).  The simulation is exact for this model: each
+// processor's next bus request is a deterministic function of its own
+// progress, so the global ordering is resolved by always granting the
+// earliest outstanding request.
+//
+// The analytic membus.SharedBus model predicts saturation from traffic
+// ratios alone; busim measures it, queueing delays included, and the
+// two are cross-validated in the tests.
+package busim
+
+import (
+	"fmt"
+	"math"
+
+	"subcache/internal/cache"
+	"subcache/internal/membus"
+	"subcache/internal/trace"
+)
+
+// Processor describes one node: a cache configuration and the word
+// accesses driving it (pre-split to the data-path width).
+type Processor struct {
+	Name     string
+	Config   cache.Config
+	Accesses []trace.Ref
+}
+
+// Config parameterises the system.
+type Config struct {
+	// CacheCycles is the processor-visible cost of a cache hit (and of
+	// issuing any access), in cycles.  Default 1.
+	CacheCycles float64
+	// BusCyclesPerWord converts the cost model's single-word unit to
+	// bus cycles.  Default 4 (memory much slower than the cache, as in
+	// the paper's t_cache << t_mem discussion).
+	BusCyclesPerWord float64
+	// Model prices a transaction of w words; default Linear.
+	Model membus.CostModel
+}
+
+func (c *Config) fill() {
+	if c.CacheCycles == 0 {
+		c.CacheCycles = 1
+	}
+	if c.BusCyclesPerWord == 0 {
+		c.BusCyclesPerWord = 4
+	}
+	if c.Model == nil {
+		c.Model = membus.Linear{}
+	}
+}
+
+// ProcessorResult reports one node's outcome.
+type ProcessorResult struct {
+	Name string
+	// Accesses is the number of counted word accesses executed.
+	Accesses uint64
+	// Cycles is the processor's completion time.
+	Cycles float64
+	// StallCycles is time spent waiting for the bus (queueing +
+	// transfer).
+	StallCycles float64
+	// MissRatio is the cache's resulting miss ratio.
+	MissRatio float64
+	// CPA is cycles per access: CacheCycles at best, growing with miss
+	// ratio and bus contention.
+	CPA float64
+}
+
+// Result reports the whole system's outcome.
+type Result struct {
+	Processors []ProcessorResult
+	// MakespanCycles is when the last processor finished.
+	MakespanCycles float64
+	// BusBusyCycles is total bus occupancy; BusUtilization divides by
+	// the makespan.
+	BusBusyCycles  float64
+	BusUtilization float64
+	// Throughput is aggregate accesses per cycle, the system-level
+	// figure of merit (saturates as the bus does).
+	Throughput float64
+}
+
+// node is the per-processor simulation state.
+type node struct {
+	proc  Processor
+	cache *cache.Cache
+	pos   int     // next access index
+	clock float64 // local time
+	stall float64
+
+	// Pending bus request, valid when wantWords > 0.
+	reqTime   float64
+	wantWords int
+	done      bool
+}
+
+// Run simulates the system to completion.
+func Run(cfg Config, procs []Processor) (*Result, error) {
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("busim: no processors")
+	}
+	cfg.fill()
+	nodes := make([]*node, len(procs))
+	for i, p := range procs {
+		c, err := cache.New(p.Config)
+		if err != nil {
+			return nil, fmt.Errorf("busim: processor %s: %w", p.Name, err)
+		}
+		nodes[i] = &node{proc: p, cache: c}
+		nodes[i].advance(cfg)
+	}
+
+	var busFree, busBusy float64
+	for {
+		// Grant the earliest outstanding request (FIFO arbitration).
+		best := -1
+		for i, n := range nodes {
+			if n.done || n.wantWords == 0 {
+				continue
+			}
+			if best == -1 || n.reqTime < nodes[best].reqTime {
+				best = i
+			}
+		}
+		if best == -1 {
+			break // no more bus work: all nodes ran to completion
+		}
+		n := nodes[best]
+		grant := math.Max(busFree, n.reqTime)
+		duration := cfg.Model.Cost(n.wantWords) * cfg.BusCyclesPerWord
+		completion := grant + duration
+		busFree = completion
+		busBusy += duration
+		n.stall += completion - n.reqTime
+		n.clock = completion
+		n.wantWords = 0
+		n.advance(cfg)
+	}
+
+	res := &Result{Processors: make([]ProcessorResult, len(nodes))}
+	var totalAccesses uint64
+	for i, n := range nodes {
+		st := n.cache.Stats()
+		res.Processors[i] = ProcessorResult{
+			Name:        n.proc.Name,
+			Accesses:    st.Accesses,
+			Cycles:      n.clock,
+			StallCycles: n.stall,
+			MissRatio:   st.MissRatio(),
+		}
+		if st.Accesses > 0 {
+			res.Processors[i].CPA = n.clock / float64(st.Accesses)
+		}
+		res.MakespanCycles = math.Max(res.MakespanCycles, n.clock)
+		totalAccesses += st.Accesses
+	}
+	res.BusBusyCycles = busBusy
+	if res.MakespanCycles > 0 {
+		res.BusUtilization = busBusy / res.MakespanCycles
+		res.Throughput = float64(totalAccesses) / res.MakespanCycles
+	}
+	return res, nil
+}
+
+// advance runs the node's processor until its next miss (recording the
+// pending bus request) or to the end of its stream.
+func (n *node) advance(cfg Config) {
+	for n.pos < len(n.proc.Accesses) {
+		r := n.proc.Accesses[n.pos]
+		n.pos++
+		n.clock += cfg.CacheCycles
+		res := n.cache.Access(r)
+		if res.SubBlocksLoaded > 0 && r.Kind.Countable() {
+			// A miss: the processor stalls at its current time until
+			// the transfer completes.
+			n.reqTime = n.clock
+			n.wantWords = res.SubBlocksLoaded * n.proc.Config.WordsPerSubBlock()
+			return
+		}
+	}
+	n.cache.FlushUsage()
+	n.done = true
+}

@@ -1,0 +1,252 @@
+package busim
+
+import (
+	"math"
+	"testing"
+
+	"subcache/internal/addr"
+	"subcache/internal/cache"
+	"subcache/internal/membus"
+	"subcache/internal/synth"
+	"subcache/internal/trace"
+)
+
+func cfg1024() cache.Config {
+	return cache.Config{NetSize: 1024, BlockSize: 16, SubBlockSize: 8, Assoc: 4, WordSize: 2}
+}
+
+func workloadAccesses(t *testing.T, name string, n int) []trace.Ref {
+	t.Helper()
+	prof, ok := synth.ProfileByName(name)
+	if !ok {
+		t.Fatalf("workload %s missing", name)
+	}
+	refs, err := synth.Generate(prof, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words, err := trace.SplitAll(trace.NewSliceSource(refs), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return words
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}, nil); err == nil {
+		t.Error("accepted empty processor list")
+	}
+	if _, err := Run(Config{}, []Processor{{Name: "p", Config: cache.Config{}}}); err == nil {
+		t.Error("accepted invalid cache config")
+	}
+}
+
+func TestSingleProcessorNoContention(t *testing.T) {
+	// One processor: stall = misses' transfer time only; no queueing.
+	accesses := []trace.Ref{
+		{Addr: 0x100, Kind: trace.Read, Size: 2},
+		{Addr: 0x100, Kind: trace.Read, Size: 2},
+		{Addr: 0x102, Kind: trace.Read, Size: 2},
+	}
+	res, err := Run(Config{CacheCycles: 1, BusCyclesPerWord: 4},
+		[]Processor{{Name: "p0", Config: cfg1024(), Accesses: accesses}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Processors[0]
+	// 3 cache cycles + one 4-word (8-byte sub-block / 2-byte word)
+	// transfer at 4 cycles/word = 16 stall cycles.
+	if p.Accesses != 3 {
+		t.Errorf("accesses = %d", p.Accesses)
+	}
+	if p.StallCycles != 16 {
+		t.Errorf("stall = %g, want 16", p.StallCycles)
+	}
+	if p.Cycles != 19 {
+		t.Errorf("cycles = %g, want 19", p.Cycles)
+	}
+	if res.BusBusyCycles != 16 {
+		t.Errorf("bus busy = %g, want 16", res.BusBusyCycles)
+	}
+}
+
+func TestPerfectCacheNeverStalls(t *testing.T) {
+	// Repeatedly hitting one word: exactly one miss.
+	var accesses []trace.Ref
+	for i := 0; i < 100; i++ {
+		accesses = append(accesses, trace.Ref{Addr: 0x100, Kind: trace.Read, Size: 2})
+	}
+	res, err := Run(Config{}, []Processor{{Name: "p", Config: cfg1024(), Accesses: accesses}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Processors[0]
+	if p.MissRatio != 0.01 {
+		t.Errorf("miss ratio = %g", p.MissRatio)
+	}
+	// CPA approaches CacheCycles.
+	if p.CPA > 1.2 {
+		t.Errorf("CPA = %g, want ~1", p.CPA)
+	}
+}
+
+func TestContentionSlowsProcessors(t *testing.T) {
+	// Two processors streaming disjoint data: every access misses a
+	// sub-block, all transfers serialise on the bus.
+	mk := func(base addr.Addr) []trace.Ref {
+		var out []trace.Ref
+		for i := 0; i < 500; i++ {
+			out = append(out, trace.Ref{Addr: base + addr.Addr(8*i), Kind: trace.Read, Size: 2})
+		}
+		return out
+	}
+	cfg := Config{CacheCycles: 1, BusCyclesPerWord: 4}
+	solo, err := Run(cfg, []Processor{{Name: "a", Config: cfg1024(), Accesses: mk(0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	duo, err := Run(cfg, []Processor{
+		{Name: "a", Config: cfg1024(), Accesses: mk(0)},
+		{Name: "b", Config: cfg1024(), Accesses: mk(1 << 20)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloCPA := solo.Processors[0].CPA
+	duoCPA := duo.Processors[0].CPA
+	if duoCPA <= soloCPA {
+		t.Errorf("no slowdown under contention: solo %g, duo %g", soloCPA, duoCPA)
+	}
+	// A saturated bus serves two miss streams at roughly half speed
+	// each: makespan close to 2x the solo time.
+	if duo.MakespanCycles < 1.7*solo.MakespanCycles {
+		t.Errorf("makespan %g vs solo %g: expected near-2x under saturation",
+			duo.MakespanCycles, solo.MakespanCycles)
+	}
+	if duo.BusUtilization < 0.95 {
+		t.Errorf("bus utilization = %g, want saturated", duo.BusUtilization)
+	}
+}
+
+func TestCachesRelieveTheBus(t *testing.T) {
+	// The paper's argument: with good caches, more processors fit.
+	// Four processors with 1KB caches must beat four with 64B caches on
+	// aggregate throughput.
+	run := func(net int) float64 {
+		var procs []Processor
+		for i, name := range []string{"ED", "ROFF", "SIMP", "PLOT"} {
+			cfg := cache.Config{NetSize: net, BlockSize: 16, SubBlockSize: 8,
+				Assoc: 4, WordSize: 2}
+			procs = append(procs, Processor{
+				Name: name, Config: cfg,
+				Accesses: workloadAccesses(t, name, 20000),
+			})
+			_ = i
+		}
+		res, err := Run(Config{CacheCycles: 1, BusCyclesPerWord: 4}, procs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput
+	}
+	big, small := run(1024), run(64)
+	if big <= small {
+		t.Errorf("bigger caches did not raise throughput: %g vs %g", big, small)
+	}
+}
+
+// TestAnalyticModelAgreement cross-validates the discrete-event
+// simulation against membus.SharedBus: below saturation, measured bus
+// utilization must track the analytic demand within a modest margin.
+func TestAnalyticModelAgreement(t *testing.T) {
+	accesses := workloadAccesses(t, "ED", 40000)
+	cfg := Config{CacheCycles: 1, BusCyclesPerWord: 2}
+	res, err := Run(cfg, []Processor{{Name: "p", Config: cfg1024(), Accesses: accesses}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Processors[0]
+	traffic := float64(res.BusBusyCycles) / cfg.BusCyclesPerWord / float64(p.Accesses)
+
+	// Analytic: access rate = accesses/makespan; each word transfer
+	// occupies BusCyclesPerWord cycles of a bus with capacity
+	// 1/BusCyclesPerWord words/cycle.
+	bus := membus.SharedBus{WordsPerSecond: 1 / cfg.BusCyclesPerWord, Model: membus.Linear{}}
+	rate := float64(p.Accesses) / res.MakespanCycles
+	predicted := bus.Demand(1, rate, traffic, 4)
+	if math.Abs(predicted-res.BusUtilization) > 0.02 {
+		t.Errorf("analytic demand %.4f vs measured utilization %.4f", predicted, res.BusUtilization)
+	}
+}
+
+// TestDeterminism: repeated runs are identical.
+func TestDeterminism(t *testing.T) {
+	accesses := workloadAccesses(t, "GREP", 20000)
+	run := func() *Result {
+		res, err := Run(Config{}, []Processor{
+			{Name: "a", Config: cfg1024(), Accesses: accesses},
+			{Name: "b", Config: cfg1024(), Accesses: accesses},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.MakespanCycles != b.MakespanCycles || a.BusBusyCycles != b.BusBusyCycles {
+		t.Error("simulation not deterministic")
+	}
+}
+
+// TestNibbleBusSpeedsTransfers: pricing with the nibble model must
+// shorten the makespan of a miss-heavy run.
+func TestNibbleBusSpeedsTransfers(t *testing.T) {
+	accesses := workloadAccesses(t, "SIMP", 20000)
+	linear, err := Run(Config{Model: membus.Linear{}},
+		[]Processor{{Name: "p", Config: cfg1024(), Accesses: accesses}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nibble, err := Run(Config{Model: membus.PaperNibble},
+		[]Processor{{Name: "p", Config: cfg1024(), Accesses: accesses}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nibble.MakespanCycles >= linear.MakespanCycles {
+		t.Errorf("nibble bus no faster: %g vs %g", nibble.MakespanCycles, linear.MakespanCycles)
+	}
+}
+
+// TestWritesDoNotStall: with write-allocate, writes may move data but
+// must not be counted as processor accesses, and the run must finish.
+func TestWritesPassThrough(t *testing.T) {
+	accesses := []trace.Ref{
+		{Addr: 0x100, Kind: trace.Write, Size: 2},
+		{Addr: 0x100, Kind: trace.Read, Size: 2},
+	}
+	res, err := Run(Config{}, []Processor{{Name: "p", Config: cfg1024(), Accesses: accesses}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Processors[0].Accesses != 1 {
+		t.Errorf("counted accesses = %d, want 1 (write excluded)", res.Processors[0].Accesses)
+	}
+}
+
+// TestRunDoesNotMutateProcessors: Processor values must be reusable
+// across runs (Run keeps its cursor state in private nodes).
+func TestRunDoesNotMutateProcessors(t *testing.T) {
+	accesses := workloadAccesses(t, "LS", 5000)
+	procs := []Processor{{Name: "p", Config: cfg1024(), Accesses: accesses}}
+	a, err := Run(Config{}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{}, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MakespanCycles != b.MakespanCycles {
+		t.Error("second run over the same Processor values diverged")
+	}
+}

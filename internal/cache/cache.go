@@ -1,0 +1,534 @@
+package cache
+
+import (
+	"fmt"
+	"io"
+
+	"subcache/internal/addr"
+	"subcache/internal/rng"
+	"subcache/internal/trace"
+)
+
+// frame is one block's worth of cache state: an address tag, per
+// sub-block valid bits, per sub-block "touched" bits (for the paper's
+// sub-block utilisation measurement, §4.1) and the recency bookkeeping
+// for the replacement policies.
+type frame struct {
+	tag      addr.Addr
+	tagValid bool
+	valid    uint64 // bit i set: sub-block i resident
+	touched  uint64 // bit i set: sub-block i referenced while resident
+	dirty    uint64 // bit i set: sub-block i modified (copy-back mode)
+	// prefetched marks a frame allocated by OBL prefetch and not yet
+	// demand-referenced, for the pollution accounting.
+	prefetched bool
+
+	lastUse  uint64 // LRU tick
+	loadedAt uint64 // FIFO tick
+}
+
+// Cache is a running sub-block cache simulation.  It consumes
+// word-sized accesses (normally produced by trace.Splitter) and
+// accumulates Stats.  Not safe for concurrent use.
+type Cache struct {
+	cfg    Config
+	sets   [][]frame
+	tick   uint64
+	rand   *rng.Stream
+	filled int // frames filled at least once, for warm-start gating
+
+	// Geometry shifts/masks, precomputed.
+	blockShift uint
+	setMask    addr.Addr
+	subShift   uint
+	subPerBlk  uint
+
+	stats Stats
+}
+
+// New builds a cache for the given configuration.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	numSets := cfg.NumSets()
+	sets := make([][]frame, numSets)
+	backing := make([]frame, numSets*cfg.Assoc)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	c := &Cache{
+		cfg:        cfg,
+		sets:       sets,
+		blockShift: addr.Log2(uint64(cfg.BlockSize)),
+		setMask:    addr.Addr(numSets - 1),
+		subShift:   addr.Log2(uint64(cfg.SubBlockSize)),
+		subPerBlk:  uint(cfg.SubBlocksPerBlock()),
+	}
+	if cfg.Replacement == Random {
+		c.rand = rng.New(cfg.RandomSeed)
+	}
+	return c, nil
+}
+
+// Config returns the configuration the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the accumulated statistics.  The returned pointer stays
+// valid and live for the lifetime of the cache.
+func (c *Cache) Stats() *Stats { return &c.stats }
+
+// counting reports whether events are currently recorded, honouring the
+// warm-start rule.
+func (c *Cache) counting() bool {
+	return !c.cfg.WarmStart || c.filled == len(c.sets)*c.cfg.Assoc
+}
+
+// Result describes what one access did, for tests and fine-grained
+// instrumentation.
+type Result struct {
+	// Hit is true when the referenced sub-block was resident.
+	Hit bool
+	// BlockMiss is true when no tag in the set matched (a new block was
+	// allocated, unless the access was a non-allocating write).
+	BlockMiss bool
+	// SubBlocksLoaded is the number of sub-block transfers the access
+	// caused, including redundant load-forward transfers.
+	SubBlocksLoaded int
+	// Evicted is true when the allocation displaced a valid block.
+	Evicted bool
+}
+
+// Access presents one word access to the cache.  The address is
+// interpreted as-is (callers should pre-align via trace.Splitter; the
+// cache itself only needs the address's block and sub-block fields).
+func (c *Cache) Access(r trace.Ref) Result {
+	if r.Kind == trace.Write {
+		switch c.cfg.Write {
+		case WriteIgnore:
+			return Result{}
+		case WriteNoAllocate:
+			return c.access(r, false, false)
+		case WriteAllocate:
+			return c.access(r, true, false)
+		}
+	}
+	return c.access(r, true, true)
+}
+
+// markWrite accounts for the memory-update side of a write access.
+// hit/installed tell whether the written sub-block is (now) resident in
+// frame f at sub-block subIdx.  Write traffic never touches the paper's
+// read-only ratios; it accumulates in its own Stats fields.
+func (c *Cache) markWrite(f *frame, subIdx uint, resident bool) {
+	if !c.cfg.CopyBack {
+		// Write-through: the store always moves one word to memory.
+		c.stats.WriteThroughWords++
+		return
+	}
+	if resident {
+		f.dirty |= 1 << subIdx
+		return
+	}
+	// Copy-back with the datum not cached (non-allocating miss): the
+	// store goes straight to memory.
+	c.stats.WriteThroughWords++
+}
+
+// markPrefetchUsed credits a prefetched frame the first time a demand
+// access touches it, reporting whether the tagged next-block prefetch
+// should fire.  The prefetch itself is issued by the caller *after* it
+// has finished with the frame, because the prefetch may allocate in the
+// same set.
+func (c *Cache) markPrefetchUsed(f *frame) bool {
+	if !f.prefetched {
+		return false
+	}
+	f.prefetched = false
+	c.stats.PrefetchUsed++
+	return true
+}
+
+// prefetch implements one-block-lookahead: bring the first sub-block of
+// the given block into the cache without counting an access.  The
+// moved words do count as traffic (prefetching "reduces latency at a
+// cost of increased memory traffic", §2.2).
+//
+// exclude names the frame the triggering access just used: the
+// processor's word must stay resident, so if replacement selects that
+// frame the prefetch is dropped instead (as real hardware loses the
+// arbitration).  Without this, FIFO or Random replacement in a
+// small or fully-associative set could evict the frame mid-access.
+func (c *Cache) prefetch(blockAddr addr.Addr, counted bool, exclude *frame) {
+	set := c.sets[blockAddr&c.setMask]
+	for i := range set {
+		if set[i].tagValid && set[i].tag == blockAddr {
+			if set[i].valid&1 != 0 {
+				return // already resident: nothing to move
+			}
+			c.fillPrefetch(&set[i], counted)
+			return
+		}
+	}
+	v := c.victim(set)
+	f := &set[v]
+	if f == exclude {
+		return
+	}
+	if f.tagValid {
+		c.retire(f)
+	} else {
+		c.filled++
+	}
+	c.tick++
+	f.tag = blockAddr
+	f.tagValid = true
+	f.valid = 0
+	f.touched = 0
+	f.dirty = 0
+	f.prefetched = true
+	f.lastUse = c.tick
+	f.loadedAt = c.tick
+	c.fillPrefetch(f, counted)
+}
+
+// fillPrefetch loads sub-block 0 of f, accounting it as prefetch
+// traffic.  The PrefetchFills diagnostic counts every prefetch (so the
+// used/pollution fractions stay consistent with the flag lifecycle);
+// the paper's traffic metrics count only while counting is enabled, as
+// for demand fills.
+func (c *Cache) fillPrefetch(f *frame, counted bool) {
+	f.valid |= 1
+	c.recordTransaction(1, counted)
+	c.stats.PrefetchFills++
+	if counted {
+		c.stats.SubBlockFills++
+		c.stats.WordsFetched += uint64(c.cfg.WordsPerSubBlock())
+	}
+}
+
+// access performs the lookup.  allocate controls miss handling; count
+// controls whether the event reaches the counters (writes never count,
+// matching the paper's read+ifetch-only metrics).
+func (c *Cache) access(r trace.Ref, allocate, count bool) Result {
+	c.tick++
+	blockAddr := r.Addr >> c.blockShift
+	setIdx := blockAddr & c.setMask
+	tag := blockAddr
+	subIdx := uint(addr.Offset(r.Addr, uint64(c.cfg.BlockSize))) >> c.subShift
+	set := c.sets[setIdx]
+
+	counted := count && c.counting()
+	if counted {
+		c.stats.Accesses++
+		if r.Kind == trace.IFetch {
+			c.stats.IFetches++
+		} else {
+			c.stats.Reads++
+		}
+	} else if count {
+		c.stats.WarmupAccesses++
+	}
+	if !count {
+		c.stats.WriteAccesses++
+	}
+
+	// Tag probe.
+	way := -1
+	for i := range set {
+		if set[i].tagValid && set[i].tag == tag {
+			way = i
+			break
+		}
+	}
+
+	var res Result
+	switch {
+	case way >= 0 && set[way].valid&(1<<subIdx) != 0:
+		// Full hit.
+		res.Hit = true
+		set[way].lastUse = c.tick
+		set[way].touched |= 1 << subIdx
+		if counted {
+			c.stats.Hits++
+		}
+		if r.Kind == trace.Write {
+			c.markWrite(&set[way], subIdx, true)
+		}
+		if c.cfg.PrefetchOBL && c.markPrefetchUsed(&set[way]) {
+			// Tagged prefetch, issued last: the frame's state is final.
+			c.prefetch(tag+1, counted, &set[way])
+		}
+		return res
+
+	case way >= 0:
+		// Tag hit, sub-block missing.
+		if counted {
+			c.stats.Misses++
+			c.stats.SubBlockMisses++
+		} else if count {
+			c.stats.WarmupMisses++
+		}
+		if !count {
+			c.stats.WriteMisses++
+		}
+		if !allocate {
+			if r.Kind == trace.Write {
+				c.markWrite(nil, subIdx, false)
+			}
+			return res
+		}
+		set[way].lastUse = c.tick
+		res.SubBlocksLoaded = c.fill(&set[way], subIdx, counted)
+		set[way].touched |= 1 << subIdx
+		if r.Kind == trace.Write {
+			c.markWrite(&set[way], subIdx, true)
+		}
+		if c.cfg.PrefetchOBL {
+			// A miss and a first use of a prefetched block both target
+			// the same next block; one lookahead covers both.
+			c.markPrefetchUsed(&set[way])
+			c.prefetch(blockAddr+1, counted, &set[way])
+		}
+		return res
+
+	default:
+		// Block miss.
+		res.BlockMiss = true
+		if counted {
+			c.stats.Misses++
+			c.stats.BlockMisses++
+		} else if count {
+			c.stats.WarmupMisses++
+		}
+		if !count {
+			c.stats.WriteMisses++
+		}
+		if !allocate {
+			if r.Kind == trace.Write {
+				c.markWrite(nil, subIdx, false)
+			}
+			return res
+		}
+		v := c.victim(set)
+		f := &set[v]
+		if f.tagValid {
+			res.Evicted = true
+			c.retire(f)
+		} else {
+			c.filled++
+		}
+		f.tag = tag
+		f.tagValid = true
+		f.valid = 0
+		f.touched = 0
+		f.dirty = 0
+		f.prefetched = false
+		f.lastUse = c.tick
+		f.loadedAt = c.tick
+		res.SubBlocksLoaded = c.fill(f, subIdx, counted)
+		f.touched |= 1 << subIdx
+		if r.Kind == trace.Write {
+			c.markWrite(f, subIdx, true)
+		}
+		if c.cfg.PrefetchOBL {
+			c.prefetch(blockAddr+1, counted, f)
+		}
+		return res
+	}
+}
+
+// fill loads sub-blocks into f according to the fetch policy, starting
+// from the missing sub-block subIdx, and returns the number of
+// sub-block transfers.  Each fill is one contiguous bus transaction; the
+// transaction's length in words is recorded for the nibble-mode cost
+// models.
+func (c *Cache) fill(f *frame, subIdx uint, counted bool) int {
+	var loaded, redundant int
+	switch c.cfg.Fetch {
+	case DemandSubBlock:
+		f.valid |= 1 << subIdx
+		loaded = 1
+
+	case LoadForward:
+		// Fetch subIdx..end, refetching valid ones (redundant-load
+		// scheme: the memory system streams autonomously).
+		for i := subIdx; i < c.subPerBlk; i++ {
+			if f.valid&(1<<i) != 0 {
+				redundant++
+			}
+			f.valid |= 1 << i
+			loaded++
+		}
+
+	case LoadForwardOptimized:
+		// Fetch subIdx..end but skip resident sub-blocks.  Each
+		// contiguous group of missing sub-blocks is one transaction.
+		run := 0
+		for i := subIdx; i < c.subPerBlk; i++ {
+			if f.valid&(1<<i) == 0 {
+				f.valid |= 1 << i
+				loaded++
+				run++
+			} else if run > 0 {
+				c.recordTransaction(run, counted)
+				run = 0
+			}
+		}
+		if run > 0 {
+			c.recordTransaction(run, counted)
+		}
+		if counted {
+			c.stats.SubBlockFills += uint64(loaded)
+			c.stats.WordsFetched += uint64(loaded * c.cfg.WordsPerSubBlock())
+		}
+		return loaded
+
+	case WholeBlock:
+		for i := uint(0); i < c.subPerBlk; i++ {
+			if f.valid&(1<<i) != 0 {
+				redundant++
+			}
+			f.valid |= 1 << i
+			loaded++
+		}
+	}
+	c.recordTransaction(loaded, counted)
+	if counted {
+		c.stats.SubBlockFills += uint64(loaded)
+		c.stats.RedundantLoads += uint64(redundant)
+		c.stats.WordsFetched += uint64(loaded * c.cfg.WordsPerSubBlock())
+	}
+	return loaded
+}
+
+// recordTransaction logs one contiguous bus transfer of n sub-blocks.
+func (c *Cache) recordTransaction(n int, counted bool) {
+	if !counted || n == 0 {
+		return
+	}
+	words := n * c.cfg.WordsPerSubBlock()
+	if c.stats.Transactions == nil {
+		c.stats.Transactions = make(map[int]uint64)
+	}
+	c.stats.Transactions[words]++
+}
+
+// victim picks the way to replace in set, preferring an unused frame.
+func (c *Cache) victim(set []frame) int {
+	for i := range set {
+		if !set[i].tagValid {
+			return i
+		}
+	}
+	switch c.cfg.Replacement {
+	case LRU:
+		best := 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lastUse < set[best].lastUse {
+				best = i
+			}
+		}
+		return best
+	case FIFO:
+		best := 0
+		for i := 1; i < len(set); i++ {
+			if set[i].loadedAt < set[best].loadedAt {
+				best = i
+			}
+		}
+		return best
+	case Random:
+		return c.rand.Intn(len(set))
+	}
+	panic("cache: unreachable replacement policy")
+}
+
+// retire accumulates the sub-block utilisation of an evicted frame
+// (the paper's "72 percent of the sub-blocks in a block are never
+// referenced in the period a block is resident" measurement).
+func (c *Cache) retire(f *frame) {
+	if f.prefetched {
+		c.stats.PrefetchEvictedUnused++
+		f.prefetched = false
+	}
+	c.stats.Evictions++
+	c.stats.ResidencySubBlocks += uint64(c.subPerBlk)
+	c.stats.ResidencyTouched += uint64(popcount(f.touched))
+	if f.dirty != 0 {
+		c.stats.WriteBackWords += uint64(popcount(f.dirty) * c.cfg.WordsPerSubBlock())
+		f.dirty = 0
+	}
+}
+
+// FlushUsage folds the utilisation of still-resident blocks into the
+// residency statistics.  Call once at end of trace before reading
+// SubBlockUtilization.
+func (c *Cache) FlushUsage() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			f := &c.sets[s][w]
+			if f.tagValid {
+				c.stats.ResidencySubBlocks += uint64(c.subPerBlk)
+				c.stats.ResidencyTouched += uint64(popcount(f.touched))
+				if f.dirty != 0 {
+					c.stats.WriteBackWords += uint64(popcount(f.dirty) * c.cfg.WordsPerSubBlock())
+					f.dirty = 0
+				}
+			}
+		}
+	}
+}
+
+// Contains reports whether the sub-block holding the given address is
+// resident.  Intended for tests and invariant checks.
+func (c *Cache) Contains(a addr.Addr) bool {
+	blockAddr := a >> c.blockShift
+	set := c.sets[blockAddr&c.setMask]
+	subIdx := uint(addr.Offset(a, uint64(c.cfg.BlockSize))) >> c.subShift
+	for i := range set {
+		if set[i].tagValid && set[i].tag == blockAddr {
+			return set[i].valid&(1<<subIdx) != 0
+		}
+	}
+	return false
+}
+
+// ResidentSubBlocks returns the total number of valid sub-blocks,
+// an invariant-checking helper (never exceeds NetSize/SubBlockSize).
+func (c *Cache) ResidentSubBlocks() int {
+	n := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].tagValid {
+				n += popcount(c.sets[s][w].valid)
+			}
+		}
+	}
+	return n
+}
+
+// Run drives the cache with every access from src until EOF, then
+// flushes residency usage.  src should already be word-split.
+func (c *Cache) Run(src trace.Source) error {
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			c.FlushUsage()
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("cache: reading trace: %w", err)
+		}
+		c.Access(r)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,425 @@
+package cache
+
+import (
+	"testing"
+
+	"subcache/internal/addr"
+	"subcache/internal/trace"
+)
+
+// small returns a tiny cache for behavioural tests: 64 bytes, 16-byte
+// blocks, 4-byte sub-blocks, 2-way (2 sets), 2-byte words.
+func small(t *testing.T, mutate ...func(*Config)) *Cache {
+	t.Helper()
+	cfg := Config{NetSize: 64, BlockSize: 16, SubBlockSize: 4, Assoc: 2, WordSize: 2}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func read(a addr.Addr) trace.Ref { return trace.Ref{Addr: a, Kind: trace.Read, Size: 2} }
+
+func TestFirstAccessMisses(t *testing.T) {
+	c := small(t)
+	res := c.Access(read(0x100))
+	if res.Hit || !res.BlockMiss || res.SubBlocksLoaded != 1 {
+		t.Errorf("first access: %+v", res)
+	}
+	if res2 := c.Access(read(0x100)); !res2.Hit {
+		t.Errorf("repeat access missed: %+v", res2)
+	}
+	st := c.Stats()
+	if st.Accesses != 2 || st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestSubBlockGranularity(t *testing.T) {
+	c := small(t)
+	c.Access(read(0x100)) // loads sub-block [0x100,0x104)
+	// Same sub-block, different word: hit.
+	if res := c.Access(read(0x102)); !res.Hit {
+		t.Errorf("same sub-block missed: %+v", res)
+	}
+	// Same block, different sub-block: sub-block miss, not a block miss.
+	res := c.Access(read(0x104))
+	if res.Hit || res.BlockMiss {
+		t.Errorf("expected sub-block miss, got %+v", res)
+	}
+	st := c.Stats()
+	if st.BlockMisses != 1 || st.SubBlockMisses != 1 {
+		t.Errorf("block/sub misses = %d/%d, want 1/1", st.BlockMisses, st.SubBlockMisses)
+	}
+}
+
+func TestConventionalCacheHasNoSubBlockMisses(t *testing.T) {
+	c := small(t, func(cfg *Config) { cfg.SubBlockSize = 16 })
+	for _, a := range []addr.Addr{0x100, 0x104, 0x108, 0x10c, 0x200, 0x204} {
+		c.Access(read(a))
+	}
+	if st := c.Stats(); st.SubBlockMisses != 0 {
+		t.Errorf("conventional cache recorded %d sub-block misses", st.SubBlockMisses)
+	}
+}
+
+func TestMissPartition(t *testing.T) {
+	c := small(t)
+	for i := 0; i < 500; i++ {
+		c.Access(read(addr.Addr(i*6) % 0x400))
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != st.Accesses {
+		t.Errorf("hits %d + misses %d != accesses %d", st.Hits, st.Misses, st.Accesses)
+	}
+	if st.BlockMisses+st.SubBlockMisses != st.Misses {
+		t.Errorf("block %d + sub %d != misses %d", st.BlockMisses, st.SubBlockMisses, st.Misses)
+	}
+	if st.IFetches+st.Reads != st.Accesses {
+		t.Errorf("ifetch %d + reads %d != accesses %d", st.IFetches, st.Reads, st.Accesses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2 sets; blocks mapping to set 0 are those with even block number.
+	// Block size 16, 2 sets: set = (addr>>4) & 1.
+	c := small(t)
+	// Fill set 0 with blocks A (0x000) and B (0x020).
+	c.Access(read(0x000))
+	c.Access(read(0x020))
+	// Touch A so B is LRU.
+	c.Access(read(0x000))
+	// C (0x040) maps to set 0, evicting B.
+	res := c.Access(read(0x040))
+	if !res.Evicted {
+		t.Errorf("expected eviction: %+v", res)
+	}
+	if !c.Contains(0x000) {
+		t.Error("A was evicted but is MRU")
+	}
+	if c.Contains(0x020) {
+		t.Error("B (LRU) still resident")
+	}
+	if res := c.Access(read(0x020)); res.Hit {
+		t.Error("B should have been evicted")
+	}
+}
+
+func TestFIFOEvictsOldestLoaded(t *testing.T) {
+	c := small(t, func(cfg *Config) { cfg.Replacement = FIFO })
+	c.Access(read(0x000)) // A loaded first
+	c.Access(read(0x020)) // B
+	c.Access(read(0x000)) // touch A: irrelevant under FIFO
+	c.Access(read(0x040)) // evicts A (oldest load), not B
+	if c.Contains(0x000) {
+		t.Error("FIFO should evict first-loaded block A")
+	}
+	if !c.Contains(0x020) {
+		t.Error("FIFO evicted B, which was loaded later")
+	}
+}
+
+func TestRandomReplacementDeterministic(t *testing.T) {
+	run := func() uint64 {
+		c := small(t, func(cfg *Config) { cfg.Replacement = Random; cfg.RandomSeed = 99 })
+		for i := 0; i < 2000; i++ {
+			c.Access(read(addr.Addr(i*16) % 0x800))
+		}
+		return c.Stats().Misses
+	}
+	if run() != run() {
+		t.Error("random replacement with fixed seed not reproducible")
+	}
+}
+
+func TestVictimPrefersInvalidWay(t *testing.T) {
+	c := small(t)
+	c.Access(read(0x000))
+	res := c.Access(read(0x020)) // second way free: no eviction
+	if res.Evicted {
+		t.Errorf("eviction with a free way: %+v", res)
+	}
+	if c.Stats().Evictions != 0 {
+		t.Errorf("evictions = %d, want 0", c.Stats().Evictions)
+	}
+}
+
+func TestTrafficEqualsMissesTimesSubBlockWords(t *testing.T) {
+	// For demand fetch every miss moves exactly one sub-block, so
+	// traffic ratio == miss ratio * (sub-block/word) -- the identity
+	// visible throughout Table 7.
+	c := small(t) // sub 4, word 2: factor 2
+	for i := 0; i < 3000; i++ {
+		c.Access(read(addr.Addr(i*14) % 0x1000))
+	}
+	st := c.Stats()
+	if st.WordsFetched != st.Misses*2 {
+		t.Errorf("words %d != misses %d * 2", st.WordsFetched, st.Misses)
+	}
+	if got, want := st.TrafficRatio(), st.MissRatio()*2; !close(got, want) {
+		t.Errorf("traffic %g != miss %g * 2", got, want)
+	}
+}
+
+func close(a, b float64) bool { d := a - b; return d < 1e-12 && d > -1e-12 }
+
+func TestLoadForwardFillsForward(t *testing.T) {
+	c := small(t, func(cfg *Config) { cfg.Fetch = LoadForward })
+	// Block 0x100..0x110, sub-blocks at 0x100,0x104,0x108,0x10c.
+	// Missing access at 0x108 loads 0x108 and 0x10c.
+	res := c.Access(read(0x108))
+	if res.SubBlocksLoaded != 2 {
+		t.Errorf("loaded %d sub-blocks, want 2", res.SubBlocksLoaded)
+	}
+	if !c.Contains(0x10c) {
+		t.Error("forward sub-block not loaded")
+	}
+	if c.Contains(0x100) || c.Contains(0x104) {
+		t.Error("backward sub-blocks must not be loaded")
+	}
+	// Now a backward reference within the block: loads 0x104..0x10c,
+	// refetching 0x108 and 0x10c redundantly.
+	res = c.Access(read(0x104))
+	if res.SubBlocksLoaded != 3 {
+		t.Errorf("backward fill loaded %d, want 3", res.SubBlocksLoaded)
+	}
+	if c.Stats().RedundantLoads != 2 {
+		t.Errorf("redundant loads = %d, want 2", c.Stats().RedundantLoads)
+	}
+}
+
+func TestLoadForwardOptimizedSkipsResident(t *testing.T) {
+	c := small(t, func(cfg *Config) { cfg.Fetch = LoadForwardOptimized })
+	c.Access(read(0x108)) // loads 0x108, 0x10c
+	res := c.Access(read(0x104))
+	if res.SubBlocksLoaded != 1 {
+		t.Errorf("optimized LF loaded %d, want 1", res.SubBlocksLoaded)
+	}
+	if c.Stats().RedundantLoads != 0 {
+		t.Errorf("optimized LF made %d redundant loads", c.Stats().RedundantLoads)
+	}
+}
+
+func TestLoadForwardOptimizedGapTransactions(t *testing.T) {
+	// Valid pattern V.V. with a miss at sub-block 0 must produce two
+	// separate transactions for the two gaps... actually fill from 0:
+	// sub 0 missing, 1 valid, 2 missing, 3 valid -> two 1-sub-block
+	// transactions.
+	c := small(t, func(cfg *Config) { cfg.Fetch = LoadForwardOptimized })
+	c.Access(read(0x104)) // loads 0x104 + 0x108 + 0x10c? No: optimized LF on empty block loads 0x104..0x10c (3 sub-blocks, one transaction)
+	st := c.Stats()
+	if st.SubBlockFills != 3 {
+		t.Fatalf("fills = %d, want 3", st.SubBlockFills)
+	}
+	if st.Transactions[6] != 1 { // 3 sub-blocks * 2 words each
+		t.Errorf("transactions = %v, want one of 6 words", st.Transactions)
+	}
+}
+
+func TestWholeBlockFillsAll(t *testing.T) {
+	c := small(t, func(cfg *Config) { cfg.Fetch = WholeBlock })
+	res := c.Access(read(0x108))
+	if res.SubBlocksLoaded != 4 {
+		t.Errorf("whole-block loaded %d, want 4", res.SubBlocksLoaded)
+	}
+	for _, a := range []addr.Addr{0x100, 0x104, 0x108, 0x10c} {
+		if !c.Contains(a) {
+			t.Errorf("sub-block %v not resident after whole-block fill", a)
+		}
+	}
+	if c.Stats().SubBlockMisses != 0 {
+		t.Error("whole-block fill cannot leave sub-block misses in one block")
+	}
+}
+
+func TestTransactionsHistogram(t *testing.T) {
+	c := small(t) // demand: each fill = 1 sub-block = 2 words
+	c.Access(read(0x100))
+	c.Access(read(0x200))
+	st := c.Stats()
+	if st.Transactions[2] != 2 || len(st.Transactions) != 1 {
+		t.Errorf("transactions = %v", st.Transactions)
+	}
+	// Load-forward: one contiguous transaction of 4 sub-blocks.
+	lf := small(t, func(cfg *Config) { cfg.Fetch = LoadForward })
+	lf.Access(read(0x100))
+	if lf.Stats().Transactions[8] != 1 {
+		t.Errorf("LF transactions = %v, want one of 8 words", lf.Stats().Transactions)
+	}
+}
+
+func TestWritesNotCounted(t *testing.T) {
+	c := small(t)
+	c.Access(trace.Ref{Addr: 0x100, Kind: trace.Write, Size: 2})
+	st := c.Stats()
+	if st.Accesses != 0 || st.Misses != 0 || st.WordsFetched != 0 {
+		t.Errorf("write leaked into counters: %+v", st)
+	}
+	if st.WriteAccesses != 1 || st.WriteMisses != 1 {
+		t.Errorf("write counters %d/%d, want 1/1", st.WriteAccesses, st.WriteMisses)
+	}
+	// But with WriteAllocate the block is now resident for reads.
+	if res := c.Access(read(0x100)); !res.Hit {
+		t.Error("write-allocate did not install the block")
+	}
+}
+
+func TestWriteNoAllocate(t *testing.T) {
+	c := small(t, func(cfg *Config) { cfg.Write = WriteNoAllocate })
+	c.Access(trace.Ref{Addr: 0x100, Kind: trace.Write, Size: 2})
+	if c.Contains(0x100) {
+		t.Error("no-allocate write installed a block")
+	}
+	// A write hit should still refresh recency.
+	c.Access(read(0x000))
+	c.Access(read(0x020))
+	c.Access(trace.Ref{Addr: 0x000, Kind: trace.Write, Size: 2}) // touch A
+	c.Access(read(0x040))                                        // evicts LRU = B
+	if !c.Contains(0x000) {
+		t.Error("write hit did not refresh LRU recency")
+	}
+}
+
+func TestWriteIgnore(t *testing.T) {
+	c := small(t, func(cfg *Config) { cfg.Write = WriteIgnore })
+	c.Access(trace.Ref{Addr: 0x100, Kind: trace.Write, Size: 2})
+	st := c.Stats()
+	if st.WriteAccesses != 0 || c.Contains(0x100) {
+		t.Errorf("ignored write had effects: %+v", st)
+	}
+}
+
+func TestWarmStartSuppressesColdMisses(t *testing.T) {
+	cfg := func(c *Config) { c.WarmStart = true }
+	c := small(t, cfg)
+	// 4 frames total (64B / 16B). Touch 4 distinct blocks: all warm-up.
+	for _, a := range []addr.Addr{0x000, 0x010, 0x020, 0x030} {
+		c.Access(read(a))
+	}
+	st := c.Stats()
+	if st.Accesses != 0 || st.Misses != 0 {
+		t.Errorf("cold misses counted: %+v", st)
+	}
+	if st.WarmupAccesses != 4 || st.WarmupMisses != 4 {
+		t.Errorf("warm-up counters %d/%d, want 4/4", st.WarmupAccesses, st.WarmupMisses)
+	}
+	// Now the cache is full: subsequent activity counts.
+	c.Access(read(0x000))
+	if st.Accesses != 1 || st.Hits != 1 {
+		t.Errorf("post-warm access not counted: %+v", st)
+	}
+}
+
+func TestWarmStartDisabledByDefault(t *testing.T) {
+	c := small(t)
+	c.Access(read(0x100))
+	if c.Stats().Accesses != 1 {
+		t.Error("cold access not counted with WarmStart=false")
+	}
+}
+
+func TestSubBlockUtilization(t *testing.T) {
+	c := small(t)
+	// Touch 1 of 4 sub-blocks in one block, then flush.
+	c.Access(read(0x100))
+	c.FlushUsage()
+	st := c.Stats()
+	if st.ResidencySubBlocks != 4 || st.ResidencyTouched != 1 {
+		t.Errorf("residency %d/%d, want 1/4", st.ResidencyTouched, st.ResidencySubBlocks)
+	}
+	if got := st.SubBlockUtilization(); !close(got, 0.25) {
+		t.Errorf("utilization = %g, want 0.25", got)
+	}
+}
+
+func TestUtilizationAccumulatesOnEviction(t *testing.T) {
+	c := small(t)
+	c.Access(read(0x000)) // set 0, touch 1/4
+	c.Access(read(0x020)) // set 0
+	c.Access(read(0x040)) // evict 0x000 block
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.ResidencySubBlocks != 4 || st.ResidencyTouched != 1 {
+		t.Errorf("residency %d/%d after eviction", st.ResidencyTouched, st.ResidencySubBlocks)
+	}
+}
+
+func TestResidentSubBlocksBounded(t *testing.T) {
+	c := small(t)
+	capSub := c.Config().NetSize / c.Config().SubBlockSize
+	for i := 0; i < 5000; i++ {
+		c.Access(read(addr.Addr(i*10) % 0x2000))
+		if got := c.ResidentSubBlocks(); got > capSub {
+			t.Fatalf("resident sub-blocks %d exceeds capacity %d", got, capSub)
+		}
+	}
+}
+
+func TestContainsAfterAccess(t *testing.T) {
+	c := small(t)
+	for i := 0; i < 1000; i++ {
+		a := addr.Addr(i*26) % 0x4000
+		a = addr.AlignDown(a, 2)
+		c.Access(read(a))
+		if !c.Contains(a) {
+			t.Fatalf("address %v not resident immediately after access", a)
+		}
+	}
+}
+
+func TestRunDrivesSource(t *testing.T) {
+	c := small(t)
+	refs := []trace.Ref{read(0x100), read(0x100), read(0x104)}
+	if err := c.Run(trace.NewSliceSource(refs)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Accesses != 3 || st.Hits != 1 {
+		t.Errorf("after Run: %+v", st)
+	}
+	if st.ResidencySubBlocks == 0 {
+		t.Error("Run did not flush usage")
+	}
+}
+
+func TestFullyAssociativeSectorBehaviour(t *testing.T) {
+	// Miniature 360/85: 4 sectors of 32 bytes, 8-byte sub-blocks,
+	// fully associative.
+	cfg := Config{NetSize: 128, BlockSize: 32, SubBlockSize: 8, Assoc: 4, WordSize: 4}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five distinct sectors: the first gets evicted (LRU).
+	for i := 0; i < 5; i++ {
+		c.Access(trace.Ref{Addr: addr.Addr(i * 32), Kind: trace.Read, Size: 4})
+	}
+	if c.Contains(0) {
+		t.Error("LRU sector not evicted in fully associative cache")
+	}
+	for i := 1; i < 5; i++ {
+		if !c.Contains(addr.Addr(i * 32)) {
+			t.Errorf("sector %d missing", i)
+		}
+	}
+}
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted the zero Config")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	c := small(t)
+	c.Access(read(0x100))
+	if c.Stats().String() == "" {
+		t.Error("Stats.String empty")
+	}
+}

@@ -1,0 +1,206 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+)
+
+func validConfig() Config {
+	return Config{
+		NetSize: 1024, BlockSize: 16, SubBlockSize: 8,
+		Assoc: 4, WordSize: 2,
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"zero net", func(c *Config) { c.NetSize = 0 }, "NetSize"},
+		{"non-pow2 net", func(c *Config) { c.NetSize = 1000 }, "NetSize"},
+		{"non-pow2 block", func(c *Config) { c.BlockSize = 12 }, "BlockSize"},
+		{"non-pow2 sub", func(c *Config) { c.SubBlockSize = 6 }, "SubBlockSize"},
+		{"zero word", func(c *Config) { c.WordSize = 0 }, "WordSize"},
+		{"sub > block", func(c *Config) { c.SubBlockSize = 32 }, "sub-block size"},
+		{"word > sub", func(c *Config) { c.WordSize = 16 }, "word size"},
+		{"block > net", func(c *Config) { c.NetSize = 8; c.Assoc = 1; c.SubBlockSize = 8 }, "block size"},
+		{"too many sub-blocks", func(c *Config) {
+			c.NetSize = 16384
+			c.BlockSize = 1024
+			c.SubBlockSize = 2
+			c.Assoc = 16
+		}, "sub-blocks per block"},
+		{"zero assoc", func(c *Config) { c.Assoc = 0 }, "associativity"},
+		{"assoc > frames", func(c *Config) { c.Assoc = 128 }, "associativity"},
+		{"non-pow2 assoc", func(c *Config) { c.Assoc = 3 }, "associativity"},
+		{"bad replacement", func(c *Config) { c.Replacement = Replacement(9) }, "replacement"},
+		{"bad fetch", func(c *Config) { c.Fetch = Fetch(9) }, "fetch"},
+		{"bad write", func(c *Config) { c.Write = WritePolicy(9) }, "write"},
+	}
+	for _, tc := range cases {
+		cfg := validConfig()
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestGeometryDerived(t *testing.T) {
+	cfg := validConfig() // 1024B, 16-byte blocks, 8-byte sub, 4-way, word 2
+	if got := cfg.NumFrames(); got != 64 {
+		t.Errorf("NumFrames = %d, want 64", got)
+	}
+	if got := cfg.NumSets(); got != 16 {
+		t.Errorf("NumSets = %d, want 16", got)
+	}
+	if got := cfg.SubBlocksPerBlock(); got != 2 {
+		t.Errorf("SubBlocksPerBlock = %d, want 2", got)
+	}
+	if got := cfg.WordsPerSubBlock(); got != 4 {
+		t.Errorf("WordsPerSubBlock = %d, want 4", got)
+	}
+}
+
+// TestGrossSizeTable7 checks the gross-size cost model against the
+// paper's Table 7 (every distinct organisation listed there).
+func TestGrossSizeTable7(t *testing.T) {
+	cases := []struct {
+		net, block, sub int
+		want            float64
+	}{
+		// Net 64 bytes.
+		{64, 16, 8, 79}, {64, 16, 4, 80}, {64, 16, 2, 82},
+		{64, 8, 8, 94}, {64, 8, 4, 95}, {64, 8, 2, 97},
+		{64, 4, 4, 126}, {64, 4, 2, 128}, {64, 2, 2, 192},
+		// Net 256 bytes.
+		{256, 32, 32, 284}, {256, 32, 16, 285}, {256, 32, 8, 287},
+		{256, 32, 4, 291}, {256, 32, 2, 299},
+		{256, 16, 16, 314}, {256, 16, 8, 316}, {256, 16, 4, 320}, {256, 16, 2, 328},
+		{256, 8, 8, 376}, {256, 8, 4, 380}, {256, 8, 2, 388},
+		{256, 4, 4, 504}, {256, 4, 2, 512}, {256, 2, 2, 768},
+		// Net 1024 bytes.
+		{1024, 64, 16, 1084}, {1024, 64, 8, 1092}, {1024, 64, 4, 1108},
+		{1024, 32, 32, 1136}, {1024, 32, 16, 1140}, {1024, 32, 8, 1148},
+		{1024, 32, 4, 1164}, {1024, 32, 2, 1196},
+		{1024, 16, 16, 1256}, {1024, 16, 8, 1264}, {1024, 16, 4, 1280}, {1024, 16, 2, 1312},
+		{1024, 8, 8, 1504}, {1024, 8, 4, 1520}, {1024, 8, 2, 1552},
+		{1024, 4, 4, 2016}, {1024, 4, 2, 2048}, {1024, 2, 2, 3072},
+	}
+	for _, c := range cases {
+		cfg := Config{NetSize: c.net, BlockSize: c.block, SubBlockSize: c.sub, Assoc: 4, WordSize: 2}
+		if c.sub < 2 {
+			cfg.WordSize = c.sub
+		}
+		if got := cfg.GrossSize(); got != c.want {
+			t.Errorf("GrossSize(%d net, %d,%d) = %g, want %g", c.net, c.block, c.sub, got, c.want)
+		}
+	}
+}
+
+// TestGrossSizePaperExamples checks the two worked examples in the
+// paper's prose: the ~190-byte minimum cache for a 32-bit machine
+// (§2.2: 16 blocks x [29 tag + 2 valid + 64 data] bits) and the 95-byte
+// 64-byte 8,4 VAX cache (§5).
+func TestGrossSizePaperExamples(t *testing.T) {
+	minimum := Config{NetSize: 128, BlockSize: 8, SubBlockSize: 4, Assoc: 2, WordSize: 4}
+	if got := minimum.GrossSize(); got != 190 {
+		t.Errorf("minimum cache gross = %g, want 190", got)
+	}
+	vax := Config{NetSize: 64, BlockSize: 8, SubBlockSize: 4, Assoc: 4, WordSize: 4}
+	if got := vax.GrossSize(); got != 95 {
+		t.Errorf("64-byte 8,4 cache gross = %g, want 95", got)
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	cfg := validConfig()
+	if got := cfg.String(); got != "1024B 16,8 4-way LRU" {
+		t.Errorf("String() = %q", got)
+	}
+	cfg.Fetch = LoadForward
+	if got := cfg.String(); got != "1024B 16,8 4-way LRU load-forward" {
+		t.Errorf("String() with LF = %q", got)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	pairs := []struct {
+		got, want string
+	}{
+		{LRU.String(), "LRU"}, {FIFO.String(), "FIFO"}, {Random.String(), "Random"},
+		{DemandSubBlock.String(), "demand"}, {LoadForward.String(), "load-forward"},
+		{LoadForwardOptimized.String(), "load-forward-opt"}, {WholeBlock.String(), "whole-block"},
+		{WriteAllocate.String(), "write-allocate"}, {WriteNoAllocate.String(), "write-no-allocate"},
+		{WriteIgnore.String(), "write-ignore"},
+		{Replacement(7).String(), "Replacement(7)"},
+		{Fetch(7).String(), "Fetch(7)"},
+		{WritePolicy(7).String(), "WritePolicy(7)"},
+	}
+	for _, p := range pairs {
+		if p.got != p.want {
+			t.Errorf("got %q, want %q", p.got, p.want)
+		}
+	}
+}
+
+func TestSectorCacheConfigValid(t *testing.T) {
+	// The 360/85: 16 KB, 1024-byte sectors, 64-byte sub-blocks, fully
+	// associative (16 ways, 1 set).
+	cfg := Config{NetSize: 16384, BlockSize: 1024, SubBlockSize: 64, Assoc: 16, WordSize: 4}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("360/85 config invalid: %v", err)
+	}
+	if cfg.NumSets() != 1 {
+		t.Errorf("NumSets = %d, want 1 (fully associative)", cfg.NumSets())
+	}
+	if cfg.SubBlocksPerBlock() != 16 {
+		t.Errorf("SubBlocksPerBlock = %d, want 16", cfg.SubBlocksPerBlock())
+	}
+}
+
+func TestTagAndOverheadBreakdown(t *testing.T) {
+	// Gross = net + tags + valid bits, exactly.
+	for _, cfg := range []Config{
+		{NetSize: 512, BlockSize: 2, SubBlockSize: 2, Assoc: 4, WordSize: 2},
+		{NetSize: 1024, BlockSize: 16, SubBlockSize: 8, Assoc: 4, WordSize: 2},
+		{NetSize: 64, BlockSize: 8, SubBlockSize: 4, Assoc: 4, WordSize: 2},
+	} {
+		sum := float64(cfg.NetSize) + cfg.TagBytes() + cfg.ValidBitBytes()
+		if sum != cfg.GrossSize() {
+			t.Errorf("%v: net+tags+valid = %g != gross %g", cfg, sum, cfg.GrossSize())
+		}
+	}
+}
+
+func TestOverheadPaperExample(t *testing.T) {
+	// S4.2.1: the 512-byte 2,2 cache occupies 1536 gross bytes: the
+	// tags are two-thirds of the data size -- one-third of the total.
+	cfg := Config{NetSize: 512, BlockSize: 2, SubBlockSize: 2, Assoc: 4, WordSize: 2}
+	if g := cfg.GrossSize(); g != 1536 {
+		t.Fatalf("gross = %g, want 1536", g)
+	}
+	if ov := cfg.Overhead(); ov < 0.66 || ov > 0.67 {
+		t.Errorf("overhead = %g, want ~2/3", ov)
+	}
+	// Doubling the block halves the tag area (S4.2.1).
+	cfg4 := cfg
+	cfg4.BlockSize = 4
+	if cfg.TagBytes() <= 1.9*cfg4.TagBytes() || cfg.TagBytes() >= 2.1*cfg4.TagBytes() {
+		t.Errorf("tag bytes %g vs %g: doubling block should halve tags",
+			cfg.TagBytes(), cfg4.TagBytes())
+	}
+}

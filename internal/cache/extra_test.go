@@ -1,0 +1,216 @@
+package cache
+
+// Additional behavioural edge-case tests for the simulator core.
+
+import (
+	"testing"
+
+	"subcache/internal/addr"
+	"subcache/internal/rng"
+	"subcache/internal/trace"
+)
+
+func TestTagAliasingWithinSet(t *testing.T) {
+	// Two blocks mapping to the same set must coexist up to the
+	// associativity and never be confused with each other.
+	c := small(t)         // 64B, 16B blocks, 2 sets, 2-way: set = bit 4 of addr
+	c.Access(read(0x000)) // set 0
+	c.Access(read(0x040)) // set 0, different tag
+	if !c.Contains(0x000) || !c.Contains(0x040) {
+		t.Fatal("aliasing blocks evicted each other below associativity")
+	}
+	// Their sub-blocks are tracked independently.
+	if c.Contains(0x004) || c.Contains(0x044) {
+		t.Fatal("sub-block state leaked across tags")
+	}
+}
+
+func TestSetIndexUsesBlockBits(t *testing.T) {
+	// Addresses differing only in the sub-block offset must land in the
+	// same block, whatever the set count.
+	c := small(t)
+	c.Access(read(0x100))
+	res := c.Access(read(0x10c)) // same 16-byte block, last sub-block
+	if res.BlockMiss {
+		t.Error("offset bits leaked into the set index or tag")
+	}
+}
+
+func TestEvictedFlagOnlyOnValidVictim(t *testing.T) {
+	c := small(t)
+	evictions := 0
+	for i := 0; i < 12; i++ {
+		res := c.Access(read(addr.Addr(i * 0x40))) // all set 0
+		if res.Evicted {
+			evictions++
+		}
+	}
+	// 2 ways fill silently; the remaining 10 allocations evict.
+	if evictions != 10 {
+		t.Errorf("evictions = %d, want 10", evictions)
+	}
+	if got := c.Stats().Evictions; got != 10 {
+		t.Errorf("Stats.Evictions = %d, want 10", got)
+	}
+}
+
+func TestWarmStartWithEvictionsBeforeFull(t *testing.T) {
+	// Warm-start counting must not start until *every* frame is filled,
+	// even if one set is churning.  Cache: 4 frames in 2 sets.
+	c := small(t, func(cfg *Config) { cfg.WarmStart = true })
+	// Hammer set 0 with 3 distinct blocks: set 0's two ways fill and
+	// churn, set 1 stays empty, so counting must stay off.
+	for i := 0; i < 30; i++ {
+		c.Access(read(addr.Addr((i % 3) * 0x40)))
+	}
+	if c.Stats().Accesses != 0 {
+		t.Fatalf("counting started before the cache was full (%d accesses)", c.Stats().Accesses)
+	}
+	// Fill set 1; counting begins after its second way fills.
+	c.Access(read(0x010))
+	c.Access(read(0x030))
+	c.Access(read(0x010))
+	if c.Stats().Accesses != 1 || c.Stats().Hits != 1 {
+		t.Errorf("stats after warm fill: %+v", c.Stats())
+	}
+}
+
+func TestRandomSeedChangesOutcome(t *testing.T) {
+	run := func(seed uint64) uint64 {
+		c := small(t, func(cfg *Config) { cfg.Replacement = Random; cfg.RandomSeed = seed })
+		r := rng.New(4)
+		for i := 0; i < 4000; i++ {
+			c.Access(read(addr.AlignDown(addr.Addr(r.Uint32()&0x7ff), 2)))
+		}
+		return c.Stats().Misses
+	}
+	if run(1) == run(2) && run(1) == run(3) {
+		t.Error("random replacement identical across three seeds; seeding is broken")
+	}
+}
+
+func TestStatsAddMergesEverything(t *testing.T) {
+	a := &Stats{
+		Accesses: 1, IFetches: 1, Hits: 1,
+		Transactions:   map[int]uint64{2: 3},
+		WriteBackWords: 5, WriteThroughWords: 7,
+	}
+	b := &Stats{
+		Accesses: 2, Reads: 2, Misses: 2, BlockMisses: 2,
+		SubBlockFills: 4, WordsFetched: 8, RedundantLoads: 1,
+		Evictions: 1, ResidencyTouched: 2, ResidencySubBlocks: 4,
+		WarmupAccesses: 9, WarmupMisses: 3, WriteAccesses: 6, WriteMisses: 2,
+		Transactions:   map[int]uint64{2: 1, 4: 2},
+		WriteBackWords: 1, WriteThroughWords: 2,
+	}
+	a.Add(b)
+	if a.Accesses != 3 || a.Reads != 2 || a.Misses != 2 || a.Hits != 1 {
+		t.Errorf("core counters wrong: %+v", a)
+	}
+	if a.Transactions[2] != 4 || a.Transactions[4] != 2 {
+		t.Errorf("transactions wrong: %v", a.Transactions)
+	}
+	if a.WriteBackWords != 6 || a.WriteThroughWords != 9 {
+		t.Errorf("write words wrong: %d/%d", a.WriteBackWords, a.WriteThroughWords)
+	}
+	if a.WarmupAccesses != 9 || a.WriteAccesses != 6 {
+		t.Errorf("aux counters wrong: %+v", a)
+	}
+}
+
+func TestStatsAddIntoEmptyTransactions(t *testing.T) {
+	a := &Stats{}
+	b := &Stats{Transactions: map[int]uint64{8: 2}}
+	a.Add(b)
+	if a.Transactions[8] != 2 {
+		t.Errorf("transactions not copied: %v", a.Transactions)
+	}
+	// And the copy must be independent of b's map? Add documents a
+	// merge; mutating a must not corrupt b.
+	a.Transactions[8] = 99
+	if b.Transactions[8] != 2 {
+		t.Error("Add aliased the source map")
+	}
+}
+
+func TestZeroStatsRatiosSafe(t *testing.T) {
+	var s Stats
+	if s.MissRatio() != 0 || s.TrafficRatio() != 0 ||
+		s.SubBlockUtilization() != 0 || s.RedundantLoadFraction() != 0 ||
+		s.WriteTrafficPerStore() != 0 {
+		t.Error("zero stats produced nonzero ratios")
+	}
+}
+
+func TestLoadForwardAtLastSubBlock(t *testing.T) {
+	// A miss on the final sub-block of a block loads exactly one
+	// sub-block under load-forward (nothing lies forward of it).
+	c := small(t, func(cfg *Config) { cfg.Fetch = LoadForward })
+	res := c.Access(read(0x10c)) // last 4-byte sub-block of [0x100,0x110)
+	if res.SubBlocksLoaded != 1 {
+		t.Errorf("loaded %d, want 1", res.SubBlocksLoaded)
+	}
+}
+
+func TestSingleSubBlockBlockDegenerate(t *testing.T) {
+	// block == sub-block: load-forward and whole-block must behave as
+	// demand fetch exactly.
+	streams := func(f Fetch) uint64 {
+		c := small(t, func(cfg *Config) { cfg.SubBlockSize = 16; cfg.Fetch = f })
+		r := rng.New(6)
+		for i := 0; i < 3000; i++ {
+			c.Access(read(addr.AlignDown(addr.Addr(r.Uint32()&0xfff), 2)))
+		}
+		return c.Stats().WordsFetched
+	}
+	demand := streams(DemandSubBlock)
+	if lf := streams(LoadForward); lf != demand {
+		t.Errorf("LF degenerate traffic %d != demand %d", lf, demand)
+	}
+	if wb := streams(WholeBlock); wb != demand {
+		t.Errorf("whole-block degenerate traffic %d != demand %d", wb, demand)
+	}
+}
+
+func TestDirectMappedBehaviour(t *testing.T) {
+	// Assoc 1: any two blocks with equal index bits conflict.
+	cfg := Config{NetSize: 64, BlockSize: 16, SubBlockSize: 4, Assoc: 1, WordSize: 2}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(read(0x000))
+	c.Access(read(0x040)) // same index (4 sets), conflicts
+	if c.Contains(0x000) {
+		t.Error("direct-mapped conflict did not evict")
+	}
+}
+
+func TestHugeAddressesWork(t *testing.T) {
+	// Addresses above 2^32 must not wrap or corrupt set indexing.
+	c := small(t)
+	high := addr.Addr(1) << 40
+	c.Access(read(high))
+	if !c.Contains(high) {
+		t.Error("high address lost")
+	}
+	if c.Contains(high ^ 0x100000000) {
+		t.Error("high address aliased across 2^32")
+	}
+}
+
+func TestRunPropagatesSourceError(t *testing.T) {
+	c := small(t)
+	bad := trace.FuncSource(func() (trace.Ref, error) {
+		return trace.Ref{}, errFake
+	})
+	if err := c.Run(bad); err == nil {
+		t.Error("Run swallowed a source error")
+	}
+}
+
+var errFake = fakeErr{}
+
+type fakeErr struct{}
+
+func (fakeErr) Error() string { return "fake trace error" }

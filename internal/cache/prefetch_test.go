@@ -1,0 +1,215 @@
+package cache
+
+// Tests for one-block-lookahead prefetch (Smith [11]; beyond the
+// paper's scope but implemented for the ablation study).
+
+import (
+	"testing"
+	"testing/quick"
+
+	"subcache/internal/addr"
+	"subcache/internal/rng"
+	"subcache/internal/trace"
+)
+
+func TestPrefetchBringsNextBlock(t *testing.T) {
+	c := small(t, func(cfg *Config) { cfg.PrefetchOBL = true })
+	// Miss on block [0x100,0x110): block [0x110,0x120)'s first
+	// sub-block must be prefetched.
+	c.Access(read(0x100))
+	if !c.Contains(0x110) {
+		t.Error("next block's first sub-block not prefetched")
+	}
+	if c.Contains(0x114) {
+		t.Error("prefetch loaded more than one sub-block")
+	}
+	st := c.Stats()
+	if st.PrefetchFills != 1 {
+		t.Errorf("prefetch fills = %d, want 1", st.PrefetchFills)
+	}
+	// Traffic counts demand fill + prefetch fill.
+	if st.WordsFetched != 4 { // two 4-byte sub-blocks on a 2-byte path
+		t.Errorf("words = %d, want 4", st.WordsFetched)
+	}
+}
+
+func TestPrefetchTurnsSequentialMissesIntoHits(t *testing.T) {
+	c := small(t, func(cfg *Config) { cfg.PrefetchOBL = true })
+	// Walk sub-block 0 of consecutive blocks: after the first miss,
+	// every block was prefetched ahead of use.
+	for i := 0; i < 8; i++ {
+		c.Access(read(addr.Addr(0x100 + i*16)))
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (prefetch covers the stride)", st.Misses)
+	}
+	if st.PrefetchUsed < 7 {
+		t.Errorf("prefetch used = %d, want >= 7", st.PrefetchUsed)
+	}
+}
+
+func TestPrefetchPollutionAccounting(t *testing.T) {
+	c := small(t, func(cfg *Config) { cfg.PrefetchOBL = true })
+	// One miss prefetches block B.  Then churn B's set without touching
+	// B: its eviction must count as pollution.
+	c.Access(read(0x100)) // prefetches block at 0x110 (set 1)
+	c.Access(read(0x130)) // set 1 (prefetches 0x140, set 0)
+	c.Access(read(0x150)) // set 1: evicts LRU of set 1
+	c.Access(read(0x170)) // set 1 again
+	if c.Stats().PrefetchEvictedUnused == 0 {
+		t.Error("no pollution recorded despite unused prefetched blocks being evicted")
+	}
+}
+
+func TestPrefetchUsedNotDoubleCounted(t *testing.T) {
+	c := small(t, func(cfg *Config) { cfg.PrefetchOBL = true })
+	c.Access(read(0x100)) // prefetch 0x110
+	c.Access(read(0x110)) // first use: counted
+	c.Access(read(0x110)) // second use: not
+	if got := c.Stats().PrefetchUsed; got != 1 {
+		t.Errorf("prefetch used = %d, want 1", got)
+	}
+}
+
+func TestPrefetchDisabledByDefault(t *testing.T) {
+	c := small(t)
+	c.Access(read(0x100))
+	if c.Contains(0x110) {
+		t.Error("prefetch happened with PrefetchOBL=false")
+	}
+	if c.Stats().PrefetchFills != 0 {
+		t.Error("prefetch fills counted with PrefetchOBL=false")
+	}
+}
+
+func TestPrefetchDoesNotRefetchResident(t *testing.T) {
+	c := small(t, func(cfg *Config) { cfg.PrefetchOBL = true })
+	c.Access(read(0x110)) // demand-load block B's first sub-block (prefetches 0x120)
+	fills := c.Stats().SubBlockFills
+	c.Access(read(0x100)) // miss block A; B's sub-block 0 already resident
+	// A's fill + no prefetch fill for B.
+	if got := c.Stats().SubBlockFills - fills; got != 1 {
+		t.Errorf("fills after second miss = %d, want 1 (B already resident)", got)
+	}
+}
+
+// Property: on sequential-leaning streams, OBL prefetch never increases
+// the miss count and never decreases traffic.
+func TestPropertyPrefetchMissesDown(t *testing.T) {
+	f := func(seed uint64) bool {
+		mk := func(obl bool) *Cache {
+			c, err := New(Config{NetSize: 256, BlockSize: 16, SubBlockSize: 8,
+				Assoc: 4, WordSize: 2, PrefetchOBL: obl})
+			if err != nil {
+				panic(err)
+			}
+			return c
+		}
+		base, obl := mk(false), mk(true)
+		r := rng.New(seed)
+		var a addr.Addr
+		for i := 0; i < 4000; i++ {
+			if r.Bool(0.15) {
+				a = addr.AlignDown(addr.Addr(r.Uint32()&0x1fff), 2)
+			} else {
+				a += 2
+			}
+			ref := trace.Ref{Addr: a, Kind: trace.IFetch, Size: 2}
+			base.Access(ref)
+			obl.Access(ref)
+		}
+		sb, so := base.Stats(), obl.Stats()
+		// Prefetch may pollute, so misses aren't strictly lower in all
+		// theoretical cases, but on forward-leaning streams it must not
+		// hurt by more than a hair and traffic must not drop.
+		return float64(so.Misses) <= 1.02*float64(sb.Misses) &&
+			so.WordsFetched >= sb.WordsFetched
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: prefetch accounting is internally consistent -- used +
+// evicted-unused never exceeds fills, and fills are included in total
+// sub-block fills.
+func TestPropertyPrefetchAccounting(t *testing.T) {
+	f := func(seed uint64) bool {
+		c, err := New(Config{NetSize: 128, BlockSize: 16, SubBlockSize: 4,
+			Assoc: 2, WordSize: 2, PrefetchOBL: true})
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		for i := 0; i < 3000; i++ {
+			a := addr.AlignDown(addr.Addr(r.Uint32()&0xfff), 2)
+			c.Access(trace.Ref{Addr: a, Kind: trace.Read, Size: 2})
+		}
+		st := c.Stats()
+		if st.PrefetchUsed+st.PrefetchEvictedUnused > st.PrefetchFills {
+			return false
+		}
+		return st.PrefetchFills <= st.SubBlockFills
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPrefetchNeverEvictsActiveFrame reproduces the bug where a
+// tagged prefetch, triggered mid-access, could select the very frame
+// the access was using as its replacement victim (FIFO and Random
+// replacement in small or fully-associative sets), leaving the
+// processor's word non-resident.  Every countable access must leave its
+// word cached, for every replacement policy and geometry, with OBL on.
+func TestPropertyPrefetchNeverEvictsActiveFrame(t *testing.T) {
+	f := func(seed uint64, replRaw, netShift, blockShift, subShift, assocShift uint8) bool {
+		cfg := genConfig(netShift, blockShift, subShift, assocShift)
+		cfg.PrefetchOBL = true
+		cfg.Replacement = Replacement(replRaw % 3)
+		cfg.RandomSeed = seed
+		c, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		for i := 0; i < 3000; i++ {
+			a := addr.AlignDown(addr.Addr(r.Uint32()&0x3fff), 2)
+			kind := trace.Kind(r.Intn(3))
+			c.Access(trace.Ref{Addr: a, Kind: kind, Size: 2})
+			if kind.Countable() && !c.Contains(a) {
+				t.Logf("cfg %v repl %v: access %v left its word non-resident", cfg, cfg.Replacement, a)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPrefetchRandomDirected is the deterministic reproduction the
+// property test found for the same bug: a fully-associative cache with
+// Random replacement where the prefetch fired mid-access picked the
+// active frame as its victim.  With the fix, the prefetch is dropped
+// instead and every countable access leaves its word resident.
+func TestPrefetchRandomDirected(t *testing.T) {
+	const seed = 0xf1afb1ce3249bba0
+	cfg := Config{NetSize: 128, BlockSize: 32, SubBlockSize: 2, Assoc: 4,
+		WordSize: 2, Replacement: Random, RandomSeed: seed, PrefetchOBL: true}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed)
+	for i := 0; i < 3000; i++ {
+		a := addr.AlignDown(addr.Addr(r.Uint32()&0x3fff), 2)
+		kind := trace.Kind(r.Intn(3))
+		c.Access(trace.Ref{Addr: a, Kind: kind, Size: 2})
+		if kind.Countable() && !c.Contains(a) {
+			t.Fatalf("step %d: access %v left its own word non-resident", i, a)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"subcache/internal/addr"
+	"subcache/internal/rng"
+	"subcache/internal/trace"
+)
+
+// genConfig derives a valid random geometry from raw fuzz inputs.
+func genConfig(netShift, blockShift, subShift, assocShift uint8) Config {
+	net := 32 << (netShift % 6)    // 32..1024
+	block := 2 << (blockShift % 6) // 2..64
+	if block > net {
+		block = net
+	}
+	sub := 2 << (subShift % 6)
+	if sub > block {
+		sub = block
+	}
+	frames := net / block
+	assoc := 1 << (assocShift % 5) // 1..16
+	if assoc > frames {
+		assoc = frames
+	}
+	return Config{NetSize: net, BlockSize: block, SubBlockSize: sub, Assoc: assoc, WordSize: 2}
+}
+
+// TestPropertyInvariants drives randomly configured caches with random
+// reference streams and checks the core accounting invariants.
+func TestPropertyInvariants(t *testing.T) {
+	f := func(netShift, blockShift, subShift, assocShift uint8, seed uint64, fetchRaw uint8) bool {
+		cfg := genConfig(netShift, blockShift, subShift, assocShift)
+		cfg.Fetch = Fetch(fetchRaw % 4)
+		if cfg.Validate() != nil {
+			return false // generator bug, fail loudly
+		}
+		c, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		capSub := cfg.NetSize / cfg.SubBlockSize
+		for i := 0; i < 3000; i++ {
+			a := addr.AlignDown(addr.Addr(r.Uint32()&0xffff), 2)
+			kind := trace.Kind(r.Intn(3))
+			c.Access(trace.Ref{Addr: a, Kind: kind, Size: 2})
+			if kind.Countable() && !c.Contains(a) {
+				return false // a countable access must leave its word resident
+			}
+		}
+		st := c.Stats()
+		if st.Hits+st.Misses != st.Accesses {
+			return false
+		}
+		if st.BlockMisses+st.SubBlockMisses != st.Misses {
+			return false
+		}
+		if c.ResidentSubBlocks() > capSub {
+			return false
+		}
+		// Traffic in words must equal fills times words-per-sub-block.
+		if st.WordsFetched != st.SubBlockFills*uint64(cfg.WordsPerSubBlock()) {
+			return false
+		}
+		// The transaction histogram must account for every fetched word
+		// (for the fetch policies where fills equal transaction content).
+		var words uint64
+		for w, n := range st.Transactions {
+			words += uint64(w) * n
+		}
+		return words == st.WordsFetched
+	}
+	cfgQ := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfgQ); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDemandTrafficIdentity: with demand fetch, traffic ratio is
+// exactly miss ratio times sub-block words (Table 7's structure).
+func TestPropertyDemandTrafficIdentity(t *testing.T) {
+	f := func(netShift, blockShift, subShift, assocShift uint8, seed uint64) bool {
+		cfg := genConfig(netShift, blockShift, subShift, assocShift)
+		c, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		for i := 0; i < 2000; i++ {
+			a := addr.AlignDown(addr.Addr(r.Uint32()&0x3fff), 2)
+			c.Access(trace.Ref{Addr: a, Kind: trace.Read, Size: 2})
+		}
+		st := c.Stats()
+		return st.WordsFetched == st.Misses*uint64(cfg.WordsPerSubBlock())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLoadForwardDominance: for identical streams, load-forward
+// never has more misses than demand fetch (it strictly adds prefetching)
+// and never less traffic.
+func TestPropertyLoadForwardDominance(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfgD := Config{NetSize: 256, BlockSize: 16, SubBlockSize: 2, Assoc: 4, WordSize: 2}
+		cfgLF := cfgD
+		cfgLF.Fetch = LoadForward
+		cd, _ := New(cfgD)
+		cl, _ := New(cfgLF)
+		r := rng.New(seed)
+		var a addr.Addr
+		for i := 0; i < 4000; i++ {
+			// Mostly sequential with occasional jumps: the forward
+			// bias load-forward exploits.
+			if r.Bool(0.2) {
+				a = addr.AlignDown(addr.Addr(r.Uint32()&0x1fff), 2)
+			} else {
+				a += 2
+			}
+			ref := trace.Ref{Addr: a, Kind: trace.IFetch, Size: 2}
+			cd.Access(ref)
+			cl.Access(ref)
+		}
+		sd, sl := cd.Stats(), cl.Stats()
+		return sl.Misses <= sd.Misses && sl.WordsFetched >= sd.WordsFetched
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyWholeBlockNoSubMisses: a whole-block-fill cache can never
+// take a sub-block miss, for any geometry or stream.
+func TestPropertyWholeBlockNoSubMisses(t *testing.T) {
+	f := func(netShift, blockShift, subShift, assocShift uint8, seed uint64) bool {
+		cfg := genConfig(netShift, blockShift, subShift, assocShift)
+		cfg.Fetch = WholeBlock
+		c, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		for i := 0; i < 2000; i++ {
+			a := addr.AlignDown(addr.Addr(r.Uint32()&0x3fff), 2)
+			c.Access(trace.Ref{Addr: a, Kind: trace.Read, Size: 2})
+		}
+		return c.Stats().SubBlockMisses == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyOptimizedNeverRedundant: the optimized load-forward scheme
+// must never refetch a resident sub-block.
+func TestPropertyOptimizedNeverRedundant(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := Config{NetSize: 128, BlockSize: 32, SubBlockSize: 4, Assoc: 2, WordSize: 2, Fetch: LoadForwardOptimized}
+		c, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		for i := 0; i < 3000; i++ {
+			a := addr.AlignDown(addr.Addr(r.Uint32()&0xfff), 2)
+			c.Access(trace.Ref{Addr: a, Kind: trace.Read, Size: 2})
+		}
+		return c.Stats().RedundantLoads == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyInclusionMonotonicity: doubling associativity at fixed net
+// size with LRU cannot increase the miss count on any stream
+// (set-assoc LRU inclusion holds when sets merge pairwise).
+func TestPropertyLargerCacheNotWorse(t *testing.T) {
+	// LRU stack inclusion: a fully-associative LRU cache of size 2N
+	// contains the contents of one of size N at all times, so misses
+	// are monotone in size.  Verify on random streams.
+	f := func(seed uint64) bool {
+		mk := func(net int) *Cache {
+			c, err := New(Config{NetSize: net, BlockSize: 8, SubBlockSize: 8,
+				Assoc: net / 8, WordSize: 2})
+			if err != nil {
+				panic(err)
+			}
+			return c
+		}
+		small, big := mk(64), mk(128)
+		r := rng.New(seed)
+		for i := 0; i < 3000; i++ {
+			a := addr.AlignDown(addr.Addr(r.Uint32()&0x7ff), 2)
+			ref := trace.Ref{Addr: a, Kind: trace.Read, Size: 2}
+			small.Access(ref)
+			big.Access(ref)
+		}
+		return big.Stats().Misses <= small.Stats().Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyAssociativityInclusion: with the set count held fixed,
+// growing the associativity of an LRU cache can never increase misses
+// on any stream (per-set LRU stack inclusion).
+func TestPropertyAssociativityInclusion(t *testing.T) {
+	f := func(seed uint64) bool {
+		mk := func(assoc int) *Cache {
+			c, err := New(Config{
+				NetSize:   8 * 4 * assoc, // 4 sets x assoc ways x 8B blocks
+				BlockSize: 8, SubBlockSize: 8, Assoc: assoc, WordSize: 2,
+			})
+			if err != nil {
+				panic(err)
+			}
+			return c
+		}
+		c2, c4, c8 := mk(2), mk(4), mk(8)
+		r := rng.New(seed)
+		for i := 0; i < 4000; i++ {
+			a := addr.AlignDown(addr.Addr(r.Uint32()&0xfff), 2)
+			ref := trace.Ref{Addr: a, Kind: trace.Read, Size: 2}
+			c2.Access(ref)
+			c4.Access(ref)
+			c8.Access(ref)
+		}
+		return c4.Stats().Misses <= c2.Stats().Misses &&
+			c8.Stats().Misses <= c4.Stats().Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+package cache
+
+// This file cross-validates the bit-twiddled simulator against a naive
+// reference model: maps and slices, no precomputed shifts, no bitmaps,
+// written to be obviously correct rather than fast.  Any divergence in
+// hit/miss classification, fill counts or eviction choice on random
+// streams is a bug in one of the two.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"subcache/internal/addr"
+	"subcache/internal/rng"
+	"subcache/internal/trace"
+)
+
+// refCache is the naive model.  LRU only, demand or load-forward fetch,
+// write-allocate.
+type refCache struct {
+	cfg   Config
+	sets  []refSet
+	clock uint64
+}
+
+type refSet struct {
+	blocks []refBlock
+}
+
+type refBlock struct {
+	tag      uint64
+	valid    map[int]bool
+	lastUsed uint64
+}
+
+func newRefCache(cfg Config) *refCache {
+	return &refCache{cfg: cfg, sets: make([]refSet, cfg.NumSets())}
+}
+
+type refResult struct {
+	hit    bool
+	loaded int
+}
+
+func (rc *refCache) access(a addr.Addr, isWrite bool) refResult {
+	rc.clock++
+	blockNum := uint64(a) / uint64(rc.cfg.BlockSize)
+	setIdx := int(blockNum % uint64(rc.cfg.NumSets()))
+	subIdx := int(uint64(a)%uint64(rc.cfg.BlockSize)) / rc.cfg.SubBlockSize
+	set := &rc.sets[setIdx]
+
+	for i := range set.blocks {
+		b := &set.blocks[i]
+		if b.tag == blockNum {
+			b.lastUsed = rc.clock
+			if b.valid[subIdx] {
+				return refResult{hit: true}
+			}
+			return refResult{loaded: rc.fill(b, subIdx)}
+		}
+	}
+	// Block miss: evict LRU if the set is full.
+	if len(set.blocks) >= rc.cfg.Assoc {
+		lru := 0
+		for i := range set.blocks {
+			if set.blocks[i].lastUsed < set.blocks[lru].lastUsed {
+				lru = i
+			}
+		}
+		set.blocks = append(set.blocks[:lru], set.blocks[lru+1:]...)
+	}
+	nb := refBlock{tag: blockNum, valid: map[int]bool{}, lastUsed: rc.clock}
+	loaded := rc.fill(&nb, subIdx)
+	set.blocks = append(set.blocks, nb)
+	return refResult{loaded: loaded}
+}
+
+func (rc *refCache) fill(b *refBlock, subIdx int) int {
+	switch rc.cfg.Fetch {
+	case DemandSubBlock:
+		b.valid[subIdx] = true
+		return 1
+	case LoadForward:
+		n := 0
+		for i := subIdx; i < rc.cfg.SubBlocksPerBlock(); i++ {
+			b.valid[i] = true
+			n++
+		}
+		return n
+	case LoadForwardOptimized:
+		n := 0
+		for i := subIdx; i < rc.cfg.SubBlocksPerBlock(); i++ {
+			if !b.valid[i] {
+				b.valid[i] = true
+				n++
+			}
+		}
+		return n
+	case WholeBlock:
+		for i := 0; i < rc.cfg.SubBlocksPerBlock(); i++ {
+			b.valid[i] = true
+		}
+		return rc.cfg.SubBlocksPerBlock()
+	}
+	panic("refCache: unknown fetch")
+}
+
+// TestAgainstReferenceModel drives both implementations with identical
+// random streams over random geometries and fetch policies and demands
+// access-by-access agreement.
+func TestAgainstReferenceModel(t *testing.T) {
+	f := func(netShift, blockShift, subShift, assocShift, fetchRaw uint8, seed uint64) bool {
+		cfg := genConfig(netShift, blockShift, subShift, assocShift)
+		cfg.Fetch = Fetch(fetchRaw % 4)
+		real, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		ref := newRefCache(cfg)
+		r := rng.New(seed)
+		for i := 0; i < 4000; i++ {
+			a := addr.AlignDown(addr.Addr(r.Uint32()&0x7fff), 2)
+			isWrite := r.Bool(0.2)
+			kind := trace.Read
+			if isWrite {
+				kind = trace.Write
+			}
+			got := real.Access(trace.Ref{Addr: a, Kind: kind, Size: 2})
+			want := ref.access(a, isWrite)
+			if got.Hit != want.hit || got.SubBlocksLoaded != want.loaded {
+				t.Logf("step %d addr %v cfg %v: got hit=%v loaded=%d, ref hit=%v loaded=%d",
+					i, a, cfg, got.Hit, got.SubBlocksLoaded, want.hit, want.loaded)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReferenceModelSectorGeometry repeats the cross-check on the
+// 360/85-shaped geometry (fully associative, many sub-blocks).
+func TestAgainstReferenceModelSector(t *testing.T) {
+	cfg := Config{NetSize: 2048, BlockSize: 256, SubBlockSize: 16, Assoc: 8, WordSize: 2}
+	real, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newRefCache(cfg)
+	r := rng.New(99)
+	for i := 0; i < 20000; i++ {
+		a := addr.AlignDown(addr.Addr(r.Uint32()&0xffff), 2)
+		got := real.Access(trace.Ref{Addr: a, Kind: trace.Read, Size: 2})
+		want := ref.access(a, false)
+		if got.Hit != want.hit || got.SubBlocksLoaded != want.loaded {
+			t.Fatalf("step %d addr %v: got hit=%v loaded=%d, ref hit=%v loaded=%d",
+				i, a, got.Hit, got.SubBlocksLoaded, want.hit, want.loaded)
+		}
+	}
+}

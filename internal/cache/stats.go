@@ -1,0 +1,166 @@
+package cache
+
+import "fmt"
+
+// Stats accumulates the architectural event counts of one simulation
+// run.  All headline counters cover instruction fetches and data reads
+// only, matching the paper's write-filtered metrics; write and warm-up
+// activity is recorded separately for diagnostics.
+type Stats struct {
+	// Accesses is the number of counted (read + ifetch) word accesses.
+	Accesses uint64
+	// IFetches and Reads partition Accesses.
+	IFetches uint64
+	Reads    uint64
+	// Hits and Misses partition Accesses.
+	Hits   uint64
+	Misses uint64
+	// BlockMisses are misses where no tag matched; SubBlockMisses are
+	// misses within a resident block (tag hit, invalid sub-block).
+	// They partition Misses.
+	BlockMisses    uint64
+	SubBlockMisses uint64
+
+	// SubBlockFills is the number of sub-block transfers from memory.
+	SubBlockFills uint64
+	// WordsFetched is the bus traffic in data-path words.
+	WordsFetched uint64
+	// RedundantLoads counts load-forward transfers of sub-blocks that
+	// were already resident (the cost of the simple redundant scheme).
+	RedundantLoads uint64
+	// Transactions histograms contiguous bus transfers by length in
+	// words, the input to the nibble-mode cost models.
+	Transactions map[int]uint64
+
+	// Evictions counts replaced valid blocks.
+	Evictions uint64
+	// ResidencyTouched / ResidencySubBlocks measure sub-block
+	// utilisation over completed (and, after FlushUsage, final)
+	// residencies: the paper's observation that 72% of a 360/85
+	// sector's sub-blocks are never referenced while resident.
+	ResidencyTouched   uint64
+	ResidencySubBlocks uint64
+
+	// One-block-lookahead prefetch accounting (Config.PrefetchOBL).
+	// PrefetchFills counts prefetched sub-block transfers (included in
+	// SubBlockFills and WordsFetched); PrefetchUsed counts prefetched
+	// blocks later demand-referenced; PrefetchEvictedUnused counts the
+	// pollution: prefetched blocks evicted untouched.
+	PrefetchFills         uint64
+	PrefetchUsed          uint64
+	PrefetchEvictedUnused uint64
+
+	// Warm-up activity excluded from the counters by WarmStart.
+	WarmupAccesses uint64
+	WarmupMisses   uint64
+
+	// Write activity, never included in the ratios.
+	WriteAccesses uint64
+	WriteMisses   uint64
+
+	// Write traffic to memory, in data-path words (an extension beyond
+	// the paper, which lists write-through vs copy-back as further
+	// study).  WriteThroughWords counts stores sent straight to memory
+	// (all stores under write-through; uncached stores under
+	// copy-back); WriteBackWords counts dirty sub-block words written
+	// at eviction or final flush under copy-back.
+	WriteThroughWords uint64
+	WriteBackWords    uint64
+}
+
+// WriteTrafficWords returns the total store traffic to memory in words.
+func (s *Stats) WriteTrafficWords() uint64 {
+	return s.WriteThroughWords + s.WriteBackWords
+}
+
+// WriteTrafficPerStore returns store-to-memory words per write access:
+// 1.0 for write-through by construction, and (usually much) less for
+// copy-back when stores exhibit locality.
+func (s *Stats) WriteTrafficPerStore() float64 {
+	if s.WriteAccesses == 0 {
+		return 0
+	}
+	return float64(s.WriteTrafficWords()) / float64(s.WriteAccesses)
+}
+
+// MissRatio returns misses divided by accesses, the paper's latency
+// metric.  Zero if no accesses were counted.
+func (s *Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// TrafficRatio returns bus words moved with the cache divided by bus
+// words without it.  Without a cache every counted access moves exactly
+// one word, so the denominator is Accesses.
+func (s *Stats) TrafficRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.WordsFetched) / float64(s.Accesses)
+}
+
+// SubBlockUtilization returns the fraction of sub-blocks referenced at
+// least once during a block residency (call Cache.FlushUsage first to
+// include blocks still resident at end of trace).
+func (s *Stats) SubBlockUtilization() float64 {
+	if s.ResidencySubBlocks == 0 {
+		return 0
+	}
+	return float64(s.ResidencyTouched) / float64(s.ResidencySubBlocks)
+}
+
+// RedundantLoadFraction returns the fraction of sub-block transfers that
+// were redundant load-forward refetches.
+func (s *Stats) RedundantLoadFraction() float64 {
+	if s.SubBlockFills == 0 {
+		return 0
+	}
+	return float64(s.RedundantLoads) / float64(s.SubBlockFills)
+}
+
+// Add merges other into s (used when aggregating shards of a workload).
+// Ratio methods on the merged value weight by accesses, which is the
+// correct pooling for a single trace split into pieces; use
+// metrics.Average for the paper's unweighted per-trace averaging.
+func (s *Stats) Add(other *Stats) {
+	s.Accesses += other.Accesses
+	s.IFetches += other.IFetches
+	s.Reads += other.Reads
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.BlockMisses += other.BlockMisses
+	s.SubBlockMisses += other.SubBlockMisses
+	s.SubBlockFills += other.SubBlockFills
+	s.WordsFetched += other.WordsFetched
+	s.RedundantLoads += other.RedundantLoads
+	s.Evictions += other.Evictions
+	s.ResidencyTouched += other.ResidencyTouched
+	s.ResidencySubBlocks += other.ResidencySubBlocks
+	s.PrefetchFills += other.PrefetchFills
+	s.PrefetchUsed += other.PrefetchUsed
+	s.PrefetchEvictedUnused += other.PrefetchEvictedUnused
+	s.WarmupAccesses += other.WarmupAccesses
+	s.WarmupMisses += other.WarmupMisses
+	s.WriteAccesses += other.WriteAccesses
+	s.WriteMisses += other.WriteMisses
+	s.WriteThroughWords += other.WriteThroughWords
+	s.WriteBackWords += other.WriteBackWords
+	if other.Transactions != nil {
+		if s.Transactions == nil {
+			s.Transactions = make(map[int]uint64, len(other.Transactions))
+		}
+		for w, n := range other.Transactions {
+			s.Transactions[w] += n
+		}
+	}
+}
+
+// String summarises the run.
+func (s *Stats) String() string {
+	return fmt.Sprintf("accesses=%d miss=%.4f traffic=%.4f (blockMiss=%d subMiss=%d fills=%d redundant=%d)",
+		s.Accesses, s.MissRatio(), s.TrafficRatio(),
+		s.BlockMisses, s.SubBlockMisses, s.SubBlockFills, s.RedundantLoads)
+}

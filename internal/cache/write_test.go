@@ -1,0 +1,187 @@
+package cache
+
+// Tests for the write-traffic extension: write-through versus copy-back
+// main-memory update (the paper's flagged further study, §3.1).
+
+import (
+	"testing"
+	"testing/quick"
+
+	"subcache/internal/addr"
+	"subcache/internal/rng"
+	"subcache/internal/trace"
+)
+
+func write(a addr.Addr) trace.Ref { return trace.Ref{Addr: a, Kind: trace.Write, Size: 2} }
+
+func TestWriteThroughCountsEveryStore(t *testing.T) {
+	c := small(t) // CopyBack false by default
+	c.Access(write(0x100))
+	c.Access(write(0x100))
+	c.Access(write(0x102))
+	st := c.Stats()
+	if st.WriteThroughWords != 3 {
+		t.Errorf("write-through words = %d, want 3", st.WriteThroughWords)
+	}
+	if st.WriteBackWords != 0 {
+		t.Errorf("write-back words = %d, want 0", st.WriteBackWords)
+	}
+	if got := st.WriteTrafficPerStore(); got != 1 {
+		t.Errorf("per-store traffic = %g, want 1", got)
+	}
+}
+
+func TestCopyBackCoalescesStores(t *testing.T) {
+	c := small(t, func(cfg *Config) { cfg.CopyBack = true })
+	// Three stores to the same sub-block: one dirty sub-block.
+	c.Access(write(0x100))
+	c.Access(write(0x100))
+	c.Access(write(0x102))
+	st := c.Stats()
+	if st.WriteThroughWords != 0 {
+		t.Errorf("copy-back emitted %d direct store words", st.WriteThroughWords)
+	}
+	if st.WriteBackWords != 0 {
+		t.Errorf("write-back before eviction: %d words", st.WriteBackWords)
+	}
+	// Flush: the single dirty 4-byte sub-block = 2 words.
+	c.FlushUsage()
+	if st.WriteBackWords != 2 {
+		t.Errorf("write-back words after flush = %d, want 2", st.WriteBackWords)
+	}
+	if got := st.WriteTrafficPerStore(); got != 2.0/3.0 {
+		t.Errorf("per-store traffic = %g, want 2/3", got)
+	}
+}
+
+func TestCopyBackWritesBackOnEviction(t *testing.T) {
+	c := small(t, func(cfg *Config) { cfg.CopyBack = true })
+	c.Access(write(0x000)) // dirty sub-block in set 0
+	c.Access(read(0x020))  // fill second way
+	c.Access(read(0x040))  // evict block 0x000 (LRU)
+	st := c.Stats()
+	if st.WriteBackWords != 2 {
+		t.Errorf("write-back words after eviction = %d, want 2", st.WriteBackWords)
+	}
+	// A clean eviction must not write back.
+	c.Access(read(0x060)) // evicts 0x020 (clean)
+	if st.WriteBackWords != 2 {
+		t.Errorf("clean eviction wrote back: %d words", st.WriteBackWords)
+	}
+}
+
+func TestCopyBackNoDoubleFlush(t *testing.T) {
+	c := small(t, func(cfg *Config) { cfg.CopyBack = true })
+	c.Access(write(0x100))
+	c.FlushUsage()
+	c.FlushUsage() // dirty bits were cleared; second flush adds nothing
+	if got := c.Stats().WriteBackWords; got != 2 {
+		t.Errorf("double flush accumulated %d words, want 2", got)
+	}
+}
+
+func TestCopyBackNoAllocateStoreGoesToMemory(t *testing.T) {
+	c := small(t, func(cfg *Config) {
+		cfg.CopyBack = true
+		cfg.Write = WriteNoAllocate
+	})
+	c.Access(write(0x100)) // miss, not allocated: direct store
+	st := c.Stats()
+	if st.WriteThroughWords != 1 {
+		t.Errorf("uncached store words = %d, want 1", st.WriteThroughWords)
+	}
+	// A later write hit dirties normally.
+	c.Access(read(0x100))
+	c.Access(write(0x100))
+	c.FlushUsage()
+	if st.WriteBackWords != 2 {
+		t.Errorf("write-back words = %d, want 2", st.WriteBackWords)
+	}
+}
+
+func TestWriteIgnoreHasNoWriteTraffic(t *testing.T) {
+	c := small(t, func(cfg *Config) { cfg.Write = WriteIgnore; cfg.CopyBack = true })
+	c.Access(write(0x100))
+	c.FlushUsage()
+	if got := c.Stats().WriteTrafficWords(); got != 0 {
+		t.Errorf("ignored writes produced %d words", got)
+	}
+}
+
+func TestWriteTrafficDoesNotTouchReadMetrics(t *testing.T) {
+	for _, cb := range []bool{false, true} {
+		c := small(t, func(cfg *Config) { cfg.CopyBack = cb })
+		for i := 0; i < 200; i++ {
+			c.Access(write(addr.Addr(i * 2)))
+		}
+		st := c.Stats()
+		if st.Accesses != 0 || st.Misses != 0 || st.WordsFetched != 0 {
+			t.Errorf("copyback=%v: writes leaked into read metrics: %+v", cb, st)
+		}
+	}
+}
+
+// Property: copy-back write traffic never exceeds write-through traffic
+// on the same stream when sub-block size equals the word size (no
+// write-back granularity inflation), and equals it only without reuse.
+func TestPropertyCopyBackNoWorseAtWordGranularity(t *testing.T) {
+	f := func(seed uint64) bool {
+		mk := func(cb bool) *Cache {
+			c, err := New(Config{NetSize: 128, BlockSize: 8, SubBlockSize: 2,
+				Assoc: 4, WordSize: 2, CopyBack: cb})
+			if err != nil {
+				panic(err)
+			}
+			return c
+		}
+		wt, cbk := mk(false), mk(true)
+		r := rng.New(seed)
+		for i := 0; i < 3000; i++ {
+			a := addr.AlignDown(addr.Addr(r.Uint32()&0x3ff), 2)
+			kind := trace.Read
+			if r.Bool(0.4) {
+				kind = trace.Write
+			}
+			ref := trace.Ref{Addr: a, Kind: kind, Size: 2}
+			wt.Access(ref)
+			cbk.Access(ref)
+		}
+		wt.FlushUsage()
+		cbk.FlushUsage()
+		return cbk.Stats().WriteTrafficWords() <= wt.Stats().WriteTrafficWords()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: under copy-back, total write-back words never exceed
+// (stores x words-per-sub-block): each store dirties at most one
+// sub-block.
+func TestPropertyWriteBackBounded(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := Config{NetSize: 256, BlockSize: 16, SubBlockSize: 8,
+			Assoc: 4, WordSize: 2, CopyBack: true}
+		c, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		stores := 0
+		for i := 0; i < 2000; i++ {
+			a := addr.AlignDown(addr.Addr(r.Uint32()&0xfff), 2)
+			kind := trace.Read
+			if r.Bool(0.3) {
+				kind = trace.Write
+				stores++
+			}
+			c.Access(trace.Ref{Addr: a, Kind: kind, Size: 2})
+		}
+		c.FlushUsage()
+		bound := uint64(stores * cfg.WordsPerSubBlock())
+		return c.Stats().WriteBackWords <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

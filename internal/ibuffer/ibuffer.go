@@ -1,0 +1,225 @@
+// Package ibuffer models the instruction buffers the paper contrasts
+// with on-chip caches (§2.2).
+//
+// An instruction buffer "holds one or more blocks of the instruction
+// address space, feeds into the instruction fetch stage of the CPU
+// pipeline, and may or may not be capable of recognizing when a branch
+// target hits a location already in the buffer".  The paper names two
+// archetypes:
+//
+//   - the DEC VAX-11/780 style: a single short window of contiguous
+//     bytes that tracks sequential execution.  It reduces latency for
+//     consecutive fetches but, because it cannot recognise branch
+//     targets, it "does not reduce the number of bytes required from
+//     the memory system" -- its traffic ratio is exactly 1.
+//   - the CRAY-1 style: several buffers each holding a large aligned
+//     region, with branch-target recognition, so entire loops stay
+//     buffered.  These do cut traffic, at a large cost in bytes.
+//
+// Both are provided so the examples and experiments can reproduce the
+// paper's argument that a small *cache* (the "minimum cache") dominates
+// both per byte of chip area.
+package ibuffer
+
+import (
+	"fmt"
+	"io"
+
+	"subcache/internal/addr"
+	"subcache/internal/trace"
+)
+
+// Stats counts instruction-buffer activity.  Only instruction fetches
+// are presented to a buffer; each access is one data-path word.
+type Stats struct {
+	// Fetches is the number of word fetches presented.
+	Fetches uint64
+	// Hits is the number served from the buffer without a memory word.
+	Hits uint64
+	// WordsFetched is the bus traffic in words.
+	WordsFetched uint64
+}
+
+// HitRatio returns hits over fetches.
+func (s *Stats) HitRatio() float64 {
+	if s.Fetches == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Fetches)
+}
+
+// MissRatio returns 1 - HitRatio for nonzero fetch counts.
+func (s *Stats) MissRatio() float64 {
+	if s.Fetches == 0 {
+		return 0
+	}
+	return 1 - s.HitRatio()
+}
+
+// TrafficRatio returns bus words per fetched word (1.0 means the buffer
+// saves no bandwidth, the paper's point about simple buffers).
+func (s *Stats) TrafficRatio() float64 {
+	if s.Fetches == 0 {
+		return 0
+	}
+	return float64(s.WordsFetched) / float64(s.Fetches)
+}
+
+// Sequential is the VAX-11/780-style buffer: a FIFO of prefetched
+// consecutive bytes feeding the decoder.  A fetch of the word currently
+// in the decode latch or of the expected next word hits; everything
+// else -- including a backward branch to a byte that was buffered a
+// moment ago -- restarts the stream, because the buffer does not
+// recognise branch targets.  Each word entering the buffer crosses the
+// bus exactly once, so at instruction-stream level the traffic ratio is
+// 1 (less only the decoder's repeat reads of the word in the latch):
+// the paper's point that simple buffers reduce latency, not bandwidth.
+//
+// The byte capacity of the real buffer (8 bytes on the VAX-11/780)
+// governs how much fetch latency it can hide; at the architectural
+// hit/traffic level modelled here it has no further effect, so the
+// model has no size parameter beyond the word.
+type Sequential struct {
+	wordSize uint64
+
+	last  addr.Addr // word in the decode latch
+	next  addr.Addr // next prefetched word
+	valid bool
+
+	stats Stats
+}
+
+// NewSequential builds the buffer for the given data-path word size.
+func NewSequential(wordSize int) (*Sequential, error) {
+	if wordSize <= 0 || !addr.IsPow2(uint64(wordSize)) {
+		return nil, fmt.Errorf("ibuffer: word size %d not a positive power of two", wordSize)
+	}
+	return &Sequential{wordSize: uint64(wordSize)}, nil
+}
+
+// Stats returns the accumulated counters.
+func (b *Sequential) Stats() *Stats { return &b.stats }
+
+// Fetch presents one word-aligned instruction fetch.  It returns true
+// on a buffer hit.
+func (b *Sequential) Fetch(a addr.Addr) bool {
+	a = addr.AlignDown(a, b.wordSize)
+	b.stats.Fetches++
+	switch {
+	case b.valid && a == b.last:
+		// Decoder still consuming the latched word: free hit.
+		b.stats.Hits++
+		return true
+	case b.valid && a == b.next:
+		// The prefetched next word arrives: hit, one bus word.
+		b.stats.Hits++
+		b.stats.WordsFetched++
+		b.last = a
+		b.next = a + addr.Addr(b.wordSize)
+		return true
+	default:
+		// Control transfer: restart the stream at a.
+		b.stats.WordsFetched++
+		b.valid = true
+		b.last = a
+		b.next = a + addr.Addr(b.wordSize)
+		return false
+	}
+}
+
+// Loop is the CRAY-1-style buffer set: n buffers, each holding one
+// aligned region of the instruction space, replaced LRU, with
+// branch-target recognition -- a fetch anywhere in a resident region
+// hits.  A miss fills the whole region (the CRAY-1 streamed full buffer
+// lines), so traffic moves in region-sized transactions.
+type Loop struct {
+	wordSize   uint64
+	regionSize uint64
+
+	regions []loopRegion
+	clock   uint64
+
+	stats Stats
+}
+
+type loopRegion struct {
+	base     addr.Addr
+	valid    bool
+	lastUsed uint64
+}
+
+// NewLoop builds n buffers of regionSize bytes each.
+func NewLoop(n, regionSize, wordSize int) (*Loop, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("ibuffer: need at least one loop buffer")
+	}
+	if wordSize <= 0 || !addr.IsPow2(uint64(wordSize)) {
+		return nil, fmt.Errorf("ibuffer: word size %d not a positive power of two", wordSize)
+	}
+	if regionSize < wordSize || !addr.IsPow2(uint64(regionSize)) {
+		return nil, fmt.Errorf("ibuffer: region size %d not a power of two >= word size", regionSize)
+	}
+	return &Loop{
+		wordSize:   uint64(wordSize),
+		regionSize: uint64(regionSize),
+		regions:    make([]loopRegion, n),
+	}, nil
+}
+
+// Stats returns the accumulated counters.
+func (b *Loop) Stats() *Stats { return &b.stats }
+
+// Contains reports whether the region holding a is resident.
+func (b *Loop) Contains(a addr.Addr) bool {
+	base := addr.AlignDown(a, b.regionSize)
+	for i := range b.regions {
+		if b.regions[i].valid && b.regions[i].base == base {
+			return true
+		}
+	}
+	return false
+}
+
+// Fetch presents one instruction fetch; returns true on a hit in any
+// resident region.
+func (b *Loop) Fetch(a addr.Addr) bool {
+	b.clock++
+	b.stats.Fetches++
+	base := addr.AlignDown(a, b.regionSize)
+	lru := 0
+	for i := range b.regions {
+		r := &b.regions[i]
+		if r.valid && r.base == base {
+			r.lastUsed = b.clock
+			b.stats.Hits++
+			return true
+		}
+		if !b.regions[lru].valid {
+			continue // keep pointing at an invalid slot
+		}
+		if !r.valid || r.lastUsed < b.regions[lru].lastUsed {
+			lru = i
+		}
+	}
+	b.regions[lru] = loopRegion{base: base, valid: true, lastUsed: b.clock}
+	b.stats.WordsFetched += b.regionSize / b.wordSize
+	return false
+}
+
+// Run drives a buffer with the instruction fetches of a word-split
+// source, ignoring data references (buffers see only the fetch stage).
+func Run(b interface{ Fetch(addr.Addr) bool }, src trace.Source) error {
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if r.Kind != trace.IFetch {
+			continue
+		}
+		b.Fetch(r.Addr)
+	}
+}

@@ -1,0 +1,268 @@
+package ibuffer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"subcache/internal/addr"
+	"subcache/internal/rng"
+	"subcache/internal/synth"
+	"subcache/internal/trace"
+)
+
+func TestNewSequentialValidation(t *testing.T) {
+	if _, err := NewSequential(0); err == nil {
+		t.Error("accepted zero word size")
+	}
+	if _, err := NewSequential(3); err == nil {
+		t.Error("accepted non-pow2 word size")
+	}
+}
+
+func TestSequentialStraightLineHits(t *testing.T) {
+	b, err := NewSequential(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First fetch misses; nine sequential successors hit.
+	if b.Fetch(0x100) {
+		t.Error("cold fetch hit")
+	}
+	for i := 1; i <= 9; i++ {
+		if !b.Fetch(addr.Addr(0x100 + 2*i)) {
+			t.Errorf("sequential fetch %d missed", i)
+		}
+	}
+	st := b.Stats()
+	if st.Fetches != 10 || st.Hits != 9 {
+		t.Errorf("stats %+v", st)
+	}
+	// Every word still crossed the bus: traffic ratio exactly 1.
+	if got := st.TrafficRatio(); got != 1 {
+		t.Errorf("traffic = %g, want 1 (simple buffers save no bandwidth)", got)
+	}
+}
+
+func TestSequentialBranchMisses(t *testing.T) {
+	b, _ := NewSequential(2)
+	b.Fetch(0x100)
+	b.Fetch(0x102)
+	if b.Fetch(0x200) {
+		t.Error("branch target hit in a non-recognising buffer")
+	}
+	// The decoder re-reading the latched word is free.
+	if !b.Fetch(0x201) {
+		// 0x201 aligns to 0x200, the latched word: hit.
+		t.Error("latched-word refetch missed")
+	}
+	// A branch BACK to a just-executed address misses: the buffer does
+	// not recognise targets.
+	if b.Fetch(0x102) {
+		t.Error("backward branch hit in a non-recognising buffer")
+	}
+}
+
+// TestSequentialLoopTrafficEqualsOne: looping code gets NO bandwidth
+// help from a simple buffer -- each iteration refetches (the paper's
+// motivation for caches over buffers).
+func TestSequentialLoopTraffic(t *testing.T) {
+	b, _ := NewSequential(2)
+	for iter := 0; iter < 100; iter++ {
+		for pc := addr.Addr(0x100); pc < 0x110; pc += 2 {
+			b.Fetch(pc)
+		}
+	}
+	st := b.Stats()
+	if got := st.TrafficRatio(); math.Abs(got-1) > 0.01 {
+		t.Errorf("loop traffic ratio = %g, want ~1", got)
+	}
+	// But latency-wise it still hits on the sequential part.
+	if st.HitRatio() < 0.8 {
+		t.Errorf("hit ratio = %g, want high (sequential bodies)", st.HitRatio())
+	}
+}
+
+func TestNewLoopValidation(t *testing.T) {
+	if _, err := NewLoop(0, 128, 2); err == nil {
+		t.Error("accepted zero buffers")
+	}
+	if _, err := NewLoop(4, 0, 2); err == nil {
+		t.Error("accepted zero region")
+	}
+	if _, err := NewLoop(4, 100, 2); err == nil {
+		t.Error("accepted non-pow2 region")
+	}
+	if _, err := NewLoop(4, 128, 5); err == nil {
+		t.Error("accepted bad word size")
+	}
+}
+
+func TestLoopRecognisesBranchTargets(t *testing.T) {
+	// CRAY-1 shape: 4 buffers of 128 bytes.
+	b, err := NewLoop(4, 128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Fetch(0x100) {
+		t.Error("cold fetch hit")
+	}
+	// A branch to a different word in the same region hits: the buffer
+	// recognises targets.
+	if !b.Fetch(0x140) {
+		t.Error("branch target within region missed")
+	}
+	if !b.Contains(0x17e) {
+		t.Error("region edge not resident")
+	}
+	if b.Contains(0x180) {
+		t.Error("next region spuriously resident")
+	}
+}
+
+func TestLoopHoldsEntireLoops(t *testing.T) {
+	b, _ := NewLoop(4, 128, 2)
+	// A 100-iteration loop over 64 bytes: one fill, then all hits.
+	for iter := 0; iter < 100; iter++ {
+		for pc := addr.Addr(0x100); pc < 0x140; pc += 2 {
+			b.Fetch(pc)
+		}
+	}
+	st := b.Stats()
+	if st.WordsFetched != 64 { // one 128-byte region = 64 words
+		t.Errorf("words fetched = %d, want 64", st.WordsFetched)
+	}
+	if st.TrafficRatio() > 0.05 {
+		t.Errorf("loop buffer traffic = %g, want tiny", st.TrafficRatio())
+	}
+}
+
+func TestLoopLRUReplacement(t *testing.T) {
+	b, _ := NewLoop(2, 128, 2)
+	b.Fetch(0x000) // region A
+	b.Fetch(0x080) // region B
+	b.Fetch(0x000) // touch A
+	b.Fetch(0x100) // region C evicts B (LRU)
+	if !b.Contains(0x000) || !b.Contains(0x100) {
+		t.Error("wrong survivors after replacement")
+	}
+	if b.Contains(0x080) {
+		t.Error("LRU region not evicted")
+	}
+}
+
+func TestRunFiltersDataRefs(t *testing.T) {
+	b, _ := NewLoop(2, 128, 2)
+	refs := []trace.Ref{
+		{Addr: 0x100, Kind: trace.IFetch, Size: 2},
+		{Addr: 0x5000, Kind: trace.Read, Size: 2},
+		{Addr: 0x6000, Kind: trace.Write, Size: 2},
+		{Addr: 0x102, Kind: trace.IFetch, Size: 2},
+	}
+	if err := Run(b, trace.NewSliceSource(refs)); err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats().Fetches != 2 {
+		t.Errorf("fetches = %d, want 2 (data refs filtered)", b.Stats().Fetches)
+	}
+}
+
+func TestStatsZeroSafe(t *testing.T) {
+	var s Stats
+	if s.HitRatio() != 0 || s.MissRatio() != 0 || s.TrafficRatio() != 0 {
+		t.Error("zero stats not safe")
+	}
+}
+
+// Property: on ANY fetch stream, the sequential buffer's traffic ratio
+// is exactly 1 -- the paper's claim that simple buffers never save
+// bandwidth.
+func TestPropertySequentialTrafficIsOne(t *testing.T) {
+	f := func(seed uint64) bool {
+		b, err := NewSequential(2)
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		var pc addr.Addr = 0x100
+		for i := 0; i < 2000; i++ {
+			// Always advance or jump to a different word, so the
+			// decode-latch free-hit case never fires: traffic must
+			// then be exactly 1.
+			if r.Bool(0.25) {
+				np := addr.AlignDown(addr.Addr(r.Uint32()&0xffff), 2)
+				if np == pc {
+					np += 2
+				}
+				pc = np
+			} else {
+				pc += 2
+			}
+			b.Fetch(pc)
+		}
+		return b.Stats().TrafficRatio() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the loop-buffer hit+miss partition is exact and traffic is
+// misses x region words.
+func TestPropertyLoopAccounting(t *testing.T) {
+	f := func(seed uint64) bool {
+		b, err := NewLoop(4, 64, 2)
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		for i := 0; i < 2000; i++ {
+			b.Fetch(addr.AlignDown(addr.Addr(r.Uint32()&0x3ff), 2))
+		}
+		st := b.Stats()
+		misses := st.Fetches - st.Hits
+		return st.WordsFetched == misses*32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBuffersOnRealWorkload: on a synthetic instruction stream, the
+// CRAY-style buffers must beat the simple buffer on traffic, and both
+// must achieve reasonable hit ratios.
+func TestBuffersOnRealWorkload(t *testing.T) {
+	prof, ok := synth.ProfileByName("GREP")
+	if !ok {
+		t.Fatal("GREP missing")
+	}
+	refs, err := synth.Generate(prof, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words, err := trace.SplitAll(trace.NewSliceSource(refs), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _ := NewSequential(2)
+	loop, _ := NewLoop(4, 128, 2)
+	if err := Run(seq, trace.NewSliceSource(words)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(loop, trace.NewSliceSource(words)); err != nil {
+		t.Fatal(err)
+	}
+	if tr := seq.Stats().TrafficRatio(); tr < 0.9 || tr > 1 {
+		t.Errorf("sequential traffic = %g, want ~1 (no bandwidth saving)", tr)
+	}
+	if loop.Stats().TrafficRatio() >= 1 {
+		t.Errorf("loop buffers did not cut traffic: %g", loop.Stats().TrafficRatio())
+	}
+	if seq.Stats().HitRatio() < 0.3 {
+		t.Errorf("sequential hit ratio %g implausibly low", seq.Stats().HitRatio())
+	}
+	if loop.Stats().HitRatio() <= seq.Stats().HitRatio() {
+		t.Errorf("loop buffers (%g) should out-hit the 8-byte window (%g)",
+			loop.Stats().HitRatio(), seq.Stats().HitRatio())
+	}
+}

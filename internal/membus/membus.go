@@ -1,0 +1,129 @@
+// Package membus models the cost of moving words across the
+// processor-memory bus, the basis of the paper's traffic ratio and
+// scaled (nibble-mode) traffic ratio.
+//
+// The paper (§4.3) observes that with page-mode or nibble-mode DRAMs, or
+// with a transactional multiprocessor bus, the cost of fetching w
+// sequential words has the form a + b*w rather than being proportional
+// to w; using Bursky's timings (160 ns first word, 55 ns subsequent,
+// approximated as 3:1) it adopts cost(w) = 1 + (w-1)/3 with the single
+// word as the unit.  Multiplying the standard traffic ratio by
+// cost(w)/w produces the scaled traffic ratio.
+package membus
+
+import (
+	"fmt"
+
+	"subcache/internal/cache"
+)
+
+// CostModel prices a contiguous transfer of w >= 1 sequential words, in
+// units of one isolated single-word transfer.
+type CostModel interface {
+	// Cost returns the price of one transaction of w sequential words.
+	Cost(w int) float64
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// Linear is the conventional bus: cost(w) = w.  Under Linear the scaled
+// traffic ratio equals the standard traffic ratio.
+type Linear struct{}
+
+// Cost implements CostModel.
+func (Linear) Cost(w int) float64 { return float64(w) }
+
+// Name implements CostModel.
+func (Linear) Name() string { return "linear" }
+
+// Nibble is the paper's nibble/page-mode memory: the first word costs 1,
+// each subsequent word costs Ratio (the paper uses 1/3, from 160 ns vs
+// 55 ns access times).
+type Nibble struct {
+	// Ratio is the relative cost of a subsequent word.  The zero value
+	// is replaced by the paper's 1/3.
+	Ratio float64
+}
+
+// PaperNibble is the paper's cost model: 1 + (w-1)/3.
+var PaperNibble = Nibble{Ratio: 1.0 / 3.0}
+
+// NibbleFromTimings derives the model from device timings: the access
+// time of the first word and of each subsequent (page/nibble-mode)
+// word.  Bursky's parts (160 ns / 55 ns) give the ratio the paper
+// approximates as 1/3.
+func NibbleFromTimings(firstNs, subsequentNs float64) (Nibble, error) {
+	if firstNs <= 0 || subsequentNs <= 0 {
+		return Nibble{}, fmt.Errorf("membus: timings must be positive, got %g/%g", firstNs, subsequentNs)
+	}
+	if subsequentNs > firstNs {
+		return Nibble{}, fmt.Errorf("membus: subsequent-word time %g exceeds first-word time %g", subsequentNs, firstNs)
+	}
+	return Nibble{Ratio: subsequentNs / firstNs}, nil
+}
+
+// Cost implements CostModel.
+func (n Nibble) Cost(w int) float64 {
+	r := n.Ratio
+	if r == 0 {
+		r = 1.0 / 3.0
+	}
+	if w <= 0 {
+		return 0
+	}
+	return 1 + r*float64(w-1)
+}
+
+// Name implements CostModel.
+func (n Nibble) Name() string { return "nibble" }
+
+// Transactional is a shared bus with fixed per-transaction overhead:
+// cost(w) = Overhead + PerWord*w, the general a + b*w form of §4.3.
+type Transactional struct {
+	Overhead float64 // a: arbitration/address cost per transaction
+	PerWord  float64 // b: cost per word moved
+}
+
+// Cost implements CostModel.
+func (t Transactional) Cost(w int) float64 {
+	if w <= 0 {
+		return 0
+	}
+	return t.Overhead + t.PerWord*float64(w)
+}
+
+// Name implements CostModel.
+func (t Transactional) Name() string {
+	return fmt.Sprintf("transactional(a=%g,b=%g)", t.Overhead, t.PerWord)
+}
+
+// ScaledTraffic returns the scaled traffic ratio of a finished run under
+// the given cost model: the total cost of the run's bus transactions
+// divided by the cost of the no-cache baseline (one single-word
+// transaction per counted access).
+//
+// For a demand-fetch cache whose transactions are all w words this
+// reduces to the paper's formula traffic * cost(w)/w.
+func ScaledTraffic(st *cache.Stats, m CostModel) float64 {
+	if st.Accesses == 0 {
+		return 0
+	}
+	var total float64
+	for w, n := range st.Transactions {
+		total += m.Cost(w) * float64(n)
+	}
+	base := m.Cost(1) * float64(st.Accesses)
+	if base == 0 {
+		return 0
+	}
+	return total / base
+}
+
+// ScaleFactor returns cost(w)/w, the multiplier the paper applies to the
+// standard traffic ratio for a cache with a fixed w-word transfer size.
+func ScaleFactor(m CostModel, w int) float64 {
+	if w <= 0 {
+		return 0
+	}
+	return m.Cost(w) / float64(w)
+}

@@ -1,0 +1,228 @@
+package membus
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"subcache/internal/cache"
+)
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestLinearCost(t *testing.T) {
+	m := Linear{}
+	for w := 1; w <= 32; w *= 2 {
+		if got := m.Cost(w); got != float64(w) {
+			t.Errorf("Linear.Cost(%d) = %g", w, got)
+		}
+	}
+}
+
+func TestNibbleCostPaperValues(t *testing.T) {
+	// The paper: cost(w) = 1 + (w-1)/3.
+	m := PaperNibble
+	cases := []struct {
+		w    int
+		want float64
+	}{
+		{1, 1}, {2, 1 + 1.0/3}, {4, 2}, {8, 1 + 7.0/3}, {16, 6},
+	}
+	for _, c := range cases {
+		if got := m.Cost(c.w); !close(got, c.want) {
+			t.Errorf("Nibble.Cost(%d) = %g, want %g", c.w, got, c.want)
+		}
+	}
+}
+
+func TestNibbleZeroRatioDefaults(t *testing.T) {
+	if got := (Nibble{}).Cost(4); !close(got, 2) {
+		t.Errorf("Nibble{}.Cost(4) = %g, want 2", got)
+	}
+}
+
+func TestNibbleNonPositiveWords(t *testing.T) {
+	if got := PaperNibble.Cost(0); got != 0 {
+		t.Errorf("Cost(0) = %g", got)
+	}
+}
+
+func TestTransactionalCost(t *testing.T) {
+	m := Transactional{Overhead: 2, PerWord: 0.5}
+	if got := m.Cost(4); !close(got, 4) {
+		t.Errorf("Transactional.Cost(4) = %g, want 4", got)
+	}
+	if got := m.Cost(0); got != 0 {
+		t.Errorf("Transactional.Cost(0) = %g, want 0", got)
+	}
+}
+
+// TestScaleFactorTable7 verifies the multipliers implied by Table 7's
+// nibble columns (word = one data-path word).
+func TestScaleFactorTable7(t *testing.T) {
+	cases := []struct {
+		w    int
+		want float64
+	}{
+		{1, 1},         // x,2 rows: nibble == standard on a 2-byte path
+		{2, 2.0 / 3},   // e.g. PDP-11 16,4: 1.114 -> 0.743
+		{4, 0.5},       // e.g. PDP-11 8,8: 0.672 -> 0.336
+		{8, 10.0 / 24}, // e.g. PDP-11 32,16: 1.528 -> 0.637
+		{16, 6.0 / 16}, // e.g. PDP-11 32,32: 2.336 -> 0.876
+	}
+	for _, c := range cases {
+		if got := ScaleFactor(PaperNibble, c.w); !close(got, c.want) {
+			t.Errorf("ScaleFactor(nibble, %d) = %g, want %g", c.w, got, c.want)
+		}
+	}
+	// Spot-check the actual Table 7 arithmetic.
+	if got := 1.528 * ScaleFactor(PaperNibble, 8); math.Abs(got-0.637) > 0.001 {
+		t.Errorf("32,16 scaled = %g, want 0.637", got)
+	}
+	if got := 2.336 * ScaleFactor(PaperNibble, 16); math.Abs(got-0.876) > 0.001 {
+		t.Errorf("32,32 scaled = %g, want 0.876", got)
+	}
+}
+
+func TestScaledTrafficUniformTransactions(t *testing.T) {
+	// 100 accesses, 10 transactions of 4 words: standard traffic 0.4,
+	// nibble scaled 0.4 * 0.5 = 0.2.
+	st := &cache.Stats{
+		Accesses:     100,
+		WordsFetched: 40,
+		Transactions: map[int]uint64{4: 10},
+	}
+	if got := ScaledTraffic(st, Linear{}); !close(got, 0.4) {
+		t.Errorf("linear scaled = %g, want 0.4", got)
+	}
+	if got := ScaledTraffic(st, PaperNibble); !close(got, 0.2) {
+		t.Errorf("nibble scaled = %g, want 0.2", got)
+	}
+}
+
+func TestScaledTrafficMixedTransactions(t *testing.T) {
+	// Mixed transaction lengths (as load-forward produces): sum costs.
+	st := &cache.Stats{
+		Accesses:     10,
+		Transactions: map[int]uint64{1: 2, 4: 1},
+	}
+	want := (2*1 + 1*2.0) / 10 // nibble: cost(1)=1, cost(4)=2
+	if got := ScaledTraffic(st, PaperNibble); !close(got, want) {
+		t.Errorf("mixed scaled = %g, want %g", got, want)
+	}
+}
+
+func TestScaledTrafficEmpty(t *testing.T) {
+	if got := ScaledTraffic(&cache.Stats{}, PaperNibble); got != 0 {
+		t.Errorf("empty scaled = %g", got)
+	}
+}
+
+// Property: linear scaled traffic equals the plain traffic ratio for any
+// histogram.
+func TestPropertyLinearEqualsStandard(t *testing.T) {
+	f := func(counts [6]uint8, accesses uint16) bool {
+		if accesses == 0 {
+			return true
+		}
+		st := &cache.Stats{Accesses: uint64(accesses), Transactions: map[int]uint64{}}
+		var words uint64
+		for i, n := range counts {
+			w := 1 << i
+			st.Transactions[w] = uint64(n)
+			words += uint64(w) * uint64(n)
+		}
+		st.WordsFetched = words
+		return close(ScaledTraffic(st, Linear{}), st.TrafficRatio())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: nibble cost never exceeds linear cost, and batching always
+// helps (cost(w) <= w, cost strictly sub-additive for w > 1).
+func TestPropertyNibbleCheaper(t *testing.T) {
+	for w := 1; w <= 64; w++ {
+		n, l := PaperNibble.Cost(w), Linear{}.Cost(w)
+		if n > l+1e-12 {
+			t.Errorf("nibble cost(%d)=%g exceeds linear %g", w, n, l)
+		}
+		if w > 1 && !(n < l) {
+			t.Errorf("nibble cost(%d)=%g not strictly below linear", w, n)
+		}
+	}
+}
+
+func TestSharedBusDemand(t *testing.T) {
+	bus := SharedBus{WordsPerSecond: 1e6, Model: Linear{}}
+	// One processor, 1e6 accesses/s, traffic ratio 0.5: demand 0.5.
+	if got := bus.Demand(1, 1e6, 0.5, 1); !close(got, 0.5) {
+		t.Errorf("Demand = %g, want 0.5", got)
+	}
+	// Two processors double it.
+	if got := bus.Demand(2, 1e6, 0.5, 1); !close(got, 1.0) {
+		t.Errorf("Demand(2) = %g, want 1.0", got)
+	}
+}
+
+func TestSharedBusNibbleBatching(t *testing.T) {
+	lin := SharedBus{WordsPerSecond: 1e6, Model: Linear{}}
+	nib := SharedBus{WordsPerSecond: 1e6, Model: PaperNibble}
+	// Same traffic ratio moved in 4-word transactions costs less on a
+	// nibble bus.
+	if nib.Demand(1, 1e6, 0.5, 4) >= lin.Demand(1, 1e6, 0.5, 4) {
+		t.Error("nibble bus should lower demand for batched transfers")
+	}
+}
+
+func TestMaxProcessors(t *testing.T) {
+	bus := SharedBus{WordsPerSecond: 1e6, Model: Linear{}}
+	// Demand per processor = 0.1; at 70% target, 7 processors fit.
+	if got := bus.MaxProcessors(1e6, 0.1, 1, 0.7); got != 7 {
+		t.Errorf("MaxProcessors = %d, want 7", got)
+	}
+	// A cache that halves traffic doubles the processor count: the
+	// paper's multiprocessor argument.
+	if got := bus.MaxProcessors(1e6, 0.05, 1, 0.7); got != 14 {
+		t.Errorf("MaxProcessors = %d, want 14", got)
+	}
+	if got := bus.MaxProcessors(0, 0.5, 1, 0.7); got != 0 {
+		t.Errorf("MaxProcessors with zero rate = %d", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (Linear{}).Name() != "linear" || PaperNibble.Name() != "nibble" {
+		t.Error("model names wrong")
+	}
+	tr := Transactional{Overhead: 1, PerWord: 2}
+	if tr.Name() == "" {
+		t.Error("transactional name empty")
+	}
+	bus := SharedBus{WordsPerSecond: 1, Model: Linear{}}
+	if bus.String() == "" {
+		t.Error("bus string empty")
+	}
+}
+
+func TestNibbleFromTimings(t *testing.T) {
+	// Bursky's parts: 160 ns first word, 55 ns subsequent.
+	m, err := NibbleFromTimings(160, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Ratio-55.0/160.0) > 1e-12 {
+		t.Errorf("ratio = %g", m.Ratio)
+	}
+	// cost(4) with the exact ratio vs the paper's 1/3 approximation.
+	if got, approx := m.Cost(4), PaperNibble.Cost(4); math.Abs(got-approx) > 0.1 {
+		t.Errorf("timing-derived cost %g too far from paper approximation %g", got, approx)
+	}
+	if _, err := NibbleFromTimings(0, 55); err == nil {
+		t.Error("accepted zero first-word time")
+	}
+	if _, err := NibbleFromTimings(55, 160); err == nil {
+		t.Error("accepted subsequent slower than first")
+	}
+}

@@ -1,0 +1,114 @@
+package paperdata
+
+import (
+	"math"
+	"testing"
+
+	"subcache/internal/synth"
+)
+
+// TestTable7InternalConsistency verifies the transcription against the
+// table's structural identity: with demand fetch every miss moves
+// exactly one sub-block, so traffic = miss * (sub / word).  Published
+// values are rounded to 3-4 digits, so the check allows rounding error.
+func TestTable7InternalConsistency(t *testing.T) {
+	for arch, cells := range Table7 {
+		word := float64(arch.WordSize())
+		for k, c := range cells {
+			factor := float64(k.Sub) / word
+			want := c.Miss * factor
+			// Published ratios carry ~0.001 rounding in each figure.
+			tol := 0.002 * factor
+			if math.Abs(c.Traffic-want) > tol {
+				t.Errorf("%v %v: traffic %.4f != miss %.4f * %g (+-%.4f)",
+					arch, k, c.Traffic, c.Miss, factor, tol)
+			}
+		}
+	}
+}
+
+// TestTable7GeometryValid checks every key is a Table 1 organisation
+// compatible with its architecture's word size.
+func TestTable7GeometryValid(t *testing.T) {
+	for arch, cells := range Table7 {
+		for k := range cells {
+			if k.Sub > k.Block || k.Block > k.Net {
+				t.Errorf("%v %v: inconsistent geometry", arch, k)
+			}
+			if k.Sub < arch.WordSize() {
+				t.Errorf("%v %v: sub-block below word size", arch, k)
+			}
+		}
+	}
+}
+
+// TestTable7Coverage ensures the transcription spans all architectures
+// and all three reported net sizes.
+func TestTable7Coverage(t *testing.T) {
+	for _, arch := range synth.AllArchs() {
+		cells, ok := Table7[arch]
+		if !ok {
+			t.Fatalf("no Table 7 data for %v", arch)
+		}
+		nets := map[int]int{}
+		for k := range cells {
+			nets[k.Net]++
+		}
+		for _, net := range []int{64, 256, 1024} {
+			if nets[net] < 5 {
+				t.Errorf("%v: only %d cells at net %d", arch, nets[net], net)
+			}
+		}
+	}
+}
+
+// TestArchOrdering spot-checks the paper's architecture ordering at the
+// shared anchor point (1024-byte, 16,8).
+func TestArchOrdering(t *testing.T) {
+	k := Key{1024, 16, 8}
+	z := Table7[synth.Z8000][k].Miss
+	p := Table7[synth.PDP11][k].Miss
+	v := Table7[synth.VAX11][k].Miss
+	s := Table7[synth.S370][k].Miss
+	if !(z < p && p < v && v < s) {
+		t.Errorf("paper ordering broken in transcription: %g %g %g %g", z, p, v, s)
+	}
+}
+
+// TestTable8Consistency: non-LF rows obey traffic = miss * sub/word
+// (word = 2 on the Z8000); LF rows sit between the sub-block-only and
+// block-fill traffic.
+func TestTable8Consistency(t *testing.T) {
+	for k, c := range Table8 {
+		if !k.LoadForward {
+			want := c.Miss * float64(k.Sub) / 2
+			if math.Abs(c.Traffic-want) > 0.002*float64(k.Sub) {
+				t.Errorf("%v: traffic %.3f != %.3f", k, c.Traffic, want)
+			}
+		}
+	}
+	// The paper's headline LF claims at the Z80,000 point (256B, 16,2):
+	// LF cuts traffic ~20%% versus whole-block fill for ~7%% miss cost.
+	wb := Table8[LFKey{256, 16, 16, false}]
+	lf := Table8[LFKey{256, 16, 2, true}]
+	sb := Table8[LFKey{256, 16, 2, false}]
+	if !(lf.Traffic < wb.Traffic && lf.Traffic > sb.Traffic) {
+		t.Error("LF traffic not between sub-block-only and whole-block")
+	}
+	if !(lf.Miss < sb.Miss && lf.Miss > wb.Miss) {
+		t.Error("LF miss not between whole-block and sub-block-only")
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	if !(Table6.Way16 < Table6.Way8 && Table6.Way8 < Table6.Way4) {
+		t.Error("associativity ordering broken")
+	}
+	ratio := Table6.Sector360 / Table6.Way4
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("sector/4-way ratio %.2f, paper says ~3x", ratio)
+	}
+	if Table6.NeverRefFrac != 0.72 {
+		t.Error("72%% untouched sub-block figure wrong")
+	}
+}

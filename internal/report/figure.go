@@ -1,0 +1,184 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"subcache/internal/sweep"
+)
+
+// XY is one plotted point.
+type XY struct {
+	X, Y  float64
+	Label string
+}
+
+// Series is a named, ordered point sequence (one of the paper's solid
+// constant-block or dashed constant-sub-block lines).
+type Series struct {
+	Name   string
+	Points []XY
+}
+
+// Figure is a miss-ratio-versus-traffic-ratio plot in the style of the
+// paper's Figures 1-9.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// CSV renders every series as rows of (series, label, x, y).
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "series,label,%s,%s\n", csvEscape(f.XLabel), csvEscape(f.YLabel))
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%s,%s,%.6f,%.6f\n", csvEscape(s.Name), csvEscape(p.Label), p.X, p.Y)
+		}
+	}
+	return b.String()
+}
+
+// ASCII renders the figure as a width x height character scatter plot.
+// Each series is drawn with its own marker (a, b, c, ...); overlapping
+// points keep the first marker.  Axes are linear, spanning the data.
+func (f *Figure) ASCII(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	n := 0
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+			n++
+		}
+	}
+	if n == 0 {
+		return f.Title + " (no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		marker := byte('a' + si%26)
+		for _, p := range s.Points {
+			x := int(float64(width-1) * (p.X - minX) / (maxX - minX))
+			y := int(float64(height-1) * (p.Y - minY) / (maxY - minY))
+			row := height - 1 - y
+			if grid[row][x] == ' ' {
+				grid[row][x] = marker
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	fmt.Fprintf(&b, "%s (vertical, %.4f..%.4f) vs %s (horizontal, %.4f..%.4f)\n",
+		f.YLabel, minY, maxY, f.XLabel, minX, maxX)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c = %s\n", byte('a'+si%26), s.Name)
+	}
+	return b.String()
+}
+
+// MissVsTraffic builds the paper's figure structure from a sweep result:
+// for each net size, one series per constant block size (the solid "bz"
+// lines, points ordered by sub-block size) and one per constant
+// sub-block size (the dashed "sz" lines).  scaled selects the
+// nibble-mode traffic ratio (Figures 7 and 8) instead of the standard
+// one.
+func MissVsTraffic(res *sweep.Result, netSizes []int, scaled bool, title string) *Figure {
+	fig := &Figure{
+		Title:  title,
+		XLabel: "traffic ratio",
+		YLabel: "miss ratio",
+	}
+	if scaled {
+		fig.XLabel = "scaled traffic ratio (nibble mode)"
+	}
+	wantNet := make(map[int]bool, len(netSizes))
+	for _, n := range netSizes {
+		wantNet[n] = true
+	}
+	pts := res.Points()
+
+	// Constant-block (solid) lines.
+	type key struct{ net, block int }
+	blockLines := map[key][]XY{}
+	subLines := map[key][]XY{}
+	var blockKeys, subKeys []key
+	for _, p := range pts {
+		if !wantNet[p.Net] {
+			continue
+		}
+		s := res.Summaries[p]
+		x := s.Traffic
+		if scaled {
+			x = s.Scaled
+		}
+		xy := XY{X: x, Y: s.Miss, Label: p.String()}
+		bk := key{p.Net, p.Block}
+		if _, ok := blockLines[bk]; !ok {
+			blockKeys = append(blockKeys, bk)
+		}
+		blockLines[bk] = append(blockLines[bk], xy)
+		sk := key{p.Net, p.Sub}
+		if _, ok := subLines[sk]; !ok {
+			subKeys = append(subKeys, sk)
+		}
+		subLines[sk] = append(subLines[sk], xy)
+	}
+	sort.Slice(blockKeys, func(i, j int) bool {
+		if blockKeys[i].net != blockKeys[j].net {
+			return blockKeys[i].net < blockKeys[j].net
+		}
+		return blockKeys[i].block < blockKeys[j].block
+	})
+	sort.Slice(subKeys, func(i, j int) bool {
+		if subKeys[i].net != subKeys[j].net {
+			return subKeys[i].net < subKeys[j].net
+		}
+		return subKeys[i].block < subKeys[j].block
+	})
+	for _, k := range blockKeys {
+		if len(blockLines[k]) < 2 {
+			continue // a one-point "line" is just clutter
+		}
+		fig.Series = append(fig.Series, Series{
+			Name:   fmt.Sprintf("net%d b%d", k.net, k.block),
+			Points: blockLines[k],
+		})
+	}
+	for _, k := range subKeys {
+		if len(subLines[k]) < 2 {
+			continue
+		}
+		fig.Series = append(fig.Series, Series{
+			Name:   fmt.Sprintf("net%d s%d", k.net, k.block),
+			Points: subLines[k],
+		})
+	}
+	return fig
+}

@@ -1,0 +1,125 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SVG renders the figure as a standalone SVG document in the style of
+// the paper's figures: miss ratio on the vertical axis, traffic ratio on
+// the horizontal, one polyline per series (solid for constant-block "b"
+// lines, dashed for constant-sub-block "s" lines), points labelled by
+// their organisation on hover via <title>.
+func (f *Figure) SVG(width, height int) string {
+	const margin = 56
+	if width < 2*margin+40 {
+		width = 2*margin + 40
+	}
+	if height < 2*margin+40 {
+		height = 2*margin + 40
+	}
+	plotW := float64(width - 2*margin)
+	plotH := float64(height - 2*margin)
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	n := 0
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+			n++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-family="sans-serif" font-size="14">%s</text>`+"\n",
+		margin, xmlEscape(f.Title))
+	if n == 0 {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">no data</text>`+"\n",
+			margin, height/2)
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// Expand to round axis bounds starting at zero when data permits:
+	// the paper's figures anchor at the origin.
+	if minX > 0 && minX < 0.25*maxX {
+		minX = 0
+	}
+	if minY > 0 && minY < 0.25*maxY {
+		minY = 0
+	}
+	tx := func(x float64) float64 { return float64(margin) + plotW*(x-minX)/(maxX-minX) }
+	ty := func(y float64) float64 { return float64(height-margin) - plotH*(y-minY)/(maxY-minY) }
+
+	// Axes and gridlines at quarters.
+	fmt.Fprintf(&b, `<g stroke="#ccc" stroke-width="1" font-family="sans-serif" font-size="10" fill="#444">`+"\n")
+	for i := 0; i <= 4; i++ {
+		fx := minX + (maxX-minX)*float64(i)/4
+		fy := minY + (maxY-minY)*float64(i)/4
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d"/>`+"\n",
+			tx(fx), margin, tx(fx), height-margin)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f"/>`+"\n",
+			margin, ty(fy), width-margin, ty(fy))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" stroke="none">%.2f</text>`+"\n",
+			tx(fx), height-margin+16, fx)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" stroke="none">%.2f</text>`+"\n",
+			margin-6, ty(fy)+3, fy)
+	}
+	b.WriteString("</g>\n")
+	fmt.Fprintf(&b, `<g stroke="black" stroke-width="1.5">`+"\n")
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d"/>`+"\n",
+		margin, height-margin, width-margin, height-margin)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d"/>`+"\n",
+		margin, margin, margin, height-margin)
+	b.WriteString("</g>\n")
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		width/2, height-8, xmlEscape(f.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+		height/2, height/2, xmlEscape(f.YLabel))
+
+	palette := []string{"#1b6ca8", "#c0392b", "#1e8449", "#8e44ad", "#b7950b",
+		"#2c3e50", "#d35400", "#148f77", "#884ea0", "#7b241c"}
+	for si, s := range f.Series {
+		color := palette[si%len(palette)]
+		dashed := strings.Contains(s.Name, " s") // constant-sub-block lines
+		dash := ""
+		if dashed {
+			dash = ` stroke-dasharray="5,4"`
+		}
+		if len(s.Points) > 1 {
+			var pts []string
+			for _, p := range s.Points {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", tx(p.X), ty(p.Y)))
+			}
+			fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.3"%s points="%s"/>`+"\n",
+				color, dash, strings.Join(pts, " "))
+		}
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"><title>%s: %s (%.4f, %.4f)</title></circle>`+"\n",
+				tx(p.X), ty(p.Y), color, xmlEscape(s.Name), xmlEscape(p.Label), p.X, p.Y)
+		}
+		// Legend entry.
+		ly := margin + 14*si
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"%s/>`+"\n",
+			width-margin-110, ly, width-margin-90, ly, color, dash)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+			width-margin-84, ly+3, xmlEscape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,79 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleFigure() *Figure {
+	return &Figure{
+		Title: "Test & Figure", XLabel: "traffic ratio", YLabel: "miss ratio",
+		Series: []Series{
+			{Name: "net256 b16", Points: []XY{{0.8, 0.14, "256:16,16"}, {0.5, 0.20, "256:16,8"}, {0.35, 0.30, "256:16,4"}}},
+			{Name: "net256 s8", Points: []XY{{0.5, 0.20, "256:16,8"}, {0.31, 0.17, "256:8,8"}}},
+		},
+	}
+}
+
+func TestSVGWellFormedPieces(t *testing.T) {
+	svg := sampleFigure().SVG(640, 480)
+	for _, want := range []string{
+		"<svg", "</svg>", "<polyline", "<circle", "Test &amp; Figure",
+		"miss ratio", "traffic ratio", "net256 b16",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Balanced tags (cheap sanity check).
+	if strings.Count(svg, "<svg") != strings.Count(svg, "</svg>") {
+		t.Error("unbalanced svg tags")
+	}
+}
+
+func TestSVGDashedForSubBlockLines(t *testing.T) {
+	svg := sampleFigure().SVG(640, 480)
+	if !strings.Contains(svg, "stroke-dasharray") {
+		t.Error("constant-sub-block series not dashed")
+	}
+}
+
+func TestSVGEmptyFigure(t *testing.T) {
+	fig := &Figure{Title: "E"}
+	svg := fig.SVG(200, 150)
+	if !strings.Contains(svg, "no data") {
+		t.Error("empty figure should say so")
+	}
+}
+
+func TestSVGSinglePointNoDivisionByZero(t *testing.T) {
+	fig := &Figure{Series: []Series{{Name: "s", Points: []XY{{0.5, 0.5, "p"}}}}}
+	svg := fig.SVG(300, 200)
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Errorf("degenerate figure produced NaN/Inf:\n%s", svg)
+	}
+}
+
+func TestSVGEscapesLabels(t *testing.T) {
+	fig := &Figure{
+		Title:  `<script>"x"</script>`,
+		Series: []Series{{Name: "a<b", Points: []XY{{1, 1, `q"`}}}},
+	}
+	svg := fig.SVG(300, 200)
+	if strings.Contains(svg, "<script>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b") {
+		t.Error("series name not escaped")
+	}
+}
+
+func TestSVGMinimumSize(t *testing.T) {
+	svg := sampleFigure().SVG(1, 1)
+	if !strings.Contains(svg, "<svg") {
+		t.Error("tiny size did not render")
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Error("tiny size produced NaN")
+	}
+}

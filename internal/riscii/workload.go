@@ -1,0 +1,27 @@
+package riscii
+
+import "subcache/internal/synth"
+
+// Workload returns a RISC-style synthetic instruction workload: fixed
+// 32-bit instructions (the RISC architecture the chip was built for),
+// compact code with strong loop behaviour, resembling the limited
+// benchmarks of the RISC II study.
+func Workload(seed uint64) synth.Profile {
+	return synth.Profile{
+		Name: "RISCII-BENCH",
+		Arch: synth.VAX11, // 32-bit, 4-byte data path
+		Seed: seed,
+
+		CodeSize: 96 << 10, HotLoci: 256, CodeZipf: 0.9,
+		MeanRunLen: 7, PLoop: 0.45, MeanLoopIter: 10, PNearJump: 0.30,
+		PhaseLoci: 40, PhaseScalars: 16, MeanPhaseLen: 1500,
+		InstrMin: 4, InstrMax: 4, InstrGrain: 4,
+
+		DataRefsPerInstr: 0.25, WriteFrac: 0.3,
+		DataSize: 16 << 10, StackSize: 2 << 10,
+		HotScalars: 64, ScalarZipf: 1.0,
+		Streams: 3, MeanStreamLen: 48,
+		FracStack: 0.3, FracScalar: 0.3, FracStream: 0.3,
+		AccessSize: 4,
+	}
+}

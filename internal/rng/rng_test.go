@@ -1,0 +1,247 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("streams with different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			t.Fatalf("split children agree at step %d", i)
+		}
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(9).Split()
+	b := New(9).Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("identical split sequences diverged at step %d", i)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(11)
+	const n, trials = 8, 80000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d too far from expected %.0f", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(13)
+	for _, p := range []float64{0.1, 0.3, 0.5, 0.9} {
+		sum := 0.0
+		const trials = 50000
+		for i := 0; i < trials; i++ {
+			sum += float64(r.Geometric(p))
+		}
+		got := sum / trials
+		want := (1 - p) / p
+		if math.Abs(got-want) > 0.15*(want+0.1) {
+			t.Errorf("Geometric(%g) mean = %.3f, want ~%.3f", p, got, want)
+		}
+	}
+}
+
+func TestGeometricPOne(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if v := r.Geometric(1); v != 0 {
+			t.Fatalf("Geometric(1) = %d, want 0", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(17)
+	const mean, trials = 5.0, 50000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		sum += r.Exp(mean)
+	}
+	got := sum / trials
+	if math.Abs(got-mean) > 0.1*mean {
+		t.Errorf("Exp(%g) mean = %.3f", mean, got)
+	}
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	r := New(19)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	// With s=1 the first category should dominate the last by roughly
+	// a factor of 100; accept anything strongly skewed.
+	if counts[0] < 10*counts[99] {
+		t.Errorf("Zipf(s=1) insufficiently skewed: first=%d last=%d", counts[0], counts[99])
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := New(23)
+	z := NewZipf(r, 10, 0)
+	counts := make([]int, 10)
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		counts[z.Next()]++
+	}
+	want := float64(trials) / 10
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("Zipf(s=0) bucket %d: %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 1, 0, math.MaxUint64},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Intn(1000)
+	}
+}
+
+func TestGeometricPanicsOnBadP(t *testing.T) {
+	for _, p := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Geometric(%g) did not panic", p)
+				}
+			}()
+			New(1).Geometric(p)
+		}()
+	}
+}
+
+func TestNewZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewZipf(0) did not panic")
+		}
+	}()
+	NewZipf(New(1), 0, 1)
+}
+
+func TestBoolProbabilities(t *testing.T) {
+	r := New(31)
+	trues := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if r.Bool(0.25) {
+			trues++
+		}
+	}
+	frac := float64(trues) / trials
+	if frac < 0.22 || frac > 0.28 {
+		t.Errorf("Bool(0.25) true fraction = %g", frac)
+	}
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+}
+
+func TestZipfN(t *testing.T) {
+	z := NewZipf(New(1), 42, 1)
+	if z.N() != 42 {
+		t.Errorf("N = %d", z.N())
+	}
+}

@@ -1,0 +1,304 @@
+// Package sweep runs families of cache configurations over workload
+// suites: the harness behind every table and figure reproduction.
+//
+// A sweep generates each workload's trace once, splits it to data-path
+// words once, and replays it through every requested cache organisation
+// in parallel.  Results come back as metrics.Run values keyed by
+// (workload, point) plus unweighted per-architecture averages, the
+// paper's aggregation (§3.3).
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"subcache/internal/cache"
+	"subcache/internal/metrics"
+	"subcache/internal/synth"
+	"subcache/internal/trace"
+)
+
+// Point is one cache organisation within a sweep, in the paper's
+// (net, block, sub-block) coordinates plus the fetch policy.
+type Point struct {
+	Net, Block, Sub int
+	Fetch           cache.Fetch
+}
+
+// String renders the point in the paper's notation, e.g. "1024:16,8" or
+// "256:16,2,LF".
+func (p Point) String() string {
+	s := fmt.Sprintf("%d:%d,%d", p.Net, p.Block, p.Sub)
+	switch p.Fetch {
+	case cache.LoadForward:
+		s += ",LF"
+	case cache.LoadForwardOptimized:
+		s += ",LFopt"
+	case cache.WholeBlock:
+		s += ",WB"
+	}
+	return s
+}
+
+// Table 1's parameter ranges.
+const (
+	minBlock = 2
+	maxBlock = 64
+	minSub   = 2
+	maxSub   = 32
+)
+
+// Grid enumerates the paper's Table 1 design grid for the given net
+// sizes on a machine with the given word size: block sizes 2-64 bytes,
+// sub-block sizes 2-32 bytes, sub-block <= block <= net, and sub-block
+// at least one data-path word.  Points are ordered largest block first,
+// then largest sub-block, matching Table 7's layout.
+func Grid(netSizes []int, wordSize int) []Point {
+	var pts []Point
+	for _, net := range netSizes {
+		for block := maxBlock; block >= minBlock; block /= 2 {
+			if block > net {
+				continue
+			}
+			for sub := maxSub; sub >= minSub; sub /= 2 {
+				if sub > block || sub < wordSize {
+					continue
+				}
+				if block == maxBlock && sub > 16 {
+					// Table 7 stops 64-byte blocks at 16-byte
+					// sub-blocks (Table 1 caps sub-blocks at 32, and
+					// the paper reports no 64,32 point).
+					continue
+				}
+				pts = append(pts, Point{Net: net, Block: block, Sub: sub})
+			}
+		}
+	}
+	return pts
+}
+
+// Config converts a point into a full cache configuration for an
+// architecture, applying the paper's fixed choices: 4-way
+// set-associative (capped at the block count for tiny caches), LRU,
+// write-allocate, warm-start for the Z8000.
+func (p Point) Config(arch synth.Arch) cache.Config {
+	assoc := 4
+	if frames := p.Net / p.Block; frames < assoc {
+		assoc = frames
+	}
+	return cache.Config{
+		NetSize:      p.Net,
+		BlockSize:    p.Block,
+		SubBlockSize: p.Sub,
+		Assoc:        assoc,
+		WordSize:     arch.WordSize(),
+		Replacement:  cache.LRU,
+		Fetch:        p.Fetch,
+		Write:        cache.WriteAllocate,
+		WarmStart:    arch.WarmStart(),
+	}
+}
+
+// Request describes one sweep.
+type Request struct {
+	// Arch selects the workload suite and word size.
+	Arch synth.Arch
+	// Points are the organisations to simulate.
+	Points []Point
+	// Refs is the trace length per workload (the paper uses 1,000,000).
+	Refs int
+	// Workloads optionally restricts the suite to the named workloads
+	// (e.g. the load-forward study's CCP, C1, C2); nil means all.
+	Workloads []string
+	// Override, if non-nil, adjusts each derived cache.Config before
+	// simulation (used by the ablation benches to change replacement
+	// policy, associativity or warm-start handling).
+	Override func(*cache.Config)
+	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// Result holds a completed sweep.
+type Result struct {
+	Arch synth.Arch
+	// Runs maps point -> one run per workload, in catalog order.
+	Runs map[Point][]metrics.Run
+	// Summaries maps point -> the unweighted average across workloads.
+	Summaries map[Point]metrics.Summary
+}
+
+// Points returns the result's points sorted by net size, then by the
+// Table 7 ordering (block descending, sub descending, demand before
+// load-forward).
+func (r *Result) Points() []Point {
+	pts := make([]Point, 0, len(r.Summaries))
+	for p := range r.Summaries {
+		pts = append(pts, p)
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		a, b := pts[i], pts[j]
+		if a.Net != b.Net {
+			return a.Net < b.Net
+		}
+		if a.Block != b.Block {
+			return a.Block > b.Block
+		}
+		if a.Sub != b.Sub {
+			return a.Sub > b.Sub
+		}
+		return a.Fetch < b.Fetch
+	})
+	return pts
+}
+
+// Run executes the sweep.
+func Run(req Request) (*Result, error) {
+	if req.Refs <= 0 {
+		return nil, fmt.Errorf("sweep: non-positive trace length %d", req.Refs)
+	}
+	if len(req.Points) == 0 {
+		return nil, fmt.Errorf("sweep: no points requested")
+	}
+	profiles, err := selectWorkloads(req.Arch, req.Workloads)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Arch:      req.Arch,
+		Runs:      make(map[Point][]metrics.Run, len(req.Points)),
+		Summaries: make(map[Point]metrics.Summary, len(req.Points)),
+	}
+	par := req.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+
+	for _, prof := range profiles {
+		accesses, err := wordTrace(prof, req.Refs, req.Arch.WordSize())
+		if err != nil {
+			return nil, err
+		}
+		runs, err := simulatePoints(prof.Name, accesses, req, par)
+		if err != nil {
+			return nil, err
+		}
+		for p, run := range runs {
+			res.Runs[p] = append(res.Runs[p], run)
+		}
+	}
+	for p, runs := range res.Runs {
+		res.Summaries[p] = metrics.Average(runs)
+	}
+	return res, nil
+}
+
+// selectWorkloads resolves the request's workload list.
+func selectWorkloads(arch synth.Arch, names []string) ([]synth.Profile, error) {
+	all := synth.Workloads(arch)
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]synth.Profile, len(all))
+	for _, p := range all {
+		byName[p.Name] = p
+	}
+	out := make([]synth.Profile, 0, len(names))
+	for _, n := range names {
+		p, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("sweep: workload %q not in %v suite", n, arch)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// wordTrace materialises a profile's trace, pre-split to word accesses,
+// so every configuration replays identical input.
+func wordTrace(prof synth.Profile, refs, wordSize int) ([]trace.Ref, error) {
+	g, err := synth.NewGenerator(prof, refs)
+	if err != nil {
+		return nil, err
+	}
+	return trace.SplitAll(g, wordSize)
+}
+
+// simulatePoints runs every point over one workload's accesses, with
+// bounded parallelism.
+func simulatePoints(name string, accesses []trace.Ref, req Request, par int) (map[Point]metrics.Run, error) {
+	type job struct {
+		point Point
+		run   metrics.Run
+		err   error
+	}
+	jobs := make(chan Point)
+	results := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range jobs {
+				cfg := p.Config(req.Arch)
+				if req.Override != nil {
+					req.Override(&cfg)
+				}
+				c, err := cache.New(cfg)
+				if err != nil {
+					results <- job{point: p, err: fmt.Errorf("sweep: %v: %w", p, err)}
+					continue
+				}
+				for _, r := range accesses {
+					c.Access(r)
+				}
+				c.FlushUsage()
+				results <- job{point: p, run: metrics.NewRun(name, cfg, c.Stats())}
+			}
+		}()
+	}
+	go func() {
+		for _, p := range req.Points {
+			jobs <- p
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	out := make(map[Point]metrics.Run, len(req.Points))
+	var firstErr error
+	for j := range results {
+		if j.err != nil {
+			if firstErr == nil {
+				firstErr = j.err
+			}
+			continue
+		}
+		out[j.point] = j.run
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// RunOne simulates a single workload through a single configuration: the
+// facade's simple path and a convenience for tests.
+func RunOne(prof synth.Profile, cfg cache.Config, refs int) (metrics.Run, error) {
+	c, err := cache.New(cfg)
+	if err != nil {
+		return metrics.Run{}, err
+	}
+	accesses, err := wordTrace(prof, refs, cfg.WordSize)
+	if err != nil {
+		return metrics.Run{}, err
+	}
+	for _, r := range accesses {
+		c.Access(r)
+	}
+	c.FlushUsage()
+	return metrics.NewRun(prof.Name, cfg, c.Stats()), nil
+}

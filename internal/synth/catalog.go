@@ -1,0 +1,248 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Arch identifies one of the paper's four traced architectures.
+type Arch int
+
+const (
+	// PDP11 is the 16-bit DEC PDP-11 (Table 2's workload).
+	PDP11 Arch = iota
+	// Z8000 is the 16-bit Zilog Z8000 (Table 3; warm-start results).
+	Z8000
+	// VAX11 is the 32-bit DEC VAX-11 (Table 4).
+	VAX11
+	// S370 is the 32-bit IBM System/370 (Table 5).
+	S370
+)
+
+// AllArchs lists the architectures in the paper's presentation order.
+func AllArchs() []Arch { return []Arch{PDP11, Z8000, VAX11, S370} }
+
+// String returns the architecture name as the paper writes it.
+func (a Arch) String() string {
+	switch a {
+	case PDP11:
+		return "PDP-11"
+	case Z8000:
+		return "Z8000"
+	case VAX11:
+		return "VAX-11"
+	case S370:
+		return "System/370"
+	default:
+		return fmt.Sprintf("Arch(%d)", int(a))
+	}
+}
+
+// WordSize returns the memory data-path width the paper assumed when
+// creating each architecture's traces: 2 bytes for the 16-bit machines,
+// 4 bytes for the 32-bit machines.
+func (a Arch) WordSize() int {
+	switch a {
+	case PDP11, Z8000:
+		return 2
+	case VAX11, S370:
+		return 4
+	default:
+		panic(fmt.Sprintf("synth: unknown architecture %d", int(a)))
+	}
+}
+
+// WarmStart reports whether the paper quotes warm-start ratios for this
+// architecture's results (it does for the Z8000, §4.2.2).
+func (a Arch) WarmStart() bool { return a == Z8000 }
+
+// base returns the architecture's baseline profile.  The four baselines
+// encode the paper's workload characterisation (§4.2.5): the Z8000
+// traces are "small, compact pieces of code"; the PDP-11 programs are
+// "also relatively small" in a 16-bit space; the VAX programs are "a
+// mixture of small and large"; and the System/370 programs are "large,
+// using hundreds of kilobytes of storage".  Magnitudes were calibrated
+// so the architecture averages land near Table 7 (see EXPERIMENTS.md).
+func (a Arch) base() Profile {
+	switch a {
+	case PDP11:
+		return Profile{
+			Arch: a, CodeSize: 16 << 10, HotLoci: 96, CodeZipf: 1.1,
+			MeanRunLen: 10, PLoop: 0.50, MeanLoopIter: 12, PNearJump: 0.30,
+			PhaseLoci: 20, PhaseScalars: 28, MeanPhaseLen: 3000,
+			InstrMin: 2, InstrMax: 6, InstrGrain: 2,
+			DataRefsPerInstr: 0.55, WriteFrac: 0.30,
+			DataSize: 24 << 10, StackSize: 1 << 10,
+			HotScalars: 96, ScalarZipf: 1.0,
+			Streams: 4, MeanStreamLen: 48,
+			FracStack: 0.30, FracScalar: 0.28, FracStream: 0.32,
+			AccessSize: 2,
+		}
+	case Z8000:
+		return Profile{
+			Arch: a, CodeSize: 8 << 10, HotLoci: 64, CodeZipf: 1.4,
+			MeanRunLen: 12, PLoop: 0.60, MeanLoopIter: 24, PNearJump: 0.30,
+			PhaseLoci: 10, PhaseScalars: 14, MeanPhaseLen: 6000,
+			InstrMin: 2, InstrMax: 6, InstrGrain: 2,
+			DataRefsPerInstr: 0.45, WriteFrac: 0.30,
+			DataSize: 12 << 10, StackSize: 768,
+			HotScalars: 64, ScalarZipf: 1.1,
+			Streams: 3, MeanStreamLen: 64,
+			FracStack: 0.34, FracScalar: 0.30, FracStream: 0.30,
+			AccessSize: 2,
+		}
+	case VAX11:
+		return Profile{
+			Arch: a, CodeSize: 64 << 10, HotLoci: 160, CodeZipf: 1.05,
+			MeanRunLen: 8, PLoop: 0.50, MeanLoopIter: 12, PNearJump: 0.30,
+			PhaseLoci: 28, PhaseScalars: 36, MeanPhaseLen: 3000,
+			InstrMin: 2, InstrMax: 8, InstrGrain: 1,
+			DataRefsPerInstr: 0.80, WriteFrac: 0.30,
+			DataSize: 160 << 10, StackSize: 4 << 10,
+			HotScalars: 160, ScalarZipf: 0.9,
+			Streams: 6, MeanStreamLen: 56,
+			FracStack: 0.26, FracScalar: 0.24, FracStream: 0.42,
+			AccessSize: 4,
+		}
+	case S370:
+		return Profile{
+			Arch: a, CodeSize: 192 << 10, HotLoci: 320, CodeZipf: 0.8,
+			MeanRunLen: 8, PLoop: 0.35, MeanLoopIter: 8, PNearJump: 0.25,
+			PhaseLoci: 64, PhaseScalars: 64, MeanPhaseLen: 1500,
+			InstrMin: 2, InstrMax: 6, InstrGrain: 2,
+			DataRefsPerInstr: 1.0, WriteFrac: 0.30,
+			DataSize: 512 << 10, StackSize: 8 << 10,
+			HotScalars: 256, ScalarZipf: 0.7,
+			Streams: 8, MeanStreamLen: 48,
+			FracStack: 0.18, FracScalar: 0.20, FracStream: 0.46,
+			AccessSize: 4,
+		}
+	default:
+		panic(fmt.Sprintf("synth: unknown architecture %d", int(a)))
+	}
+}
+
+// variant describes one named workload as a perturbation of its
+// architecture baseline, standing in for one row of Tables 2-5.
+type variant struct {
+	name string
+	desc string
+	seed uint64
+	// Multiplicative adjustments; 0 means "leave at baseline".
+	codeScale, dataScale, loopScale, runScale float64
+}
+
+// apply produces the concrete profile.
+func (v variant) apply(base Profile) Profile {
+	p := base
+	p.Name = v.name
+	p.Seed = v.seed
+	scale := func(x int, f float64) int {
+		if f == 0 {
+			return x
+		}
+		y := int(float64(x) * f)
+		if y < 1 {
+			y = 1
+		}
+		return y
+	}
+	p.CodeSize = scale(p.CodeSize, v.codeScale)
+	p.HotLoci = scale(p.HotLoci, v.codeScale)
+	p.DataSize = scale(p.DataSize, v.dataScale)
+	p.MeanLoopIter = scale(p.MeanLoopIter, v.loopScale)
+	p.MeanRunLen = scale(p.MeanRunLen, v.runScale)
+	return p
+}
+
+// variants maps each architecture to the workloads of its table in the
+// paper.  Descriptions quote Tables 2-5; the perturbations express each
+// program's character (a printer plotter loops tightly over arrays, an
+// operating system branches widely, a compiler is mid-sized and
+// pointer-heavy, ...).
+var variants = map[Arch][]variant{
+	PDP11: {
+		{name: "OPSYS", desc: "C: toy operating system", seed: 0xA1, codeScale: 1.4, dataScale: 1.2, loopScale: 0.7},
+		{name: "PLOT", desc: "Fortran: printer plotter program", seed: 0xA2, codeScale: 0.7, dataScale: 1.1, loopScale: 1.6, runScale: 1.2},
+		{name: "SIMP", desc: "Fortran: pipeline simulation program", seed: 0xA3, codeScale: 1.0, dataScale: 1.4, loopScale: 1.2},
+		{name: "TRACE", desc: "PDP-11 Assembly: tracing program tracing ED", seed: 0xA4, codeScale: 0.8, dataScale: 0.8, loopScale: 0.9},
+		{name: "ROFF", desc: "PDP-11 Assembly: text output and formatting program", seed: 0xA5, codeScale: 0.9, dataScale: 1.0, loopScale: 1.1},
+		{name: "ED", desc: "C: text editor", seed: 0xA6, codeScale: 1.2, dataScale: 0.9, loopScale: 0.8},
+	},
+	Z8000: {
+		{name: "CCP", desc: "C: first phase of C compiler", seed: 0xB1, codeScale: 1.3, dataScale: 1.2, loopScale: 0.8},
+		{name: "C1", desc: "C: second phase of C compiler", seed: 0xB2, codeScale: 1.2, dataScale: 1.1, loopScale: 0.9},
+		{name: "C2", desc: "C: third phase of C compiler", seed: 0xB3, codeScale: 1.1, dataScale: 1.0, loopScale: 0.9},
+		{name: "OD", desc: "C: Unix utility for dumping files in ASCII", seed: 0xB4, codeScale: 0.6, dataScale: 0.7, loopScale: 1.5, runScale: 1.1},
+		{name: "GREP", desc: "C: Unix utility for string searching", seed: 0xB5, codeScale: 0.6, dataScale: 0.9, loopScale: 1.6},
+		{name: "SORT", desc: "C: Unix utility for sorting", seed: 0xB6, codeScale: 0.8, dataScale: 1.3, loopScale: 1.3},
+		{name: "LS", desc: "C: Unix utility for listing files", seed: 0xB7, codeScale: 0.7, dataScale: 0.8, loopScale: 1.0},
+		{name: "NM", desc: "C: Unix utility for printing a symbol table", seed: 0xB8, codeScale: 0.8, dataScale: 1.0, loopScale: 1.1},
+		{name: "NROFF", desc: "C: Unix utility for formatting text files", seed: 0xB9, codeScale: 1.1, dataScale: 1.0, loopScale: 0.9},
+	},
+	VAX11: {
+		{name: "SPICE", desc: "Fortran: circuit simulation", seed: 0xC1, codeScale: 1.3, dataScale: 1.6, loopScale: 1.3},
+		{name: "OTMDL", desc: "Pascal: constructs LR(0) parser", seed: 0xC2, codeScale: 1.1, dataScale: 1.2, loopScale: 0.9},
+		{name: "SEDX", desc: "C: stream editor", seed: 0xC3, codeScale: 0.7, dataScale: 0.7, loopScale: 1.1},
+		{name: "QSORT", desc: "C: quick sort", seed: 0xC4, codeScale: 0.5, dataScale: 1.3, loopScale: 1.4, runScale: 0.9},
+		{name: "TROFF", desc: "C: text formatter", seed: 0xC5, codeScale: 1.2, dataScale: 0.9, loopScale: 0.8},
+		{name: "C2V", desc: "C: third phase of C compiler", seed: 0xC6, codeScale: 1.0, dataScale: 0.9, loopScale: 0.9},
+	},
+	S370: {
+		{name: "FGO1", desc: "Fortran Go step: single-precision factor", seed: 0xD1, codeScale: 0.9, dataScale: 1.2, loopScale: 1.3},
+		{name: "FCOMP1", desc: "Fortran compile: Reynolds PDE solver", seed: 0xD2, codeScale: 1.3, dataScale: 0.9, loopScale: 0.8},
+		{name: "PGO1", desc: "PL/I Go step", seed: 0xD3, codeScale: 1.0, dataScale: 1.0, loopScale: 1.0},
+		{name: "PGO2", desc: "PL/I Go step: CCW analysis", seed: 0xD4, codeScale: 1.1, dataScale: 1.3, loopScale: 0.9},
+	},
+}
+
+// Workloads returns the calibrated profile for every workload of the
+// architecture, in the paper's table order.
+func Workloads(a Arch) []Profile {
+	vs, ok := variants[a]
+	if !ok {
+		panic(fmt.Sprintf("synth: unknown architecture %d", int(a)))
+	}
+	base := a.base()
+	out := make([]Profile, len(vs))
+	for i, v := range vs {
+		out[i] = v.apply(base)
+	}
+	return out
+}
+
+// Describe returns the paper's description of a workload, or "".
+func Describe(name string) string {
+	for _, vs := range variants {
+		for _, v := range vs {
+			if v.name == name {
+				return v.desc
+			}
+		}
+	}
+	return ""
+}
+
+// ProfileByName finds a workload profile across all architectures.
+func ProfileByName(name string) (Profile, bool) {
+	for _, a := range AllArchs() {
+		for _, p := range Workloads(a) {
+			if p.Name == name {
+				return p, true
+			}
+		}
+	}
+	return Profile{}, false
+}
+
+// Names lists every workload name, sorted, for CLI help text.
+func Names() []string {
+	var names []string
+	for _, a := range AllArchs() {
+		for _, p := range Workloads(a) {
+			names = append(names, p.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

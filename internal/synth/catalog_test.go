@@ -1,0 +1,156 @@
+package synth
+
+import (
+	"testing"
+
+	"subcache/internal/addr"
+	"subcache/internal/trace"
+)
+
+// TestRegionsDisjoint: every catalog profile's code, data and stack
+// regions must fit under the fixed bases without overlapping, or
+// generated "data" addresses could land in code and corrupt locality
+// measurements.
+func TestRegionsDisjoint(t *testing.T) {
+	for _, a := range AllArchs() {
+		for _, p := range Workloads(a) {
+			if codeBase+p.CodeSize+p.InstrMax >= dataBase {
+				t.Errorf("%s: code region [0x%x,+%d) reaches the data base", p.Name, codeBase, p.CodeSize)
+			}
+			if dataBase+p.DataSize >= stackBase {
+				t.Errorf("%s: data region reaches the stack base", p.Name)
+			}
+		}
+	}
+}
+
+// TestVariantsDiffer: workloads within a suite must be genuinely
+// different programs, not reseeded clones -- their footprints and miss
+// behaviour should spread.
+func TestVariantsDiffer(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, a := range AllArchs() {
+		foot := map[string]uint64{}
+		for _, p := range Workloads(a) {
+			if prev, dup := seen[p.Seed]; dup {
+				t.Errorf("seed %#x shared by %s and %s", p.Seed, prev, p.Name)
+			}
+			seen[p.Seed] = p.Name
+			refs, err := Generate(p, 60000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := trace.Measure(trace.NewSliceSource(refs), a.WordSize())
+			if err != nil {
+				t.Fatal(err)
+			}
+			foot[p.Name] = st.FootprintLen
+		}
+		// At least two distinct footprints per suite.
+		distinct := map[uint64]bool{}
+		for _, f := range foot {
+			distinct[f] = true
+		}
+		if len(distinct) < 2 {
+			t.Errorf("%v: all workloads share footprint %v", a, foot)
+		}
+	}
+}
+
+// TestVariantApplyScaling checks the perturbation mechanics.
+func TestVariantApplyScaling(t *testing.T) {
+	base := PDP11.base()
+	v := variant{name: "X", seed: 42, codeScale: 2, dataScale: 0.5, loopScale: 3, runScale: 2}
+	p := v.apply(base)
+	if p.Name != "X" || p.Seed != 42 {
+		t.Errorf("identity not applied: %+v", p)
+	}
+	if p.CodeSize != base.CodeSize*2 || p.HotLoci != base.HotLoci*2 {
+		t.Errorf("code scaling wrong: %d/%d", p.CodeSize, p.HotLoci)
+	}
+	if p.DataSize != base.DataSize/2 {
+		t.Errorf("data scaling wrong: %d", p.DataSize)
+	}
+	if p.MeanLoopIter != base.MeanLoopIter*3 || p.MeanRunLen != base.MeanRunLen*2 {
+		t.Errorf("loop/run scaling wrong: %d/%d", p.MeanLoopIter, p.MeanRunLen)
+	}
+	// Zero scale means "leave alone"; scales can never drop below 1.
+	v2 := variant{name: "Y", seed: 1, dataScale: 0.00001}
+	p2 := v2.apply(base)
+	if p2.CodeSize != base.CodeSize {
+		t.Error("zero codeScale modified CodeSize")
+	}
+	if p2.DataSize < 1 {
+		t.Error("scaling produced non-positive size")
+	}
+}
+
+// TestInstrLenStatic: instruction length must be a pure function of the
+// address, so loop re-walks fetch identical addresses.
+func TestInstrLenStatic(t *testing.T) {
+	p := PDP11.base()
+	p.Name, p.Seed = "t", 5
+	g, err := NewGenerator(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := addr.Addr(0x1000); a < 0x1100; a += 2 {
+		l1 := g.instrLen(a)
+		l2 := g.instrLen(a)
+		if l1 != l2 {
+			t.Fatalf("instrLen(%v) unstable: %d vs %d", a, l1, l2)
+		}
+		if l1 < p.InstrMin || l1 > p.InstrMax || l1%p.InstrGrain != 0 {
+			t.Fatalf("instrLen(%v) = %d out of spec", a, l1)
+		}
+	}
+}
+
+// TestLoopsRefetchIdenticalAddresses: the heart of temporal locality --
+// consecutive loop iterations must touch the same instruction
+// addresses.
+func TestLoopsRefetchIdenticalAddresses(t *testing.T) {
+	p := PDP11.base()
+	p.Name, p.Seed = "t", 9
+	p.PLoop, p.MeanLoopIter = 1.0, 50 // force looping
+	refs, err := Generate(p, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count immediate re-occurrences of instruction addresses within a
+	// window: with heavy looping, most addresses repeat.
+	seen := map[addr.Addr]int{}
+	repeats := 0
+	total := 0
+	for _, r := range refs {
+		if r.Kind != trace.IFetch {
+			continue
+		}
+		total++
+		if seen[r.Addr] > 0 {
+			repeats++
+		}
+		seen[r.Addr]++
+	}
+	if total == 0 || float64(repeats)/float64(total) < 0.5 {
+		t.Errorf("only %d/%d instruction fetches were repeats under forced looping", repeats, total)
+	}
+}
+
+func TestWordSizePanicsOnUnknownArch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WordSize on unknown arch did not panic")
+		}
+	}()
+	Arch(99).WordSize()
+}
+
+func TestWorkloadsPanicsOnUnknownArch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Workloads on unknown arch did not panic")
+		}
+	}()
+	Workloads(Arch(99))
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzTextReader: arbitrary input must never panic the din parser, and
+// anything it accepts must round-trip.
+func FuzzTextReader(f *testing.F) {
+	f.Add([]byte("0 100 2\n"))
+	f.Add([]byte("2 dead 4\n1 beef 1\n"))
+	f.Add([]byte("# comment\n\n0 0x10\n"))
+	f.Add([]byte("9 zz\n"))
+	f.Add([]byte("0 100 2 trailing\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewTextReader(bytes.NewReader(data))
+		var accepted []Ref
+		for {
+			ref, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return // rejection is fine; panics are not
+			}
+			accepted = append(accepted, ref)
+			if len(accepted) > 1000 {
+				break
+			}
+		}
+		if len(accepted) == 0 {
+			return
+		}
+		var buf bytes.Buffer
+		w := NewTextWriter(&buf)
+		for _, ref := range accepted {
+			if err := w.Write(ref); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Collect(NewTextReader(&buf), 0)
+		if err != nil {
+			t.Fatalf("re-reading own output failed: %v", err)
+		}
+		if len(back) != len(accepted) {
+			t.Fatalf("round trip lost refs: %d vs %d", len(back), len(accepted))
+		}
+		for i := range back {
+			if back[i] != accepted[i] {
+				t.Fatalf("round trip changed ref %d: %v vs %v", i, back[i], accepted[i])
+			}
+		}
+	})
+}
+
+// FuzzBinReader: arbitrary bytes must never panic the binary decoder.
+func FuzzBinReader(f *testing.F) {
+	var valid bytes.Buffer
+	w, _ := NewBinWriter(&valid)
+	_ = w.Write(Ref{Addr: 0x1234, Kind: Read, Size: 4})
+	_ = w.Flush()
+	f.Add(valid.Bytes())
+	f.Add([]byte("SBCT"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewBinReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			if _, err := r.Next(); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"testing"
+
+	"subcache/internal/addr"
+)
+
+func seqRefs(base addr.Addr, n int) []Ref {
+	out := make([]Ref, n)
+	for i := range out {
+		out[i] = Ref{Addr: base + addr.Addr(2*i), Kind: Read, Size: 2}
+	}
+	return out
+}
+
+func TestInterleaveValidation(t *testing.T) {
+	if _, err := Interleave(0, NewSliceSource(nil)); err == nil {
+		t.Error("accepted zero quantum")
+	}
+	if _, err := Interleave(5); err == nil {
+		t.Error("accepted no sources")
+	}
+}
+
+func TestInterleaveRoundRobin(t *testing.T) {
+	a := NewSliceSource(seqRefs(0x1000, 4))
+	b := NewSliceSource(seqRefs(0x2000, 4))
+	src, err := Interleave(2, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBases := []addr.Addr{0x1000, 0x1002, 0x2000, 0x2002, 0x1004, 0x1006, 0x2004, 0x2006}
+	if len(got) != len(wantBases) {
+		t.Fatalf("got %d refs, want %d", len(got), len(wantBases))
+	}
+	for i, w := range wantBases {
+		if got[i].Addr != w {
+			t.Errorf("ref %d = %v, want %v", i, got[i].Addr, w)
+		}
+	}
+}
+
+func TestInterleaveUnevenLengths(t *testing.T) {
+	a := NewSliceSource(seqRefs(0x1000, 5))
+	b := NewSliceSource(seqRefs(0x2000, 1))
+	src, err := Interleave(2, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("got %d refs, want 6 (no references lost)", len(got))
+	}
+	// After b exhausts, a runs uninterrupted.
+	last := got[len(got)-1]
+	if last.Addr != 0x1008 {
+		t.Errorf("last ref = %v, want 0x1008", last.Addr)
+	}
+}
+
+func TestInterleaveSingleSource(t *testing.T) {
+	src, err := Interleave(3, NewSliceSource(seqRefs(0, 7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i].Addr != addr.Addr(2*i) {
+			t.Fatalf("single-source interleave reordered refs: %v", got)
+		}
+	}
+}
+
+func TestInterleaveLargeQuantum(t *testing.T) {
+	// Quantum bigger than either stream: sources run to completion one
+	// after the other.
+	a := NewSliceSource(seqRefs(0x1000, 3))
+	b := NewSliceSource(seqRefs(0x2000, 3))
+	src, _ := Interleave(100, a, b)
+	got, _ := Collect(src, 0)
+	if len(got) != 6 || got[2].Addr != 0x1004 || got[3].Addr != 0x2000 {
+		t.Errorf("large-quantum order wrong: %v", got)
+	}
+}
+
+func TestInterleaveThreeWays(t *testing.T) {
+	src, _ := Interleave(1,
+		NewSliceSource(seqRefs(0x1000, 2)),
+		NewSliceSource(seqRefs(0x2000, 2)),
+		NewSliceSource(seqRefs(0x3000, 2)))
+	got, _ := Collect(src, 0)
+	want := []addr.Addr{0x1000, 0x2000, 0x3000, 0x1002, 0x2002, 0x3002}
+	for i, w := range want {
+		if got[i].Addr != w {
+			t.Fatalf("three-way order wrong at %d: %v", i, got)
+		}
+	}
+}

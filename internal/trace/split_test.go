@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"subcache/internal/addr"
+)
+
+func TestSplitterAligned(t *testing.T) {
+	// A 4-byte aligned read on a 4-byte path is a single access.
+	src := NewSliceSource([]Ref{{Addr: 0x100, Kind: Read, Size: 4}})
+	got, err := SplitAll(src, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Addr != 0x100 || got[0].Size != 4 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSplitterWide(t *testing.T) {
+	// A 4-byte reference on a 2-byte path becomes two word accesses.
+	src := NewSliceSource([]Ref{{Addr: 0x100, Kind: Read, Size: 4}})
+	got, err := SplitAll(src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d accesses, want 2", len(got))
+	}
+	if got[0].Addr != 0x100 || got[1].Addr != 0x102 {
+		t.Errorf("addresses %v %v", got[0].Addr, got[1].Addr)
+	}
+	for _, r := range got {
+		if r.Size != 2 || r.Kind != Read {
+			t.Errorf("bad access %v", r)
+		}
+	}
+}
+
+func TestSplitterMisaligned(t *testing.T) {
+	// A 4-byte reference starting mid-word on a 4-byte path straddles
+	// two words.
+	src := NewSliceSource([]Ref{{Addr: 0x102, Kind: IFetch, Size: 4}})
+	got, err := SplitAll(src, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Addr != 0x100 || got[1].Addr != 0x104 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSplitterZeroSizeTreatedAsOne(t *testing.T) {
+	src := NewSliceSource([]Ref{{Addr: 0x7, Kind: Read, Size: 0}})
+	got, err := SplitAll(src, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Addr != 0x4 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSplitterPanicsOnBadWordSize(t *testing.T) {
+	for _, w := range []int{0, -2, 3, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSplitter(%d) did not panic", w)
+				}
+			}()
+			NewSplitter(NewSliceSource(nil), w)
+		}()
+	}
+}
+
+func TestCountWordsMatchesSplitter(t *testing.T) {
+	f := func(a uint32, size uint8, wshift uint8) bool {
+		w := 1 << (wshift%3 + 1) // 2, 4, 8
+		r := Ref{Addr: addr.Addr(a), Kind: Read, Size: size}
+		got, err := SplitAll(NewSliceSource([]Ref{r}), w)
+		if err != nil {
+			return false
+		}
+		if len(got) != CountWords(r, w) {
+			return false
+		}
+		// All emitted accesses must be aligned, word sized, contiguous.
+		for i, acc := range got {
+			if !addr.IsAligned(acc.Addr, uint64(w)) || int(acc.Size) != w {
+				return false
+			}
+			if i > 0 && acc.Addr != got[i-1].Addr+addr.Addr(w) {
+				return false
+			}
+		}
+		// The split must cover the reference.
+		size64 := uint64(size)
+		if size64 == 0 {
+			size64 = 1
+		}
+		first := addr.AlignDown(r.Addr, uint64(w))
+		last := got[len(got)-1].Addr
+		return first == got[0].Addr && uint64(last)+uint64(w) >= uint64(r.Addr)+size64
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitterPreservesOrderAcrossRefs(t *testing.T) {
+	refs := []Ref{
+		{Addr: 0x10, Kind: IFetch, Size: 4},
+		{Addr: 0x20, Kind: Read, Size: 8},
+		{Addr: 0x31, Kind: Write, Size: 2},
+	}
+	got, err := SplitAll(NewSliceSource(refs), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 + 4 + 1..2 accesses; 0x31 size 2 covers 0x31..0x32 -> words
+	// 0x30 and 0x32.
+	wantKinds := []Kind{IFetch, IFetch, Read, Read, Read, Read, Write, Write}
+	if len(got) != len(wantKinds) {
+		t.Fatalf("got %d accesses, want %d: %v", len(got), len(wantKinds), got)
+	}
+	for i, k := range wantKinds {
+		if got[i].Kind != k {
+			t.Errorf("access %d kind = %v, want %v", i, got[i].Kind, k)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package subcache
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"subcache/internal/trace"
+)
+
+// TraceFormat selects a trace file encoding.
+type TraceFormat int
+
+const (
+	// FormatAuto picks by file extension: ".strc" is binary, anything
+	// else is Dinero-style text.
+	FormatAuto TraceFormat = iota
+	// FormatText is the Dinero-style "label hexaddr size" text format
+	// (label 0 = read, 1 = write, 2 = instruction fetch).
+	FormatText
+	// FormatBinary is the compact 10-byte-per-record .strc format.
+	FormatBinary
+)
+
+func resolveFormat(path string, f TraceFormat) TraceFormat {
+	if f != FormatAuto {
+		return f
+	}
+	base := path
+	if isGzipPath(base) {
+		base = strings.TrimSuffix(strings.TrimSuffix(base, ".gz"), ".GZ")
+	}
+	if strings.EqualFold(filepath.Ext(base), ".strc") {
+		return FormatBinary
+	}
+	return FormatText
+}
+
+// isGzipPath reports whether the file name indicates gzip compression.
+// Both formats may be wrapped: "trace.din.gz", "trace.strc.gz".
+func isGzipPath(path string) bool {
+	return strings.EqualFold(filepath.Ext(path), ".gz")
+}
+
+// TraceFile is an open trace ready for reading; it implements Source
+// and must be closed.
+type TraceFile struct {
+	src trace.Source
+	gz  *gzip.Reader
+	f   *os.File
+}
+
+// Next implements Source.
+func (t *TraceFile) Next() (Ref, error) { return t.src.Next() }
+
+// Close releases the underlying file (and gzip decompressor, if any).
+func (t *TraceFile) Close() error {
+	if t.gz != nil {
+		if err := t.gz.Close(); err != nil {
+			t.f.Close()
+			return err
+		}
+	}
+	return t.f.Close()
+}
+
+// OpenTraceFile opens a trace for reading in the given (or
+// auto-detected) format.  Files named *.gz are decompressed
+// transparently (format detection then applies to the inner name, e.g.
+// "trace.strc.gz").
+func OpenTraceFile(path string, format TraceFormat) (*TraceFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var r io.Reader = f
+	var gz *gzip.Reader
+	if isGzipPath(path) {
+		gz, err = gzip.NewReader(bufio.NewReader(f))
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("subcache: %s: %w", path, err)
+		}
+		r = gz
+	}
+	switch resolveFormat(path, format) {
+	case FormatBinary:
+		br, err := trace.NewBinReader(r)
+		if err != nil {
+			if gz != nil {
+				gz.Close()
+			}
+			f.Close()
+			return nil, fmt.Errorf("subcache: %s: %w", path, err)
+		}
+		return &TraceFile{src: br, gz: gz, f: f}, nil
+	default:
+		return &TraceFile{src: trace.NewTextReader(bufio.NewReader(r)), gz: gz, f: f}, nil
+	}
+}
+
+// WriteTraceFile writes every reference from src to path in the given
+// (or auto-detected) format, returning the number written.  Paths named
+// *.gz are gzip-compressed.
+func WriteTraceFile(path string, src Source, format TraceFormat) (int, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+
+	var out io.Writer = f
+	var gz *gzip.Writer
+	if isGzipPath(path) {
+		gz = gzip.NewWriter(f)
+		out = gz
+	}
+	n := 0
+	switch resolveFormat(path, format) {
+	case FormatBinary:
+		w, err := trace.NewBinWriter(out)
+		if err != nil {
+			return 0, err
+		}
+		for {
+			r, err := src.Next()
+			if err == EOF {
+				break
+			}
+			if err != nil {
+				return n, err
+			}
+			if err := w.Write(r); err != nil {
+				return n, err
+			}
+			n++
+		}
+		if err := w.Flush(); err != nil {
+			return n, err
+		}
+	default:
+		w := trace.NewTextWriter(out)
+		for {
+			r, err := src.Next()
+			if err == EOF {
+				break
+			}
+			if err != nil {
+				return n, err
+			}
+			if err := w.Write(r); err != nil {
+				return n, err
+			}
+			n++
+		}
+		if err := w.Flush(); err != nil {
+			return n, err
+		}
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return n, err
+		}
+	}
+	return n, f.Sync()
+}

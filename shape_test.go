@@ -1,0 +1,192 @@
+package subcache
+
+// Shape-regression tests: reduced-length sweeps compared against the
+// paper's published Table 7 values (internal/paperdata).  These guard
+// the reproduction quality reported in EXPERIMENTS.md -- a change to the
+// generator or the simulator that wrecks ordering agreement fails here,
+// not silently in the next full run.
+
+import (
+	"math"
+	"testing"
+
+	"subcache/internal/paperdata"
+	"subcache/internal/sweep"
+	"subcache/internal/synth"
+)
+
+// shapeRefs keeps the test affordable; the full 1M-reference agreement
+// is recorded by cmd/experiments.
+const shapeRefs = 100000
+
+func sweepArch(t *testing.T, arch synth.Arch) *sweep.Result {
+	t.Helper()
+	res, err := sweep.Run(sweep.Request{
+		Arch:   arch,
+		Points: sweep.Grid([]int{64, 256, 1024}, arch.WordSize()),
+		Refs:   shapeRefs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestShapeOrderingAgreement: within each architecture, the simulation
+// must rank at least 80% of paper anchor pairs in the paper's order
+// (the full run achieves ~93%).
+func TestShapeOrderingAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid sweep")
+	}
+	for _, arch := range synth.AllArchs() {
+		res := sweepArch(t, arch)
+		type pair struct{ paper, got float64 }
+		var series []pair
+		for k, cell := range paperdata.Table7[arch] {
+			pt := sweep.Point{Net: k.Net, Block: k.Block, Sub: k.Sub}
+			s, ok := res.Summaries[pt]
+			if !ok {
+				continue
+			}
+			series = append(series, pair{cell.Miss, s.Miss})
+		}
+		if len(series) < 10 {
+			t.Fatalf("%v: only %d anchors matched", arch, len(series))
+		}
+		concordant, total := 0, 0
+		for i := 0; i < len(series); i++ {
+			for j := i + 1; j < len(series); j++ {
+				if series[i].paper == series[j].paper {
+					continue
+				}
+				total++
+				if (series[i].paper < series[j].paper) == (series[i].got < series[j].got) {
+					concordant++
+				}
+			}
+		}
+		agreement := float64(concordant) / float64(total)
+		if agreement < 0.80 {
+			t.Errorf("%v: ordering agreement %.1f%% below 80%% (%d/%d)",
+				arch, 100*agreement, concordant, total)
+		}
+	}
+}
+
+// TestShapeMagnitudes: the geometric-mean measured/paper miss ratio per
+// architecture must stay within a factor of two (the full run sits at
+// 0.97-1.17).
+func TestShapeMagnitudes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid sweep")
+	}
+	for _, arch := range synth.AllArchs() {
+		res := sweepArch(t, arch)
+		var logSum float64
+		n := 0
+		for k, cell := range paperdata.Table7[arch] {
+			pt := sweep.Point{Net: k.Net, Block: k.Block, Sub: k.Sub}
+			s, ok := res.Summaries[pt]
+			if !ok || s.Miss == 0 {
+				continue
+			}
+			logSum += math.Log(s.Miss / cell.Miss)
+			n++
+		}
+		if n == 0 {
+			t.Fatalf("%v: no anchors", arch)
+		}
+		geo := math.Exp(logSum / float64(n))
+		if geo < 0.5 || geo > 2.0 {
+			t.Errorf("%v: geometric mean measured/paper = %.2f outside [0.5, 2.0]", arch, geo)
+		}
+	}
+}
+
+// TestShapeArchOrderingAtSharedAnchors: at every configuration all four
+// architectures share, miss ratios must be ordered
+// Z8000 <= PDP-11 <= VAX-11 <= S/370 within tolerance.
+func TestShapeArchOrderingAtSharedAnchors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid sweep")
+	}
+	results := map[synth.Arch]*sweep.Result{}
+	for _, arch := range synth.AllArchs() {
+		results[arch] = sweepArch(t, arch)
+	}
+	shared := []sweep.Point{
+		{Net: 64, Block: 8, Sub: 8},
+		{Net: 256, Block: 8, Sub: 8},
+		{Net: 256, Block: 16, Sub: 8},
+		{Net: 1024, Block: 8, Sub: 8},
+		{Net: 1024, Block: 16, Sub: 8},
+		{Net: 1024, Block: 32, Sub: 32},
+	}
+	const slack = 1.05 // allow 5% noise at reduced trace length
+	for _, pt := range shared {
+		z := results[synth.Z8000].Summaries[pt].Miss
+		p := results[synth.PDP11].Summaries[pt].Miss
+		v := results[synth.VAX11].Summaries[pt].Miss
+		s := results[synth.S370].Summaries[pt].Miss
+		if z > p*slack || p > v*slack || v > s*slack {
+			t.Errorf("%v: architecture ordering broken: Z=%.4f P=%.4f V=%.4f S=%.4f",
+				pt, z, p, v, s)
+		}
+	}
+}
+
+// TestShapeSubBlockMonotonicity: along every constant-block line of the
+// PDP-11 grid, shrinking the sub-block must raise miss and lower
+// traffic -- the paper's central tradeoff, across the whole grid.
+func TestShapeSubBlockMonotonicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid sweep")
+	}
+	res := sweepArch(t, synth.PDP11)
+	pts := res.Points()
+	for i := 1; i < len(pts); i++ {
+		a, b := pts[i-1], pts[i]
+		if a.Net != b.Net || a.Block != b.Block {
+			continue
+		}
+		// Points() orders sub descending within a block line.
+		sa, sb := res.Summaries[a], res.Summaries[b]
+		if sb.Miss < sa.Miss {
+			t.Errorf("%v -> %v: miss fell (%.4f -> %.4f) when sub-block shrank",
+				a, b, sa.Miss, sb.Miss)
+		}
+		if sb.Traffic > sa.Traffic {
+			t.Errorf("%v -> %v: traffic rose (%.4f -> %.4f) when sub-block shrank",
+				a, b, sa.Traffic, sb.Traffic)
+		}
+	}
+}
+
+// TestShapeTable8LoadForward: the load-forward structure at the Z80,000
+// point, against paperdata.Table8's relationships.
+func TestShapeTable8LoadForward(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	pts := []sweep.Point{
+		{Net: 256, Block: 16, Sub: 16},
+		{Net: 256, Block: 16, Sub: 2, Fetch: LoadForward},
+		{Net: 256, Block: 16, Sub: 2},
+	}
+	res, err := sweep.Run(sweep.Request{
+		Arch: synth.Z8000, Points: pts, Refs: shapeRefs,
+		Workloads: []string{"CCP", "C1", "C2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, lf, sb := res.Summaries[pts[0]], res.Summaries[pts[1]], res.Summaries[pts[2]]
+	// Same relationships as the paper's Table 8 rows.
+	if !(lf.Traffic > sb.Traffic && lf.Traffic < wb.Traffic) {
+		t.Errorf("LF traffic %.4f not in (%.4f, %.4f)", lf.Traffic, sb.Traffic, wb.Traffic)
+	}
+	if !(lf.Miss >= wb.Miss && lf.Miss < sb.Miss/2) {
+		t.Errorf("LF miss %.4f not in [%.4f, %.4f/2)", lf.Miss, wb.Miss, sb.Miss)
+	}
+}

@@ -1,0 +1,297 @@
+package subcache
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func paperConfig() Config {
+	return Config{NetSize: 1024, BlockSize: 16, SubBlockSize: 8, Assoc: 4, WordSize: 2}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted zero config")
+	}
+}
+
+func TestSimulatorAccessAndRatios(t *testing.T) {
+	s, err := New(paperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Access(Ref{Addr: 0x100, Kind: Read, Size: 2})
+	s.Access(Ref{Addr: 0x100, Kind: Read, Size: 2})
+	s.Finish()
+	if got := s.MissRatio(); got != 0.5 {
+		t.Errorf("miss = %g, want 0.5", got)
+	}
+	// One miss loads one 8-byte sub-block = 4 words over 2 accesses.
+	if got := s.TrafficRatio(); got != 2 {
+		t.Errorf("traffic = %g, want 2", got)
+	}
+	if got := s.ScaledTrafficRatio(NibbleModel()); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("nibble = %g, want 1.0", got) // 2 * cost(4)/4 = 2*0.5
+	}
+	if got := s.ScaledTrafficRatio(LinearModel()); got != 2 {
+		t.Errorf("linear = %g, want 2", got)
+	}
+}
+
+func TestAccessSplitsWideRefs(t *testing.T) {
+	s, _ := New(paperConfig())
+	// A 4-byte reference on a 2-byte path is two accesses.
+	s.Access(Ref{Addr: 0x200, Kind: Read, Size: 4})
+	if got := s.Stats().Accesses; got != 2 {
+		t.Errorf("accesses = %d, want 2", got)
+	}
+}
+
+func TestRunSource(t *testing.T) {
+	s, _ := New(paperConfig())
+	refs := []Ref{
+		{Addr: 0x100, Kind: IFetch, Size: 2},
+		{Addr: 0x102, Kind: IFetch, Size: 2},
+		{Addr: 0x500, Kind: Write, Size: 2},
+	}
+	if err := s.Run(NewSliceSource(refs)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Accesses != 2 { // write not counted
+		t.Errorf("accesses = %d, want 2", st.Accesses)
+	}
+	if st.WriteAccesses != 1 {
+		t.Errorf("writes = %d, want 1", st.WriteAccesses)
+	}
+}
+
+func TestSimulateWorkload(t *testing.T) {
+	run, err := SimulateWorkload("ED", paperConfig(), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Miss <= 0 || run.Miss >= 1 {
+		t.Errorf("miss = %g", run.Miss)
+	}
+	if run.Trace != "ED" {
+		t.Errorf("trace name = %q", run.Trace)
+	}
+	if _, err := SimulateWorkload("NOSUCH", paperConfig(), 100); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestSimulateSuite(t *testing.T) {
+	runs, summary, err := SimulateSuite(S370, Config{
+		NetSize: 256, BlockSize: 8, SubBlockSize: 8, Assoc: 4, WordSize: 4,
+	}, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Errorf("got %d runs, want 4 S/370 workloads", len(runs))
+	}
+	if summary.N != 4 || summary.Miss <= 0 {
+		t.Errorf("summary = %+v", summary)
+	}
+}
+
+func TestWorkloadCatalogAccessors(t *testing.T) {
+	if len(Architectures()) != 4 {
+		t.Error("want 4 architectures")
+	}
+	if len(WorkloadNames()) != 25 {
+		t.Errorf("want 25 workloads, got %d", len(WorkloadNames()))
+	}
+	if len(Workloads(PDP11)) != 6 {
+		t.Error("want 6 PDP-11 workloads")
+	}
+	if _, ok := WorkloadByName("SPICE"); !ok {
+		t.Error("SPICE missing")
+	}
+}
+
+func TestGenerateWorkload(t *testing.T) {
+	refs, err := GenerateWorkload("GREP", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 1000 {
+		t.Errorf("len = %d", len(refs))
+	}
+	if _, err := GenerateWorkload("NOSUCH", 10); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestEffectiveAccessTime(t *testing.T) {
+	if got := EffectiveAccessTime(1, 5, 0.25); got != 2 {
+		t.Errorf("t_eff = %g, want 2", got)
+	}
+}
+
+func TestTransactionalModel(t *testing.T) {
+	m := TransactionalModel(1, 0.5)
+	if got := m.Cost(4); got != 3 {
+		t.Errorf("cost = %g, want 3", got)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	refs, _ := GenerateWorkload("ED", 100)
+	src := Limit(NewSliceSource(refs), 10)
+	n := 0
+	for {
+		_, err := src.Next()
+		if err == EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 10 {
+		t.Errorf("Limit let through %d refs", n)
+	}
+}
+
+func TestTraceFileRoundTripText(t *testing.T) {
+	testTraceRoundTrip(t, "trace.din", FormatAuto)
+}
+
+func TestTraceFileRoundTripBinary(t *testing.T) {
+	testTraceRoundTrip(t, "trace.strc", FormatAuto)
+}
+
+func TestTraceFileExplicitFormats(t *testing.T) {
+	testTraceRoundTrip(t, "trace.dat", FormatText)
+	testTraceRoundTrip(t, "trace.bin", FormatBinary)
+}
+
+func testTraceRoundTrip(t *testing.T, name string, format TraceFormat) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, name)
+	refs, err := GenerateWorkload("LS", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := WriteTraceFile(path, NewSliceSource(refs), format)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 {
+		t.Errorf("wrote %d refs", n)
+	}
+	tf, err := OpenTraceFile(path, format)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	for i, want := range refs {
+		got, err := tf.Next()
+		if err != nil {
+			t.Fatalf("ref %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("ref %d = %v, want %v", i, got, want)
+		}
+	}
+	if _, err := tf.Next(); err != EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestOpenTraceFileMissing(t *testing.T) {
+	if _, err := OpenTraceFile("/nonexistent/trace.din", FormatAuto); err == nil {
+		t.Error("opened nonexistent file")
+	}
+}
+
+func TestOpenTraceFileBadBinary(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.strc")
+	if err := os.WriteFile(path, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenTraceFile(path, FormatAuto); err == nil {
+		t.Error("opened corrupt binary trace")
+	}
+}
+
+// TestPaperHeadlineNumbers verifies the abstract's headline claim holds
+// in shape: for a 1024-byte 4-way 8-byte-block cache, miss and traffic
+// ratios are ordered Z8000 <= PDP-11 < VAX-11 < System/370, and the
+// PDP-11/Z8000/VAX caches achieve miss < 0.15, traffic < 0.40 while the
+// System/370 does much worse.
+func TestPaperHeadlineNumbers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-architecture sweep")
+	}
+	miss := map[Arch]float64{}
+	traffic := map[Arch]float64{}
+	for _, a := range Architectures() {
+		cfg := Config{NetSize: 1024, BlockSize: 8, SubBlockSize: 8,
+			Assoc: 4, WordSize: a.WordSize(), WarmStart: a.WarmStart()}
+		_, s, err := SimulateSuite(a, cfg, 200000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		miss[a], traffic[a] = s.Miss, s.Traffic
+	}
+	if !(miss[Z8000] <= miss[PDP11] && miss[PDP11] < miss[VAX11] && miss[VAX11] < miss[S370]) {
+		t.Errorf("architecture miss ordering violated: %v", miss)
+	}
+	for _, a := range []Arch{PDP11, Z8000, VAX11} {
+		if miss[a] >= 0.15 {
+			t.Errorf("%v: miss %.4f not < 0.15", a, miss[a])
+		}
+		if traffic[a] >= 0.40 {
+			t.Errorf("%v: traffic %.4f not < 0.40", a, traffic[a])
+		}
+	}
+	if miss[S370] < 0.15 {
+		t.Errorf("S/370 miss %.4f implausibly low", miss[S370])
+	}
+}
+
+func TestTraceFileGzipRoundTrip(t *testing.T) {
+	testTraceRoundTrip(t, "trace.din.gz", FormatAuto)
+	testTraceRoundTrip(t, "trace.strc.gz", FormatAuto)
+}
+
+func TestGzipActuallyCompresses(t *testing.T) {
+	dir := t.TempDir()
+	refs, err := GenerateWorkload("NROFF", 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := filepath.Join(dir, "t.strc")
+	zipped := filepath.Join(dir, "t.strc.gz")
+	if _, err := WriteTraceFile(plain, NewSliceSource(refs), FormatAuto); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteTraceFile(zipped, NewSliceSource(refs), FormatAuto); err != nil {
+		t.Fatal(err)
+	}
+	ps, _ := os.Stat(plain)
+	zs, _ := os.Stat(zipped)
+	if zs.Size() >= ps.Size()/2 {
+		t.Errorf("gzip trace %d bytes not much smaller than plain %d", zs.Size(), ps.Size())
+	}
+}
+
+func TestOpenTraceFileCorruptGzip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.din.gz")
+	if err := os.WriteFile(path, []byte("not gzip data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenTraceFile(path, FormatAuto); err == nil {
+		t.Error("opened corrupt gzip file")
+	}
+}
