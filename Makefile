@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments traces cover fmt clean
+.PHONY: all build test test-race vet bench bench-sweep experiments traces cover fmt clean
 
 all: build test
 
@@ -12,12 +12,20 @@ build:
 test:
 	$(GO) test ./...
 
+# Full test suite under the race detector; CI runs this on every push.
+test-race:
+	$(GO) test -race ./...
+
 vet:
 	$(GO) vet ./...
 
 # One reduced-size benchmark per paper table/figure plus ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Time both sweep engines on the Table 7 grid and refresh BENCH_sweep.json.
+bench-sweep:
+	$(GO) run ./cmd/benchsweep
 
 # Regenerate every table and figure at the paper's 1M-reference scale.
 experiments:

@@ -1,0 +1,125 @@
+// Command benchsweep times the two sweep engines on the Table 7 grid --
+// every architecture, the paper's net sizes, the full block/sub-block
+// matrix -- and records wall-clock seconds, trace-replay passes, the
+// speedup and the pass reduction in a JSON file, so the single-pass
+// kernel's advantage is tracked in the repository's perf trajectory.
+//
+// Usage:
+//
+//	benchsweep [-refs N] [-nets LIST] [-out FILE]
+//
+// The committed BENCH_sweep.json is regenerated with the defaults:
+//
+//	go run ./cmd/benchsweep
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"subcache/internal/sweep"
+	"subcache/internal/synth"
+)
+
+type engineResult struct {
+	Engine      string  `json:"engine"`
+	Seconds     float64 `json:"seconds"`
+	TracePasses int     `json:"trace_passes"`
+}
+
+type record struct {
+	Bench         string         `json:"bench"`
+	Refs          int            `json:"refs_per_workload"`
+	Nets          []int          `json:"nets"`
+	Archs         []string       `json:"archs"`
+	Points        int            `json:"grid_points"`
+	Workloads     int            `json:"workloads"`
+	Engines       []engineResult `json:"engines"`
+	Speedup       float64        `json:"wall_clock_speedup"`
+	PassReduction float64        `json:"pass_reduction"`
+}
+
+func main() {
+	var (
+		refs = flag.Int("refs", 100000, "references per workload trace")
+		nets = flag.String("nets", "64,256,1024", "comma-separated net sizes")
+		out  = flag.String("out", "BENCH_sweep.json", "output file")
+	)
+	flag.Parse()
+
+	var netSizes []int
+	for _, f := range strings.Split(*nets, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsweep: bad net size %q\n", f)
+			os.Exit(2)
+		}
+		netSizes = append(netSizes, n)
+	}
+
+	rec := record{
+		Bench: "sweep_table7",
+		Refs:  *refs,
+		Nets:  netSizes,
+	}
+	for _, a := range synth.AllArchs() {
+		rec.Archs = append(rec.Archs, a.String())
+		rec.Points += len(sweep.Grid(netSizes, a.WordSize()))
+		rec.Workloads += len(synth.Workloads(a))
+	}
+
+	for _, eng := range []sweep.Engine{sweep.Reference, sweep.MultiPass} {
+		start := time.Now()
+		passes := 0
+		for _, a := range synth.AllArchs() {
+			res, err := sweep.Run(sweep.Request{
+				Arch:   a,
+				Points: sweep.Grid(netSizes, a.WordSize()),
+				Refs:   *refs,
+				Engine: eng,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchsweep: %s/%s: %v\n", eng, a, err)
+				os.Exit(1)
+			}
+			passes += res.TracePasses
+		}
+		er := engineResult{
+			Engine:      eng.String(),
+			Seconds:     time.Since(start).Seconds(),
+			TracePasses: passes,
+		}
+		rec.Engines = append(rec.Engines, er)
+		fmt.Printf("%-10s %8.3fs  %5d passes\n", er.Engine, er.Seconds, er.TracePasses)
+	}
+
+	ref, mp := rec.Engines[0], rec.Engines[1]
+	if mp.Seconds > 0 {
+		rec.Speedup = round3(ref.Seconds / mp.Seconds)
+	}
+	if mp.TracePasses > 0 {
+		rec.PassReduction = round3(float64(ref.TracePasses) / float64(mp.TracePasses))
+	}
+	rec.Engines[0].Seconds = round3(ref.Seconds)
+	rec.Engines[1].Seconds = round3(mp.Seconds)
+	fmt.Printf("speedup %.2fx wall clock, %.0fx fewer trace passes\n", rec.Speedup, rec.PassReduction)
+
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func round3(x float64) float64 {
+	return float64(int64(x*1000+0.5)) / 1000
+}

@@ -8,18 +8,20 @@ import (
 	"subcache/internal/synth"
 )
 
-// runCtx carries shared state across experiments: the trace length and a
-// memoised sweep cache, so Table 7 and the figures that share its grid
-// simulate each (architecture, net-size set) only once.
+// runCtx carries shared state across experiments: the trace length, the
+// simulation engine and a memoised sweep cache, so Table 7 and the
+// figures that share its grid simulate each (architecture, net-size set)
+// only once.
 type runCtx struct {
-	refs int
+	refs   int
+	engine sweep.Engine
 
 	mu     sync.Mutex
 	sweeps map[string]*sweep.Result
 }
 
-func newRunCtx(refs int) *runCtx {
-	return &runCtx{refs: refs, sweeps: make(map[string]*sweep.Result)}
+func newRunCtx(refs int, engine sweep.Engine) *runCtx {
+	return &runCtx{refs: refs, engine: engine, sweeps: make(map[string]*sweep.Result)}
 }
 
 // gridSweep runs (or returns the memoised) full Table 1 grid for an
@@ -37,6 +39,7 @@ func (c *runCtx) gridSweep(arch synth.Arch, nets []int) (*sweep.Result, error) {
 		Arch:   arch,
 		Points: sweep.Grid(nets, arch.WordSize()),
 		Refs:   c.refs,
+		Engine: c.engine,
 	})
 	if err != nil {
 		return nil, err

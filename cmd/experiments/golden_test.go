@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"subcache/internal/sweep"
+)
+
+// TestEngineGoldenArtifacts is the golden regression gate for the
+// single-pass sweep kernel: Table 7 and Figures 1-4 -- the paper anchors
+// checked by internal/sweep and internal/paperdata -- are regenerated
+// with both engines at a reduced trace length, written through the same
+// artifact writer cmd/experiments uses for the results/ directory, and
+// every emitted file (txt, csv, svg) is compared byte for byte.  If the
+// multipass kernel drifts from the reference simulator by even one
+// counter anywhere in the grid, some cell of these artifacts changes and
+// this test fails.
+func TestEngineGoldenArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates five artifacts twice")
+	}
+	const refs = 4000
+	ids := []string{"table7", "fig1", "fig2", "fig3", "fig4"}
+
+	dirs := map[sweep.Engine]string{}
+	for _, eng := range []sweep.Engine{sweep.Reference, sweep.MultiPass} {
+		dir := t.TempDir()
+		dirs[eng] = dir
+		ctx := newRunCtx(refs, eng)
+		for _, id := range ids {
+			var ran bool
+			for _, e := range experiments {
+				if e.id != id {
+					continue
+				}
+				ran = true
+				art, err := e.run(ctx)
+				if err != nil {
+					t.Fatalf("%s engine, %s: %v", eng, id, err)
+				}
+				if err := writeArtifact(dir, id, art, false); err != nil {
+					t.Fatalf("%s engine, %s: %v", eng, id, err)
+				}
+			}
+			if !ran {
+				t.Fatalf("experiment %q not in registry", id)
+			}
+		}
+	}
+
+	for _, id := range ids {
+		for _, ext := range []string{".txt", ".csv", ".svg"} {
+			want, errW := os.ReadFile(filepath.Join(dirs[sweep.Reference], id+ext))
+			got, errG := os.ReadFile(filepath.Join(dirs[sweep.MultiPass], id+ext))
+			if os.IsNotExist(errW) && os.IsNotExist(errG) {
+				continue // artifact has no rendering of this kind
+			}
+			if errW != nil || errG != nil {
+				t.Errorf("%s%s: read errors: reference=%v multipass=%v", id, ext, errW, errG)
+				continue
+			}
+			if string(want) != string(got) {
+				t.Errorf("%s%s: multipass artifact differs from reference (%d vs %d bytes)",
+					id, ext, len(got), len(want))
+			}
+		}
+	}
+}

@@ -43,6 +43,7 @@ func runTable6(ctx *runCtx) (artifact, error) {
 			Arch:   synth.S370,
 			Points: []sweep.Point{o.point},
 			Refs:   ctx.refs,
+			Engine: ctx.engine,
 			Override: func(c *cache.Config) {
 				c.Assoc = assoc
 			},
@@ -119,6 +120,7 @@ func (c *runCtx) lfSweep() (*sweep.Result, error) {
 		Arch:      synth.Z8000,
 		Points:    table8Points(),
 		Refs:      c.refs,
+		Engine:    c.engine,
 		Workloads: []string{"CCP", "C1", "C2"},
 	})
 	if err != nil {

@@ -105,7 +105,7 @@ func TestAlignDownProperties(t *testing.T) {
 			uint64(a) < uint64(d)+size &&
 			IsAligned(d, size)
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(100)); err != nil {
 		t.Error(err)
 	}
 }
@@ -119,7 +119,7 @@ func TestAlignUpProperties(t *testing.T) {
 			uint64(u) < uint64(a)+size &&
 			IsAligned(u, size)
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(100)); err != nil {
 		t.Error(err)
 	}
 }
@@ -130,7 +130,7 @@ func TestOffsetProperty(t *testing.T) {
 		size := uint64(1) << (shift % 12)
 		return Offset(Addr(a), size) == uint64(Addr(a)-AlignDown(Addr(a), size))
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(100)); err != nil {
 		t.Error(err)
 	}
 }

@@ -242,6 +242,39 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// FamilyKey returns the configuration with the fields a single-pass
+// multi-configuration kernel may vary across lanes (SubBlockSize and
+// Fetch) cleared.  Two configurations with equal family keys share
+// cache geometry -- set count, tag width, associativity -- and, when
+// MultiPassSafe also holds, identical tag-array dynamics, so one tag/
+// replacement engine can simulate all of them in a single trace pass
+// (see internal/multipass).
+func (c Config) FamilyKey() Config {
+	c.SubBlockSize = 0
+	c.Fetch = 0
+	return c
+}
+
+// MultiPassSafe reports whether the configuration's tag-array dynamics
+// (probe outcomes, replacement decisions, recency updates, warm-start
+// fill progress) are independent of SubBlockSize and Fetch, the
+// precondition for sharing a tag engine across sub-block sizes:
+//
+//   - OBL prefetch must be off: whether a hit triggers the tagged
+//     lookahead depends on sub-block validity, so lanes with different
+//     sub-block sizes would allocate different prefetch blocks.
+//   - Write-no-allocate must be off: a write to a resident block skips
+//     the recency update exactly when the written sub-block is invalid,
+//     which again depends on the sub-block size.
+//
+// Write-allocate, write-ignore, copy-back, warm start and all
+// replacement policies preserve the invariant (Random replacement draws
+// victims only on block misses, which are tag-level events, so equal
+// seeds yield equal victim sequences).
+func (c Config) MultiPassSafe() bool {
+	return !c.PrefetchOBL && c.Write != WriteNoAllocate
+}
+
 // NumFrames returns the number of blocks (tag entries) in the cache.
 func (c Config) NumFrames() int { return c.NetSize / c.BlockSize }
 

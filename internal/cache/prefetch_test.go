@@ -126,7 +126,7 @@ func TestPropertyPrefetchMissesDown(t *testing.T) {
 		return float64(so.Misses) <= 1.02*float64(sb.Misses) &&
 			so.WordsFetched >= sb.WordsFetched
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+	if err := quick.Check(f, quickCfg(25)); err != nil {
 		t.Error(err)
 	}
 }
@@ -152,7 +152,7 @@ func TestPropertyPrefetchAccounting(t *testing.T) {
 		}
 		return st.PrefetchFills <= st.SubBlockFills
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+	if err := quick.Check(f, quickCfg(25)); err != nil {
 		t.Error(err)
 	}
 }
@@ -185,7 +185,7 @@ func TestPropertyPrefetchNeverEvictsActiveFrame(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, quickCfg(40)); err != nil {
 		t.Error(err)
 	}
 }

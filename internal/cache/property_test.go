@@ -73,7 +73,7 @@ func TestPropertyInvariants(t *testing.T) {
 		}
 		return words == st.WordsFetched
 	}
-	cfgQ := &quick.Config{MaxCount: 40}
+	cfgQ := quickCfg(40)
 	if err := quick.Check(f, cfgQ); err != nil {
 		t.Error(err)
 	}
@@ -96,7 +96,7 @@ func TestPropertyDemandTrafficIdentity(t *testing.T) {
 		st := c.Stats()
 		return st.WordsFetched == st.Misses*uint64(cfg.WordsPerSubBlock())
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, quickCfg(40)); err != nil {
 		t.Error(err)
 	}
 }
@@ -128,7 +128,7 @@ func TestPropertyLoadForwardDominance(t *testing.T) {
 		sd, sl := cd.Stats(), cl.Stats()
 		return sl.Misses <= sd.Misses && sl.WordsFetched >= sd.WordsFetched
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+	if err := quick.Check(f, quickCfg(25)); err != nil {
 		t.Error(err)
 	}
 }
@@ -150,7 +150,7 @@ func TestPropertyWholeBlockNoSubMisses(t *testing.T) {
 		}
 		return c.Stats().SubBlockMisses == 0
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(f, quickCfg(30)); err != nil {
 		t.Error(err)
 	}
 }
@@ -171,7 +171,7 @@ func TestPropertyOptimizedNeverRedundant(t *testing.T) {
 		}
 		return c.Stats().RedundantLoads == 0
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+	if err := quick.Check(f, quickCfg(20)); err != nil {
 		t.Error(err)
 	}
 }
@@ -202,7 +202,7 @@ func TestPropertyLargerCacheNotWorse(t *testing.T) {
 		}
 		return big.Stats().Misses <= small.Stats().Misses
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+	if err := quick.Check(f, quickCfg(25)); err != nil {
 		t.Error(err)
 	}
 }
@@ -234,7 +234,7 @@ func TestPropertyAssociativityInclusion(t *testing.T) {
 		return c4.Stats().Misses <= c2.Stats().Misses &&
 			c8.Stats().Misses <= c4.Stats().Misses
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+	if err := quick.Check(f, quickCfg(20)); err != nil {
 		t.Error(err)
 	}
 }

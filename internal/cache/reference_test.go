@@ -135,7 +135,7 @@ func TestAgainstReferenceModel(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(f, quickCfg(30)); err != nil {
 		t.Error(err)
 	}
 }

@@ -150,7 +150,7 @@ func TestPropertyCopyBackNoWorseAtWordGranularity(t *testing.T) {
 		cbk.FlushUsage()
 		return cbk.Stats().WriteTrafficWords() <= wt.Stats().WriteTrafficWords()
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+	if err := quick.Check(f, quickCfg(25)); err != nil {
 		t.Error(err)
 	}
 }
@@ -181,7 +181,7 @@ func TestPropertyWriteBackBounded(t *testing.T) {
 		bound := uint64(stores * cfg.WordsPerSubBlock())
 		return c.Stats().WriteBackWords <= bound
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+	if err := quick.Check(f, quickCfg(25)); err != nil {
 		t.Error(err)
 	}
 }

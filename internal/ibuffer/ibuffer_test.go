@@ -202,7 +202,7 @@ func TestPropertySequentialTrafficIsOne(t *testing.T) {
 		}
 		return b.Stats().TrafficRatio() == 1
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(f, quickCfg(30)); err != nil {
 		t.Error(err)
 	}
 }
@@ -223,7 +223,7 @@ func TestPropertyLoopAccounting(t *testing.T) {
 		misses := st.Fetches - st.Hits
 		return st.WordsFetched == misses*32
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(f, quickCfg(30)); err != nil {
 		t.Error(err)
 	}
 }

@@ -1,0 +1,13 @@
+package ibuffer
+
+import (
+	"math/rand"
+	"testing/quick"
+)
+
+// quickCfg builds a testing/quick configuration with an explicitly
+// seeded generator, so property tests draw the same inputs every run
+// instead of seeding from the clock.
+func quickCfg(max int) *quick.Config {
+	return &quick.Config{MaxCount: max, Rand: rand.New(rand.NewSource(1984))}
+}

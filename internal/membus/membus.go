@@ -13,6 +13,7 @@ package membus
 
 import (
 	"fmt"
+	"sort"
 
 	"subcache/internal/cache"
 )
@@ -108,9 +109,17 @@ func ScaledTraffic(st *cache.Stats, m CostModel) float64 {
 	if st.Accesses == 0 {
 		return 0
 	}
+	// Sum in ascending width order: map iteration order is randomised,
+	// and with three or more distinct widths the float summation order
+	// would otherwise perturb the last bit from run to run.
+	widths := make([]int, 0, len(st.Transactions))
+	for w := range st.Transactions {
+		widths = append(widths, w)
+	}
+	sort.Ints(widths)
 	var total float64
-	for w, n := range st.Transactions {
-		total += m.Cost(w) * float64(n)
+	for _, w := range widths {
+		total += m.Cost(w) * float64(st.Transactions[w])
 	}
 	base := m.Cost(1) * float64(st.Accesses)
 	if base == 0 {

@@ -135,7 +135,7 @@ func TestPropertyLinearEqualsStandard(t *testing.T) {
 		st.WordsFetched = words
 		return close(ScaledTraffic(st, Linear{}), st.TrafficRatio())
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(100)); err != nil {
 		t.Error(err)
 	}
 }

@@ -1,0 +1,274 @@
+// Differential tests: the multipass kernel must be counter-exact
+// against the reference simulator.  Every test here drives the same
+// seeded reference stream through a multipass.Family and through one
+// cache.Cache per lane, then requires the full cache.Stats -- every
+// counter and the bus-transaction histogram, not just the ratios -- to
+// be identical.
+package multipass_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"subcache/internal/addr"
+	"subcache/internal/cache"
+	"subcache/internal/multipass"
+	"subcache/internal/rng"
+	"subcache/internal/sweep"
+	"subcache/internal/synth"
+	"subcache/internal/trace"
+)
+
+// makeTrace builds a seeded word trace mixing uniform, temporal,
+// sequential and spatial reference patterns, so hits, sub-block misses,
+// block misses, evictions and warm-up transitions all occur.
+func makeTrace(seed uint64, n int, addrMask uint64, wordSize int) []trace.Ref {
+	r := rng.New(seed)
+	hot := make([]addr.Addr, 16)
+	for i := range hot {
+		hot[i] = addr.Addr(r.Uint64() & addrMask)
+	}
+	refs := make([]trace.Ref, 0, n)
+	var seq addr.Addr
+	for i := 0; i < n; i++ {
+		var a addr.Addr
+		switch r.Intn(4) {
+		case 0:
+			a = addr.Addr(r.Uint64() & addrMask)
+		case 1:
+			a = hot[r.Intn(len(hot))]
+		case 2:
+			seq += addr.Addr(wordSize)
+			a = seq & addr.Addr(addrMask)
+		default:
+			a = (hot[r.Intn(len(hot))] + addr.Addr(r.Intn(64))) & addr.Addr(addrMask)
+		}
+		refs = append(refs, trace.Ref{
+			Addr: addr.AlignDown(a, uint64(wordSize)),
+			Kind: trace.Kind(r.Intn(3)),
+			Size: uint8(wordSize),
+		})
+	}
+	return refs
+}
+
+// runReference replays refs through a fresh reference cache.
+func runReference(t *testing.T, cfg cache.Config, refs []trace.Ref) *cache.Stats {
+	t.Helper()
+	c, err := cache.New(cfg)
+	if err != nil {
+		t.Fatalf("cache.New(%v): %v", cfg, err)
+	}
+	for _, r := range refs {
+		c.Access(r)
+	}
+	c.FlushUsage()
+	return c.Stats()
+}
+
+// diffFamily runs refs through a family kernel and per-lane reference
+// caches and reports any counter divergence.
+func diffFamily(t *testing.T, cfgs []cache.Config, refs []trace.Ref) {
+	t.Helper()
+	fam, err := multipass.New(cfgs)
+	if err != nil {
+		t.Fatalf("multipass.New: %v", err)
+	}
+	for _, r := range refs {
+		fam.Access(r)
+	}
+	fam.FlushUsage()
+	for i, cfg := range cfgs {
+		want := runReference(t, cfg, refs)
+		got := fam.Stats(i)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: multipass diverges from reference\n got:  %+v\n want: %+v", cfg, got, want)
+		}
+	}
+}
+
+// fetchLanes expands one (net, block) family into every (sub, fetch)
+// lane the sweep grid could ask for: demand fetch at every sub-block
+// size plus the load-forward and whole-block variants where sub < block.
+func fetchLanes(base cache.Config, subs []int) []cache.Config {
+	var cfgs []cache.Config
+	for _, sub := range subs {
+		c := base
+		c.SubBlockSize = sub
+		cfgs = append(cfgs, c)
+		if sub < base.BlockSize {
+			for _, f := range []cache.Fetch{cache.LoadForward, cache.LoadForwardOptimized, cache.WholeBlock} {
+				cf := c
+				cf.Fetch = f
+				cfgs = append(cfgs, cf)
+			}
+		}
+	}
+	return cfgs
+}
+
+// TestDiffGridFamilies groups the paper's Table 1 grid into families
+// exactly as the sweep's MultiPass engine does and differentially tests
+// every family, for both 2-byte and 4-byte data paths.
+func TestDiffGridFamilies(t *testing.T) {
+	archs := []synth.Arch{synth.PDP11, synth.VAX11} // word sizes 2 and 4
+	for _, arch := range archs {
+		arch := arch
+		ws := arch.WordSize()
+		refs := makeTrace(0xd1ff+uint64(ws), 6000, 0xffff, ws)
+		pts := sweep.Grid([]int{64, 256}, ws)
+		type famKey struct{ net, block int }
+		fams := map[famKey][]cache.Config{}
+		var order []famKey
+		for _, p := range pts {
+			cfg := p.Config(arch)
+			k := famKey{p.Net, p.Block}
+			if _, ok := fams[k]; !ok {
+				order = append(order, k)
+			}
+			fams[k] = append(fams[k], cfg)
+		}
+		for _, k := range order {
+			k, cfgs := k, fams[k]
+			t.Run(fmt.Sprintf("%s/net%d/block%d", arch, k.net, k.block), func(t *testing.T) {
+				diffFamily(t, cfgs, refs)
+			})
+		}
+	}
+}
+
+// TestDiffPolicyMatrix differentially tests one representative family
+// under every MultiPassSafe combination of write policy, memory-update
+// mode, replacement policy and warm-start accounting, with fetch-policy
+// lanes mixed in.
+func TestDiffPolicyMatrix(t *testing.T) {
+	base := cache.Config{
+		NetSize: 256, BlockSize: 32, Assoc: 4, WordSize: 2,
+		SubBlockSize: 32, // per-lane below
+	}
+	var seed uint64 = 1984
+	for _, write := range []cache.WritePolicy{cache.WriteAllocate, cache.WriteIgnore} {
+		for _, copyBack := range []bool{false, true} {
+			for _, repl := range []cache.Replacement{cache.LRU, cache.FIFO, cache.Random} {
+				for _, warm := range []bool{false, true} {
+					write, copyBack, repl, warm := write, copyBack, repl, warm
+					seed++
+					traceSeed := seed
+					name := fmt.Sprintf("%v/%v/copyback=%v/warm=%v", write, repl, copyBack, warm)
+					t.Run(name, func(t *testing.T) {
+						b := base
+						b.Write = write
+						b.CopyBack = copyBack
+						b.Replacement = repl
+						b.RandomSeed = 7
+						b.WarmStart = warm
+						cfgs := fetchLanes(b, []int{2, 4, 8, 16, 32})
+						refs := makeTrace(traceSeed, 4000, 0x3fff, 2)
+						diffFamily(t, cfgs, refs)
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestDiffTinyAndFullyAssociative covers the geometry extremes: a
+// direct-mapped family, a fully-associative (360/85-style sector)
+// family, and a single-set cache where every access contends.
+func TestDiffTinyAndFullyAssociative(t *testing.T) {
+	cases := []struct {
+		name string
+		base cache.Config
+		subs []int
+	}{
+		{"direct-mapped", cache.Config{NetSize: 128, BlockSize: 16, Assoc: 1, WordSize: 2}, []int{2, 4, 8, 16}},
+		{"fully-assoc", cache.Config{NetSize: 512, BlockSize: 64, Assoc: 8, WordSize: 4}, []int{4, 8, 16, 32, 64}},
+		{"single-set", cache.Config{NetSize: 64, BlockSize: 32, Assoc: 2, WordSize: 2}, []int{2, 8, 32}},
+	}
+	for i, tc := range cases {
+		tc, i := tc, i
+		t.Run(tc.name, func(t *testing.T) {
+			refs := makeTrace(0xace0+uint64(i), 5000, 0x1fff, tc.base.WordSize)
+			diffFamily(t, fetchLanes(tc.base, tc.subs), refs)
+		})
+	}
+}
+
+// TestNewRejectsIneligible: configurations whose tag dynamics depend on
+// sub-block state, or that mix families, must be refused up front.
+func TestNewRejectsIneligible(t *testing.T) {
+	ok := cache.Config{NetSize: 256, BlockSize: 16, SubBlockSize: 8, Assoc: 4, WordSize: 2}
+	if _, err := multipass.New([]cache.Config{ok}); err != nil {
+		t.Fatalf("eligible config rejected: %v", err)
+	}
+	prefetch := ok
+	prefetch.PrefetchOBL = true
+	if _, err := multipass.New([]cache.Config{prefetch}); err == nil {
+		t.Error("prefetch config accepted; tag dynamics depend on sub-block validity")
+	}
+	noAlloc := ok
+	noAlloc.Write = cache.WriteNoAllocate
+	if _, err := multipass.New([]cache.Config{noAlloc}); err == nil {
+		t.Error("write-no-allocate config accepted; recency updates depend on sub-block validity")
+	}
+	otherFamily := ok
+	otherFamily.BlockSize = 32
+	otherFamily.SubBlockSize = 32
+	if _, err := multipass.New([]cache.Config{ok, otherFamily}); err == nil {
+		t.Error("mixed (net,block) families accepted")
+	}
+	invalid := ok
+	invalid.SubBlockSize = 3
+	if _, err := multipass.New([]cache.Config{invalid}); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+	if _, err := multipass.New(nil); err == nil {
+		t.Error("empty family accepted")
+	}
+}
+
+// TestLaneAccessors: lanes preserve input order and expose their
+// configurations.
+func TestLaneAccessors(t *testing.T) {
+	base := cache.Config{NetSize: 128, BlockSize: 16, Assoc: 2, WordSize: 2}
+	cfgs := fetchLanes(base, []int{2, 4, 8, 16})
+	fam, err := multipass.New(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.Lanes() != len(cfgs) {
+		t.Fatalf("Lanes() = %d, want %d", fam.Lanes(), len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		if fam.Config(i) != cfg {
+			t.Errorf("Config(%d) = %v, want %v", i, fam.Config(i), cfg)
+		}
+	}
+}
+
+// TestRunDrivesSource: Family.Run consumes a Source to EOF and flushes
+// residency, matching the reference Run helper.
+func TestRunDrivesSource(t *testing.T) {
+	cfg := cache.Config{NetSize: 128, BlockSize: 16, SubBlockSize: 4, Assoc: 2, WordSize: 2}
+	refs := makeTrace(33, 3000, 0xfff, 2)
+
+	fam, err := multipass.New([]cache.Config{cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fam.Run(trace.NewSliceSource(refs)); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := cache.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(trace.NewSliceSource(refs)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fam.Stats(0), c.Stats()) {
+		t.Errorf("Run diverges:\n got:  %+v\n want: %+v", fam.Stats(0), c.Stats())
+	}
+}

@@ -1,0 +1,442 @@
+// Package multipass simulates a whole family of cache configurations in
+// a single pass over a trace.
+//
+// The idea is the set-refinement structure behind stack-distance
+// simulation (Mattson et al. 1970): for a fixed net size, block size and
+// associativity, every sub-block size indexes the same sets, matches the
+// same tags and -- provided nothing feeds sub-block state back into the
+// tag array -- makes the same replacement decisions on the same
+// accesses.  One shared tag/replacement engine can therefore carry a
+// "lane" per (sub-block size, fetch policy) pair, each lane owning only
+// the per-frame valid/touched/dirty bitmaps and its own cache.Stats.
+// Simulating the k sub-block sizes of one Table 7 family then costs one
+// trace pass and one tag probe per access instead of k.
+//
+// The kernel is bit-exact against cache.Cache: every counter in
+// cache.Stats, including the bus-transaction histogram, is accumulated
+// by the same rules in the same order.  internal/multipass/diff_test.go
+// and FuzzMultiPassEquivalence enforce the equivalence; the sweep
+// harness additionally regression-tests the generated paper artifacts
+// byte-for-byte across engines.
+//
+// Eligibility is decided by cache.Config.MultiPassSafe: OBL prefetch and
+// write-no-allocate feed sub-block validity back into tag-array
+// dynamics, so such configurations must be simulated by the reference
+// cache.Cache (the sweep harness falls back automatically).
+package multipass
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+
+	"subcache/internal/addr"
+	"subcache/internal/cache"
+	"subcache/internal/rng"
+	"subcache/internal/trace"
+)
+
+// tagFrame is the shared, lane-independent part of one block frame: the
+// address tag and the replacement bookkeeping.
+type tagFrame struct {
+	tag      addr.Addr
+	tagValid bool
+	lastUse  uint64
+	loadedAt uint64
+}
+
+// lane is one configuration's private state: the per-frame sub-block
+// bitmaps and the statistics.  Frames are indexed set*assoc+way, in
+// lockstep with the family's shared tag frames.
+type lane struct {
+	cfg         cache.Config
+	subShift    uint
+	subPerBlk   uint
+	wordsPerSub int
+	valid       []uint64
+	touched     []uint64
+	dirty       []uint64
+	stats       cache.Stats
+}
+
+// Family simulates a set of cache configurations that share tag-array
+// dynamics (equal FamilyKey, all MultiPassSafe) in one trace pass.  Not
+// safe for concurrent use.
+type Family struct {
+	base   cache.Config // cfgs[0]; SubBlockSize/Fetch vary per lane
+	lanes  []lane
+	frames []tagFrame // numSets * assoc
+	assoc  int
+
+	tick   uint64
+	filled int
+	rand   *rng.Stream
+
+	blockShift uint
+	setMask    addr.Addr
+	copyBack   bool
+}
+
+// New builds a family kernel for the given configurations.  All
+// configurations must validate, be MultiPassSafe, and share a FamilyKey
+// (i.e. differ only in SubBlockSize and Fetch).
+func New(cfgs []cache.Config) (*Family, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("multipass: no configurations")
+	}
+	key := cfgs[0].FamilyKey()
+	for _, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		if !cfg.MultiPassSafe() {
+			return nil, fmt.Errorf("multipass: %v: tag dynamics depend on sub-block state (prefetch or write-no-allocate)", cfg)
+		}
+		if cfg.FamilyKey() != key {
+			return nil, fmt.Errorf("multipass: %v and %v are not in the same family", cfgs[0], cfg)
+		}
+	}
+	base := cfgs[0]
+	numFrames := base.NumFrames()
+	f := &Family{
+		base:       base,
+		frames:     make([]tagFrame, numFrames),
+		assoc:      base.Assoc,
+		blockShift: addr.Log2(uint64(base.BlockSize)),
+		setMask:    addr.Addr(base.NumSets() - 1),
+		copyBack:   base.CopyBack,
+	}
+	if base.Replacement == cache.Random {
+		f.rand = rng.New(base.RandomSeed)
+	}
+	f.lanes = make([]lane, len(cfgs))
+	for i, cfg := range cfgs {
+		f.lanes[i] = lane{
+			cfg:         cfg,
+			subShift:    addr.Log2(uint64(cfg.SubBlockSize)),
+			subPerBlk:   uint(cfg.SubBlocksPerBlock()),
+			wordsPerSub: cfg.WordsPerSubBlock(),
+			valid:       make([]uint64, numFrames),
+			touched:     make([]uint64, numFrames),
+			dirty:       make([]uint64, numFrames),
+		}
+	}
+	return f, nil
+}
+
+// Group partitions configurations into single-pass families.  Each
+// returned family is a list of indexes into cfgs sharing a FamilyKey,
+// all MultiPassSafe, in first-appearance order; rest holds the indexes
+// of configurations that need the reference simulator.  Group does not
+// validate geometry -- New reports those errors.
+func Group(cfgs []cache.Config) (families [][]int, rest []int) {
+	byKey := make(map[cache.Config]int)
+	for i, cfg := range cfgs {
+		if !cfg.MultiPassSafe() {
+			rest = append(rest, i)
+			continue
+		}
+		key := cfg.FamilyKey()
+		fi, ok := byKey[key]
+		if !ok {
+			fi = len(families)
+			byKey[key] = fi
+			families = append(families, nil)
+		}
+		families[fi] = append(families[fi], i)
+	}
+	return families, rest
+}
+
+// Lanes returns the number of configurations simulated by the family.
+func (f *Family) Lanes() int { return len(f.lanes) }
+
+// Config returns the i'th lane's configuration, in New's input order.
+func (f *Family) Config(i int) cache.Config { return f.lanes[i].cfg }
+
+// Stats returns the i'th lane's accumulated statistics.  The pointer
+// stays valid and live for the lifetime of the family.
+func (f *Family) Stats(i int) *cache.Stats { return &f.lanes[i].stats }
+
+// counting mirrors cache.Cache.counting: with warm start, events are
+// recorded only once every frame has been filled.  Fill progress is a
+// tag-level property, so one flag covers every lane.
+func (f *Family) counting() bool {
+	return !f.base.WarmStart || f.filled == len(f.frames)
+}
+
+// Access presents one word access to every lane of the family.
+func (f *Family) Access(r trace.Ref) {
+	count := true
+	if r.Kind == trace.Write {
+		if f.base.Write == cache.WriteIgnore {
+			return
+		}
+		// WriteAllocate (the only other MultiPassSafe policy): writes
+		// allocate and touch recency like reads but are never counted.
+		count = false
+	}
+
+	f.tick++
+	blockAddr := r.Addr >> f.blockShift
+	setIdx := int(blockAddr & f.setMask)
+	off := addr.Offset(r.Addr, uint64(f.base.BlockSize))
+	counted := count && f.counting()
+
+	for i := range f.lanes {
+		st := &f.lanes[i].stats
+		if counted {
+			st.Accesses++
+			if r.Kind == trace.IFetch {
+				st.IFetches++
+			} else {
+				st.Reads++
+			}
+		} else if count {
+			st.WarmupAccesses++
+		}
+		if !count {
+			st.WriteAccesses++
+		}
+	}
+
+	// Shared tag probe.
+	base := setIdx * f.assoc
+	way := -1
+	for w := 0; w < f.assoc; w++ {
+		fr := &f.frames[base+w]
+		if fr.tagValid && fr.tag == blockAddr {
+			way = w
+			break
+		}
+	}
+
+	if way >= 0 {
+		// Tag hit: each lane resolves to a full hit or a sub-block miss
+		// against its own valid bitmap.
+		fi := base + way
+		for i := range f.lanes {
+			ln := &f.lanes[i]
+			subIdx := uint(off) >> ln.subShift
+			bit := uint64(1) << subIdx
+			st := &ln.stats
+			if ln.valid[fi]&bit != 0 {
+				if counted {
+					st.Hits++
+				}
+			} else {
+				if counted {
+					st.Misses++
+					st.SubBlockMisses++
+				} else if count {
+					st.WarmupMisses++
+				}
+				if !count {
+					st.WriteMisses++
+				}
+				ln.fill(fi, subIdx, counted)
+			}
+			ln.touched[fi] |= bit
+			if r.Kind == trace.Write {
+				ln.markWrite(fi, bit)
+			}
+		}
+		f.frames[fi].lastUse = f.tick
+		return
+	}
+
+	// Block miss: one shared allocation, every lane misses.
+	for i := range f.lanes {
+		st := &f.lanes[i].stats
+		if counted {
+			st.Misses++
+			st.BlockMisses++
+		} else if count {
+			st.WarmupMisses++
+		}
+		if !count {
+			st.WriteMisses++
+		}
+	}
+	v := f.victim(base)
+	fi := base + v
+	fr := &f.frames[fi]
+	if fr.tagValid {
+		for i := range f.lanes {
+			f.lanes[i].retire(fi)
+		}
+	} else {
+		f.filled++
+	}
+	fr.tag = blockAddr
+	fr.tagValid = true
+	fr.lastUse = f.tick
+	fr.loadedAt = f.tick
+	for i := range f.lanes {
+		ln := &f.lanes[i]
+		ln.valid[fi], ln.touched[fi], ln.dirty[fi] = 0, 0, 0
+		subIdx := uint(off) >> ln.subShift
+		ln.fill(fi, subIdx, counted)
+		ln.touched[fi] |= 1 << subIdx
+		if r.Kind == trace.Write {
+			ln.markWrite(fi, 1<<subIdx)
+		}
+	}
+}
+
+// victim picks the way to replace within the set starting at base,
+// mirroring cache.Cache.victim.
+func (f *Family) victim(base int) int {
+	for w := 0; w < f.assoc; w++ {
+		if !f.frames[base+w].tagValid {
+			return w
+		}
+	}
+	switch f.base.Replacement {
+	case cache.LRU:
+		best := 0
+		for w := 1; w < f.assoc; w++ {
+			if f.frames[base+w].lastUse < f.frames[base+best].lastUse {
+				best = w
+			}
+		}
+		return best
+	case cache.FIFO:
+		best := 0
+		for w := 1; w < f.assoc; w++ {
+			if f.frames[base+w].loadedAt < f.frames[base+best].loadedAt {
+				best = w
+			}
+		}
+		return best
+	case cache.Random:
+		return f.rand.Intn(f.assoc)
+	}
+	panic("multipass: unreachable replacement policy")
+}
+
+// markWrite accounts for the memory-update side of a write whose datum
+// is (now) resident, the only case a MultiPassSafe policy produces.
+func (ln *lane) markWrite(fi int, bit uint64) {
+	if ln.cfg.CopyBack {
+		ln.dirty[fi] |= bit
+		return
+	}
+	ln.stats.WriteThroughWords++
+}
+
+// fill loads sub-blocks into frame fi according to the lane's fetch
+// policy, mirroring cache.Cache.fill exactly (including the transaction
+// histogram).
+func (ln *lane) fill(fi int, subIdx uint, counted bool) {
+	var loaded, redundant int
+	switch ln.cfg.Fetch {
+	case cache.DemandSubBlock:
+		ln.valid[fi] |= 1 << subIdx
+		loaded = 1
+
+	case cache.LoadForward:
+		for i := subIdx; i < ln.subPerBlk; i++ {
+			if ln.valid[fi]&(1<<i) != 0 {
+				redundant++
+			}
+			ln.valid[fi] |= 1 << i
+			loaded++
+		}
+
+	case cache.LoadForwardOptimized:
+		run := 0
+		for i := subIdx; i < ln.subPerBlk; i++ {
+			if ln.valid[fi]&(1<<i) == 0 {
+				ln.valid[fi] |= 1 << i
+				loaded++
+				run++
+			} else if run > 0 {
+				ln.recordTransaction(run, counted)
+				run = 0
+			}
+		}
+		if run > 0 {
+			ln.recordTransaction(run, counted)
+		}
+		if counted {
+			ln.stats.SubBlockFills += uint64(loaded)
+			ln.stats.WordsFetched += uint64(loaded * ln.wordsPerSub)
+		}
+		return
+
+	case cache.WholeBlock:
+		for i := uint(0); i < ln.subPerBlk; i++ {
+			if ln.valid[fi]&(1<<i) != 0 {
+				redundant++
+			}
+			ln.valid[fi] |= 1 << i
+			loaded++
+		}
+	}
+	ln.recordTransaction(loaded, counted)
+	if counted {
+		ln.stats.SubBlockFills += uint64(loaded)
+		ln.stats.RedundantLoads += uint64(redundant)
+		ln.stats.WordsFetched += uint64(loaded * ln.wordsPerSub)
+	}
+}
+
+// recordTransaction logs one contiguous bus transfer of n sub-blocks.
+func (ln *lane) recordTransaction(n int, counted bool) {
+	if !counted || n == 0 {
+		return
+	}
+	words := n * ln.wordsPerSub
+	if ln.stats.Transactions == nil {
+		ln.stats.Transactions = make(map[int]uint64)
+	}
+	ln.stats.Transactions[words]++
+}
+
+// retire folds an evicted frame's utilisation and dirty words into the
+// lane's statistics, mirroring cache.Cache.retire.
+func (ln *lane) retire(fi int) {
+	ln.stats.Evictions++
+	ln.stats.ResidencySubBlocks += uint64(ln.subPerBlk)
+	ln.stats.ResidencyTouched += uint64(bits.OnesCount64(ln.touched[fi]))
+	if ln.dirty[fi] != 0 {
+		ln.stats.WriteBackWords += uint64(bits.OnesCount64(ln.dirty[fi]) * ln.wordsPerSub)
+		ln.dirty[fi] = 0
+	}
+}
+
+// FlushUsage folds still-resident blocks into every lane's residency
+// statistics.  Call once at end of trace, as for cache.Cache.
+func (f *Family) FlushUsage() {
+	for fi := range f.frames {
+		if !f.frames[fi].tagValid {
+			continue
+		}
+		for i := range f.lanes {
+			ln := &f.lanes[i]
+			ln.stats.ResidencySubBlocks += uint64(ln.subPerBlk)
+			ln.stats.ResidencyTouched += uint64(bits.OnesCount64(ln.touched[fi]))
+			if ln.dirty[fi] != 0 {
+				ln.stats.WriteBackWords += uint64(bits.OnesCount64(ln.dirty[fi]) * ln.wordsPerSub)
+				ln.dirty[fi] = 0
+			}
+		}
+	}
+}
+
+// Run drives the family with every access from src until EOF, then
+// flushes residency usage.  src should already be word-split.
+func (f *Family) Run(src trace.Source) error {
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			f.FlushUsage()
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("multipass: reading trace: %w", err)
+		}
+		f.Access(r)
+	}
+}

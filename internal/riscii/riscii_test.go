@@ -179,7 +179,7 @@ func TestPropertyCompactorMonotone(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, quickCfg(40)); err != nil {
 		t.Error(err)
 	}
 }

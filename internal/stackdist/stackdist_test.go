@@ -137,7 +137,7 @@ func TestOracleMatchesCacheSimulator(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+	if err := quick.Check(f, quickCfg(15)); err != nil {
 		t.Error(err)
 	}
 }
@@ -177,7 +177,7 @@ func TestSetAssociativeOracle(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+	if err := quick.Check(f, quickCfg(10)); err != nil {
 		t.Error(err)
 	}
 }

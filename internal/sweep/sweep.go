@@ -16,9 +16,51 @@ import (
 
 	"subcache/internal/cache"
 	"subcache/internal/metrics"
+	"subcache/internal/multipass"
 	"subcache/internal/synth"
 	"subcache/internal/trace"
 )
+
+// Engine selects how a sweep simulates its points.
+type Engine int
+
+const (
+	// Reference replays the trace through one cache.Cache per point:
+	// one trace pass per (workload, point) pair, parallel across points.
+	Reference Engine = iota
+	// MultiPass makes a single pass over each workload's trace, feeding
+	// every point simultaneously: points whose tag dynamics are
+	// sub-block-invariant (cache.Config.MultiPassSafe) are grouped into
+	// multipass.Family kernels sharing one tag engine per (net, block)
+	// family, and the rest ride the same pass as individual reference
+	// caches.  Results are bit-identical to Reference; parallelism moves
+	// from points to workloads.
+	MultiPass
+)
+
+// String returns the engine name used by the -engine CLI flag.
+func (e Engine) String() string {
+	switch e {
+	case Reference:
+		return "reference"
+	case MultiPass:
+		return "multipass"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// ParseEngine converts a CLI flag value into an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "reference":
+		return Reference, nil
+	case "multipass":
+		return MultiPass, nil
+	default:
+		return 0, fmt.Errorf("sweep: unknown engine %q (want reference or multipass)", s)
+	}
+}
 
 // Point is one cache organisation within a sweep, in the paper's
 // (net, block, sub-block) coordinates plus the fetch policy.
@@ -118,6 +160,10 @@ type Request struct {
 	Override func(*cache.Config)
 	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
 	Parallelism int
+	// Engine selects the simulation strategy; the zero value is the
+	// per-point Reference engine.  MultiPass produces bit-identical
+	// results in far fewer trace passes (see Result.TracePasses).
+	Engine Engine
 }
 
 // Result holds a completed sweep.
@@ -127,6 +173,11 @@ type Result struct {
 	Runs map[Point][]metrics.Run
 	// Summaries maps point -> the unweighted average across workloads.
 	Summaries map[Point]metrics.Summary
+	// TracePasses counts full iterations over a workload's word trace
+	// summed across workloads: len(Points) per workload for the
+	// Reference engine, 1 per workload for MultiPass.  The sweep
+	// benchmarks report it as the single-pass kernel's headline saving.
+	TracePasses int
 }
 
 // Points returns the result's points sorted by net size, then by the
@@ -176,23 +227,147 @@ func Run(req Request) (*Result, error) {
 		par = runtime.GOMAXPROCS(0)
 	}
 
-	for _, prof := range profiles {
-		accesses, err := wordTrace(prof, req.Refs, req.Arch.WordSize())
+	switch req.Engine {
+	case Reference:
+		for _, prof := range profiles {
+			accesses, err := wordTrace(prof, req.Refs, req.Arch.WordSize())
+			if err != nil {
+				return nil, err
+			}
+			runs, err := simulatePoints(prof.Name, accesses, req, par)
+			if err != nil {
+				return nil, err
+			}
+			for p, run := range runs {
+				res.Runs[p] = append(res.Runs[p], run)
+			}
+			res.TracePasses += len(req.Points)
+		}
+	case MultiPass:
+		perProf, err := simulateOnePassAll(profiles, req, par)
 		if err != nil {
 			return nil, err
 		}
-		runs, err := simulatePoints(prof.Name, accesses, req, par)
-		if err != nil {
-			return nil, err
+		for _, runs := range perProf {
+			for p, run := range runs {
+				res.Runs[p] = append(res.Runs[p], run)
+			}
+			res.TracePasses++
 		}
-		for p, run := range runs {
-			res.Runs[p] = append(res.Runs[p], run)
-		}
+	default:
+		return nil, fmt.Errorf("sweep: unknown engine %v", req.Engine)
 	}
 	for p, runs := range res.Runs {
 		res.Summaries[p] = metrics.Average(runs)
 	}
 	return res, nil
+}
+
+// pointConfig resolves a point's full cache configuration under the
+// request, applying any Override.
+func pointConfig(p Point, req Request) cache.Config {
+	cfg := p.Config(req.Arch)
+	if req.Override != nil {
+		req.Override(&cfg)
+	}
+	return cfg
+}
+
+// simulateOnePassAll runs every workload through the single-pass engine
+// with bounded parallelism across workloads (each worker owns one
+// workload's trace at a time).  The returned slice is in profile order,
+// so per-point run lists keep the catalog order the Reference engine
+// produces.
+func simulateOnePassAll(profiles []synth.Profile, req Request, par int) ([]map[Point]metrics.Run, error) {
+	perProf := make([]map[Point]metrics.Run, len(profiles))
+	errs := make([]error, len(profiles))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	if par > len(profiles) {
+		par = len(profiles)
+	}
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				perProf[i], errs[i] = simulateOnePass(profiles[i], req)
+			}
+		}()
+	}
+	for i := range profiles {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return perProf, nil
+}
+
+// simulateOnePass evaluates every requested point over one workload in
+// a single iteration of its word trace.  MultiPassSafe points are
+// grouped by cache.Config.FamilyKey into shared-tag-engine families;
+// the rest are simulated by individual reference caches fed from the
+// same loop.
+func simulateOnePass(prof synth.Profile, req Request) (map[Point]metrics.Run, error) {
+	accesses, err := wordTrace(prof, req.Refs, req.Arch.WordSize())
+	if err != nil {
+		return nil, err
+	}
+
+	cfgs := make([]cache.Config, len(req.Points))
+	for i, p := range req.Points {
+		cfgs[i] = pointConfig(p, req)
+	}
+	groups, rest := multipass.Group(cfgs)
+	families := make([]*multipass.Family, len(groups))
+	for i, idxs := range groups {
+		fcfgs := make([]cache.Config, len(idxs))
+		for j, k := range idxs {
+			fcfgs[j] = cfgs[k]
+		}
+		fam, err := multipass.New(fcfgs)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %v: %w", req.Points[idxs[0]], err)
+		}
+		families[i] = fam
+	}
+	fallbacks := make([]*cache.Cache, len(rest))
+	for i, k := range rest {
+		c, err := cache.New(cfgs[k])
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %v: %w", req.Points[k], err)
+		}
+		fallbacks[i] = c
+	}
+
+	// The single pass: every family and every fallback cache sees each
+	// access once.
+	for _, r := range accesses {
+		for _, fam := range families {
+			fam.Access(r)
+		}
+		for _, c := range fallbacks {
+			c.Access(r)
+		}
+	}
+
+	out := make(map[Point]metrics.Run, len(req.Points))
+	for i, fam := range families {
+		fam.FlushUsage()
+		for j, k := range groups[i] {
+			out[req.Points[k]] = metrics.NewRun(prof.Name, fam.Config(j), fam.Stats(j))
+		}
+	}
+	for i, c := range fallbacks {
+		c.FlushUsage()
+		out[req.Points[rest[i]]] = metrics.NewRun(prof.Name, c.Config(), c.Stats())
+	}
+	return out, nil
 }
 
 // selectWorkloads resolves the request's workload list.
@@ -242,10 +417,7 @@ func simulatePoints(name string, accesses []trace.Ref, req Request, par int) (ma
 		go func() {
 			defer wg.Done()
 			for p := range jobs {
-				cfg := p.Config(req.Arch)
-				if req.Override != nil {
-					req.Override(&cfg)
-				}
+				cfg := pointConfig(p, req)
 				c, err := cache.New(cfg)
 				if err != nil {
 					results <- job{point: p, err: fmt.Errorf("sweep: %v: %w", p, err)}

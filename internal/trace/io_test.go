@@ -201,7 +201,7 @@ func TestRoundTripProperty(t *testing.T) {
 		bGot, err := br.Next()
 		return err == nil && bGot == r
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(100)); err != nil {
 		t.Error(err)
 	}
 }

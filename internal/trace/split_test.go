@@ -105,7 +105,7 @@ func TestCountWordsMatchesSplitter(t *testing.T) {
 		last := got[len(got)-1].Addr
 		return first == got[0].Addr && uint64(last)+uint64(w) >= uint64(r.Addr)+size64
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, quickCfg(100)); err != nil {
 		t.Error(err)
 	}
 }
