@@ -1,12 +1,23 @@
-// Command benchsweep times the two sweep engines on the Table 7 grid --
+// Command benchsweep times the sweep engines on the Table 7 grid --
 // every architecture, the paper's net sizes, the full block/sub-block
 // matrix -- and records wall-clock seconds, trace-replay passes, the
-// speedup and the pass reduction in a JSON file, so the single-pass
-// kernel's advantage is tracked in the repository's perf trajectory.
+// engine speedup and the shard-scaling curve of the chunk-broadcast
+// executor in a JSON file, so the sweep harness's perf trajectory is
+// tracked in the repository.
 //
 // Usage:
 //
-//	benchsweep [-refs N] [-nets LIST] [-out FILE]
+//	benchsweep [-refs N] [-nets LIST] [-shards LIST] [-verify] [-out FILE]
+//
+// The engine comparison times the materialised per-point Reference
+// engine against the default MultiPass engine.  The shard curve then
+// times the MultiPass sweep at each shard count in -shards (default
+// "1,2,4,...,NumCPU") with Parallelism pinned to the shard count, so
+// point s of the curve uses exactly s cores and the curve isolates
+// intra-workload scaling.  -verify additionally cross-checks that
+// shards=1, shards=NumCPU and the materialised baseline produce
+// identical results, exiting non-zero on any mismatch (the CI smoke
+// step runs this).
 //
 // The committed BENCH_sweep.json is regenerated with the defaults:
 //
@@ -18,6 +29,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -32,6 +46,14 @@ type engineResult struct {
 	TracePasses int     `json:"trace_passes"`
 }
 
+type shardResult struct {
+	Shards  int     `json:"shards"`
+	Seconds float64 `json:"seconds"`
+	// SpeedupVs1 is wall-clock at shards=1 divided by wall-clock here:
+	// the scaling curve of the chunk-broadcast executor.
+	SpeedupVs1 float64 `json:"speedup_vs_shards_1"`
+}
+
 type record struct {
 	Bench         string         `json:"bench"`
 	Refs          int            `json:"refs_per_workload"`
@@ -39,33 +61,44 @@ type record struct {
 	Archs         []string       `json:"archs"`
 	Points        int            `json:"grid_points"`
 	Workloads     int            `json:"workloads"`
+	NumCPU        int            `json:"num_cpu"`
 	Engines       []engineResult `json:"engines"`
 	Speedup       float64        `json:"wall_clock_speedup"`
 	PassReduction float64        `json:"pass_reduction"`
+	ShardCurve    []shardResult  `json:"shard_curve"`
+	// ShardSpeedup is the best point of the curve: wall-clock at
+	// shards=1 over wall-clock at the largest measured shard count.
+	ShardSpeedup float64 `json:"shard_speedup"`
 }
 
 func main() {
 	var (
-		refs = flag.Int("refs", 100000, "references per workload trace")
-		nets = flag.String("nets", "64,256,1024", "comma-separated net sizes")
-		out  = flag.String("out", "BENCH_sweep.json", "output file")
+		refs   = flag.Int("refs", 100000, "references per workload trace")
+		nets   = flag.String("nets", "64,256,1024", "comma-separated net sizes")
+		shards = flag.String("shards", "", "comma-separated shard counts for the scaling curve (default 1,2,4,...,NumCPU)")
+		verify = flag.Bool("verify", false, "cross-check sharded results for bit-identity and exit non-zero on mismatch")
+		out    = flag.String("out", "BENCH_sweep.json", "output file")
 	)
 	flag.Parse()
 
-	var netSizes []int
-	for _, f := range strings.Split(*nets, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchsweep: bad net size %q\n", f)
+	netSizes, err := parseInts(*nets)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsweep: bad -nets: %v\n", err)
+		os.Exit(2)
+	}
+	curve := defaultCurve(runtime.NumCPU())
+	if *shards != "" {
+		if curve, err = parseInts(*shards); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsweep: bad -shards: %v\n", err)
 			os.Exit(2)
 		}
-		netSizes = append(netSizes, n)
 	}
 
 	rec := record{
-		Bench: "sweep_table7",
-		Refs:  *refs,
-		Nets:  netSizes,
+		Bench:  "sweep_table7",
+		Refs:   *refs,
+		Nets:   netSizes,
+		NumCPU: runtime.NumCPU(),
 	}
 	for _, a := range synth.AllArchs() {
 		rec.Archs = append(rec.Archs, a.String())
@@ -73,31 +106,20 @@ func main() {
 		rec.Workloads += len(synth.Workloads(a))
 	}
 
+	if *verify {
+		if err := verifyShardIdentity(netSizes, *refs); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsweep: verify:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("verify ok: shards=1, shards=%d and the materialised baseline agree on every counter\n", runtime.NumCPU())
+	}
+
 	for _, eng := range []sweep.Engine{sweep.Reference, sweep.MultiPass} {
-		start := time.Now()
-		passes := 0
-		for _, a := range synth.AllArchs() {
-			res, err := sweep.Run(sweep.Request{
-				Arch:   a,
-				Points: sweep.Grid(netSizes, a.WordSize()),
-				Refs:   *refs,
-				Engine: eng,
-			})
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "benchsweep: %s/%s: %v\n", eng, a, err)
-				os.Exit(1)
-			}
-			passes += res.TracePasses
-		}
-		er := engineResult{
-			Engine:      eng.String(),
-			Seconds:     time.Since(start).Seconds(),
-			TracePasses: passes,
-		}
+		secs, passes := timeSweep(netSizes, *refs, sweep.Request{Engine: eng})
+		er := engineResult{Engine: eng.String(), Seconds: round3(secs), TracePasses: passes}
 		rec.Engines = append(rec.Engines, er)
 		fmt.Printf("%-10s %8.3fs  %5d passes\n", er.Engine, er.Seconds, er.TracePasses)
 	}
-
 	ref, mp := rec.Engines[0], rec.Engines[1]
 	if mp.Seconds > 0 {
 		rec.Speedup = round3(ref.Seconds / mp.Seconds)
@@ -105,19 +127,116 @@ func main() {
 	if mp.TracePasses > 0 {
 		rec.PassReduction = round3(float64(ref.TracePasses) / float64(mp.TracePasses))
 	}
-	rec.Engines[0].Seconds = round3(ref.Seconds)
-	rec.Engines[1].Seconds = round3(mp.Seconds)
-	fmt.Printf("speedup %.2fx wall clock, %.0fx fewer trace passes\n", rec.Speedup, rec.PassReduction)
+	fmt.Printf("engine speedup %.2fx wall clock, %.0fx fewer trace passes\n", rec.Speedup, rec.PassReduction)
+
+	var base float64
+	for _, s := range curve {
+		secs, _ := timeSweep(netSizes, *refs, sweep.Request{
+			Engine: sweep.MultiPass, Shards: s, Parallelism: s,
+		})
+		sr := shardResult{Shards: s, Seconds: round3(secs)}
+		if s == 1 {
+			base = secs
+		}
+		if base > 0 && secs > 0 {
+			sr.SpeedupVs1 = round3(base / secs)
+		}
+		rec.ShardCurve = append(rec.ShardCurve, sr)
+		fmt.Printf("shards=%-3d %8.3fs  %.2fx vs shards=1\n", sr.Shards, sr.Seconds, sr.SpeedupVs1)
+	}
+	if n := len(rec.ShardCurve); n > 0 {
+		rec.ShardSpeedup = rec.ShardCurve[n-1].SpeedupVs1
+	}
 
 	b, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsweep:", err)
 		os.Exit(1)
 	}
+	if dir := filepath.Dir(*out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsweep:", err)
+			os.Exit(1)
+		}
+	}
 	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsweep:", err)
 		os.Exit(1)
 	}
+}
+
+// timeSweep runs the full Table 7 grid across every architecture with
+// the given engine settings, returning wall-clock seconds and summed
+// trace passes.
+func timeSweep(netSizes []int, refs int, base sweep.Request) (float64, int) {
+	start := time.Now()
+	passes := 0
+	for _, a := range synth.AllArchs() {
+		req := base
+		req.Arch = a
+		req.Points = sweep.Grid(netSizes, a.WordSize())
+		req.Refs = refs
+		res, err := sweep.Run(req)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsweep: %s/%s: %v\n", req.Engine, a, err)
+			os.Exit(1)
+		}
+		passes += res.TracePasses
+	}
+	return time.Since(start).Seconds(), passes
+}
+
+// verifyShardIdentity proves the sharded executor exact on the full
+// grid: for every architecture, shards=1 and shards=NumCPU must equal
+// the materialised single-pass baseline (Shards: -1) on every run and
+// summary.
+func verifyShardIdentity(netSizes []int, refs int) error {
+	for _, a := range synth.AllArchs() {
+		base := sweep.Request{
+			Arch: a, Points: sweep.Grid(netSizes, a.WordSize()),
+			Refs: refs, Engine: sweep.MultiPass,
+		}
+		want := base
+		want.Shards = -1
+		wantRes, err := sweep.Run(want)
+		if err != nil {
+			return fmt.Errorf("%s baseline: %w", a, err)
+		}
+		for _, s := range []int{1, runtime.NumCPU()} {
+			req := base
+			req.Shards = s
+			res, err := sweep.Run(req)
+			if err != nil {
+				return fmt.Errorf("%s shards=%d: %w", a, s, err)
+			}
+			if !reflect.DeepEqual(res.Runs, wantRes.Runs) ||
+				!reflect.DeepEqual(res.Summaries, wantRes.Summaries) {
+				return fmt.Errorf("%s: shards=%d results differ from the materialised baseline", a, s)
+			}
+		}
+	}
+	return nil
+}
+
+// defaultCurve is 1, 2, 4, ... up to and including NumCPU.
+func defaultCurve(ncpu int) []int {
+	var out []int
+	for s := 1; s < ncpu; s *= 2 {
+		out = append(out, s)
+	}
+	return append(out, ncpu)
+}
+
+func parseInts(list string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad value %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func round3(x float64) float64 {

@@ -29,7 +29,7 @@ func runAblateReplacement(ctx *runCtx) (artifact, error) {
 		pol := pol
 		res, err := sweep.Run(sweep.Request{
 			Arch: synth.PDP11, Points: points, Refs: ctx.refs,
-			Engine: ctx.engine,
+			Engine: ctx.engine, Shards: ctx.shards,
 			Override: func(c *cache.Config) {
 				c.Replacement = pol
 				c.RandomSeed = 1984
@@ -74,7 +74,7 @@ func runAblateAssoc(ctx *runCtx) (artifact, error) {
 		assoc := assoc
 		res, err := sweep.Run(sweep.Request{
 			Arch: synth.PDP11, Points: []sweep.Point{point}, Refs: ctx.refs,
-			Engine:   ctx.engine,
+			Engine: ctx.engine, Shards: ctx.shards,
 			Override: func(c *cache.Config) { c.Assoc = assoc },
 		})
 		if err != nil {
@@ -103,7 +103,7 @@ func runAblateLF(ctx *runCtx) (artifact, error) {
 	opt.Fetch = cache.LoadForwardOptimized
 	res, err := sweep.Run(sweep.Request{
 		Arch: synth.Z8000, Points: []sweep.Point{base, opt}, Refs: ctx.refs,
-		Engine:    ctx.engine,
+		Engine: ctx.engine, Shards: ctx.shards,
 		Workloads: []string{"CCP", "C1", "C2"},
 	})
 	if err != nil {
@@ -142,13 +142,13 @@ func runAblateWarm(ctx *runCtx) (artifact, error) {
 	}
 	t := report.NewTable("Warm-start vs cold-start accounting (Z8000 suite)",
 		"config", "warm miss", "cold miss", "cold/warm")
-	warmRes, err := sweep.Run(sweep.Request{Arch: synth.Z8000, Points: points, Refs: ctx.refs, Engine: ctx.engine})
+	warmRes, err := sweep.Run(sweep.Request{Arch: synth.Z8000, Points: points, Refs: ctx.refs, Engine: ctx.engine, Shards: ctx.shards})
 	if err != nil {
 		return artifact{}, err
 	}
 	coldRes, err := sweep.Run(sweep.Request{
 		Arch: synth.Z8000, Points: points, Refs: ctx.refs,
-		Engine:   ctx.engine,
+		Engine: ctx.engine, Shards: ctx.shards,
 		Override: func(c *cache.Config) { c.WarmStart = false },
 	})
 	if err != nil {

@@ -15,13 +15,14 @@ import (
 type runCtx struct {
 	refs   int
 	engine sweep.Engine
+	shards int
 
 	mu     sync.Mutex
 	sweeps map[string]*sweep.Result
 }
 
-func newRunCtx(refs int, engine sweep.Engine) *runCtx {
-	return &runCtx{refs: refs, engine: engine, sweeps: make(map[string]*sweep.Result)}
+func newRunCtx(refs int, engine sweep.Engine, shards int) *runCtx {
+	return &runCtx{refs: refs, engine: engine, shards: shards, sweeps: make(map[string]*sweep.Result)}
 }
 
 // gridSweep runs (or returns the memoised) full Table 1 grid for an
@@ -40,6 +41,7 @@ func (c *runCtx) gridSweep(arch synth.Arch, nets []int) (*sweep.Result, error) {
 		Points: sweep.Grid(nets, arch.WordSize()),
 		Refs:   c.refs,
 		Engine: c.engine,
+		Shards: c.shards,
 	})
 	if err != nil {
 		return nil, err

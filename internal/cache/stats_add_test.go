@@ -1,0 +1,94 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fillStats assigns a distinct non-zero value derived from base to
+// every field of s, by reflection, so a forgotten field in Add cannot
+// hide: if Stats grows a field this helper does not understand, the
+// test fails until both it and Add are taught about it.
+func fillStats(t *testing.T, s *Stats, base uint64) {
+	t.Helper()
+	v := reflect.ValueOf(s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(base + uint64(i))
+		case reflect.Map:
+			f.Set(reflect.ValueOf(map[int]uint64{
+				1: base + 100,
+				4: base + 200,
+				8: base + 300,
+			}))
+		default:
+			t.Fatalf("Stats.%s has kind %v: teach fillStats and Stats.Add about it",
+				v.Type().Field(i).Name, f.Kind())
+		}
+	}
+}
+
+// TestStatsAddSumsEveryField: Add must sum every numeric field and
+// merge the transaction histogram.  The check enumerates the struct by
+// reflection, so adding a counter to Stats without extending Add breaks
+// this test rather than silently dropping shard counts.
+func TestStatsAddSumsEveryField(t *testing.T) {
+	var a, b Stats
+	fillStats(t, &a, 1000)
+	fillStats(t, &b, 5000)
+	a.Add(&b)
+
+	v := reflect.ValueOf(&a).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		name := v.Type().Field(i).Name
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			want := (1000 + uint64(i)) + (5000 + uint64(i))
+			if got := f.Uint(); got != want {
+				t.Errorf("Stats.%s = %d after Add, want %d (field not summed?)", name, got, want)
+			}
+		case reflect.Map:
+			want := map[int]uint64{
+				1: 1000 + 100 + 5000 + 100,
+				4: 1000 + 200 + 5000 + 200,
+				8: 1000 + 300 + 5000 + 300,
+			}
+			if got := f.Interface(); !reflect.DeepEqual(got, want) {
+				t.Errorf("Stats.%s = %v after Add, want %v", name, got, want)
+			}
+		}
+	}
+}
+
+// TestStatsAddIntoZero: merging into a zero value (nil histogram) must
+// allocate the map rather than panic, and reproduce the source.
+func TestStatsAddIntoZero(t *testing.T) {
+	var a, b Stats
+	fillStats(t, &b, 42)
+	a.Add(&b)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("zero.Add(b) = %+v, want %+v", a, b)
+	}
+	// The merged histogram must be a private copy, not an alias.
+	a.Transactions[1]++
+	if a.Transactions[1] == b.Transactions[1] {
+		t.Error("Add aliased the source histogram instead of copying it")
+	}
+}
+
+// TestStatsAddNilHistogram: a source with no transactions leaves the
+// destination untouched.
+func TestStatsAddNilHistogram(t *testing.T) {
+	var a, b Stats
+	a.Accesses = 7
+	a.Add(&b)
+	if a.Transactions != nil {
+		t.Errorf("Add allocated a histogram for a nil source: %v", a.Transactions)
+	}
+	if a.Accesses != 7 {
+		t.Errorf("Accesses = %d, want 7", a.Accesses)
+	}
+}

@@ -1,0 +1,169 @@
+package multipass
+
+import (
+	"reflect"
+	"testing"
+
+	"subcache/internal/cache"
+)
+
+// partitionCfg builds a MultiPassSafe grid configuration.
+func partitionCfg(net, block, sub int) cache.Config {
+	assoc := 4
+	if frames := net / block; frames < assoc {
+		assoc = frames
+	}
+	return cache.Config{
+		NetSize: net, BlockSize: block, SubBlockSize: sub,
+		Assoc: assoc, WordSize: 2,
+		Replacement: cache.LRU, Write: cache.WriteAllocate,
+	}
+}
+
+// partitionSuite is a representative mix: three families of different
+// widths plus two fallback (non-MultiPassSafe) configurations.
+func partitionSuite() []cache.Config {
+	var cfgs []cache.Config
+	for _, sub := range []int{2, 4, 8, 16} {
+		cfgs = append(cfgs, partitionCfg(256, 16, sub))
+	}
+	for _, sub := range []int{2, 4} {
+		cfgs = append(cfgs, partitionCfg(64, 8, sub))
+	}
+	cfgs = append(cfgs, partitionCfg(1024, 32, 8))
+	obl := partitionCfg(256, 16, 8)
+	obl.PrefetchOBL = true
+	cfgs = append(cfgs, obl)
+	wna := partitionCfg(64, 8, 2)
+	wna.Write = cache.WriteNoAllocate
+	cfgs = append(cfgs, wna)
+	return cfgs
+}
+
+// TestPartitionCoversEveryIndex: every shard count yields plans that
+// cover each configuration index exactly once, with no empty plans and
+// never more plans than shards.
+func TestPartitionCoversEveryIndex(t *testing.T) {
+	cfgs := partitionSuite()
+	for shards := -1; shards <= len(cfgs)+4; shards++ {
+		plans := PartitionShards(cfgs, shards)
+		if shards >= 1 && len(plans) > shards {
+			t.Fatalf("shards=%d: got %d plans", shards, len(plans))
+		}
+		seen := make(map[int]int)
+		for pi, plan := range plans {
+			if len(plan.Families) == 0 && len(plan.Rest) == 0 {
+				t.Errorf("shards=%d: plan %d is empty", shards, pi)
+			}
+			for _, fam := range plan.Families {
+				if len(fam) == 0 {
+					t.Errorf("shards=%d: plan %d has an empty family", shards, pi)
+				}
+				for _, k := range fam {
+					seen[k]++
+				}
+			}
+			for _, k := range plan.Rest {
+				seen[k]++
+			}
+		}
+		for i := range cfgs {
+			if seen[i] != 1 {
+				t.Fatalf("shards=%d: index %d assigned %d times", shards, i, seen[i])
+			}
+		}
+	}
+}
+
+// TestPartitionFamilyInvariants: every planned family must be a real
+// single-pass family -- all members MultiPassSafe and sharing one
+// FamilyKey -- and every Rest index must be a configuration the kernel
+// cannot host.
+func TestPartitionFamilyInvariants(t *testing.T) {
+	cfgs := partitionSuite()
+	for _, shards := range []int{1, 2, 3, len(cfgs) + 4} {
+		plans := PartitionShards(cfgs, shards)
+		for _, plan := range plans {
+			for _, fam := range plan.Families {
+				key := cfgs[fam[0]].FamilyKey()
+				for _, k := range fam {
+					if !cfgs[k].MultiPassSafe() {
+						t.Errorf("shards=%d: non-safe config %d planned into a family", shards, k)
+					}
+					if cfgs[k].FamilyKey() != key {
+						t.Errorf("shards=%d: family mixes keys at index %d", shards, k)
+					}
+				}
+			}
+			for _, k := range plan.Rest {
+				if cfgs[k].MultiPassSafe() {
+					t.Errorf("shards=%d: safe config %d left on the fallback path", shards, k)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionSplitsWideFamilies: with more shards than natural units
+// the widest families are halved so idle shards get work; the split
+// halves still satisfy the family invariants (checked above) because
+// any subset of a family is itself a family.
+func TestPartitionSplitsWideFamilies(t *testing.T) {
+	var cfgs []cache.Config
+	for _, sub := range []int{2, 4, 8, 16} {
+		cfgs = append(cfgs, partitionCfg(256, 16, sub))
+	}
+	plans := PartitionShards(cfgs, 2)
+	if len(plans) != 2 {
+		t.Fatalf("one 4-lane family across 2 shards: got %d plans, want 2", len(plans))
+	}
+	for pi, plan := range plans {
+		if len(plan.Families) != 1 || len(plan.Families[0]) != 2 {
+			t.Errorf("plan %d: want one 2-lane half-family, got %+v", pi, plan)
+		}
+	}
+
+	// More shards than lanes: families bottom out at one lane each and
+	// the plan count stops growing.
+	plans = PartitionShards(cfgs, 16)
+	if len(plans) != 4 {
+		t.Fatalf("4 lanes across 16 shards: got %d plans, want 4", len(plans))
+	}
+}
+
+// TestPartitionDeterministic: the plan is a pure function of its
+// inputs.
+func TestPartitionDeterministic(t *testing.T) {
+	cfgs := partitionSuite()
+	for _, shards := range []int{1, 3, 7} {
+		a := PartitionShards(cfgs, shards)
+		b := PartitionShards(cfgs, shards)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("shards=%d: partition is not deterministic", shards)
+		}
+	}
+}
+
+// TestPartitionBalance: with two shards and units of known cost the LPT
+// assignment must not put everything on one shard.
+func TestPartitionBalance(t *testing.T) {
+	cfgs := partitionSuite()
+	plans := PartitionShards(cfgs, 2)
+	if len(plans) != 2 {
+		t.Fatalf("got %d plans, want 2", len(plans))
+	}
+	load := func(p ShardPlan) int {
+		n := 0
+		for _, fam := range p.Families {
+			n += 2 + len(fam)
+		}
+		return n + 3*len(p.Rest)
+	}
+	a, b := load(plans[0]), load(plans[1])
+	if a == 0 || b == 0 {
+		t.Fatalf("degenerate balance: loads %d/%d", a, b)
+	}
+	if a > 3*b || b > 3*a {
+		t.Errorf("poor balance: loads %d/%d", a, b)
+	}
+}

@@ -1,0 +1,331 @@
+// Sharded intra-workload execution: one workload's configurations are
+// partitioned across shard workers, all fed from a single trace
+// generation by broadcasting fixed-size chunks of the word stream
+// through a ring of reusable buffers.
+//
+// Sharding is across configurations, never across the trace: every
+// family and fallback cache still consumes the complete ordered access
+// stream, and each one is owned by exactly one worker, so per-point
+// counters are bit-identical to the materialised single-pass and
+// reference paths -- only the scheduling changes.  The trace is never
+// materialised; memory stays at O(buffers), not O(refs).
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"subcache/internal/cache"
+	"subcache/internal/metrics"
+	"subcache/internal/multipass"
+	"subcache/internal/synth"
+	"subcache/internal/trace"
+)
+
+// chunkRefs is the broadcast granularity: 8192 references (~128 KiB of
+// trace.Ref) keeps a chunk inside L2 while amortising channel traffic
+// to a few operations per hundred thousand accesses.
+const chunkRefs = 8192
+
+// chunk is one slice of the word trace in flight to every shard.  left
+// counts shards that have yet to finish it; the last one returns the
+// backing buffer to the free ring.
+type chunk struct {
+	refs []trace.Ref
+	left atomic.Int32
+}
+
+// shardRunner is one worker's owned simulation state: the families and
+// fallback caches its plan assigned, plus its inbound chunk queue.
+type shardRunner struct {
+	families []*multipass.Family
+	famIdx   [][]int // cfg indexes per family, aligned with families
+	caches   []*cache.Cache
+	cacheIdx []int // cfg indexes, aligned with caches
+	in       chan *chunk
+}
+
+// RunConfigs evaluates every configuration against one workload in a
+// single chunk-streamed trace pass, sharded across shard workers
+// (0 or less picks GOMAXPROCS).  Configurations that share tag-array
+// dynamics are grouped into multipass families within each shard; the
+// rest ride the same pass on reference simulators.  The returned runs
+// align with cfgs and are bit-identical to per-configuration
+// simulation.  All configurations must agree on WordSize, since they
+// consume one shared word-split trace.
+func RunConfigs(ctx context.Context, prof synth.Profile, cfgs []cache.Config, refs, shards int) ([]metrics.Run, error) {
+	if refs <= 0 {
+		return nil, fmt.Errorf("sweep: non-positive trace length %d", refs)
+	}
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("sweep: no configurations")
+	}
+	ws := cfgs[0].WordSize
+	for i, c := range cfgs {
+		if c.WordSize != ws {
+			return nil, fmt.Errorf("sweep: cfgs[%d].WordSize = %d, want %d (configurations must share one word-split trace)", i, c.WordSize, ws)
+		}
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	return runConfigsSharded(ctx, prof, cfgs, refs, ws, shards, true,
+		func(i int) string { return fmt.Sprintf("cfgs[%d]", i) })
+}
+
+// referencePlans gives each configuration its own reference cache,
+// spread round-robin across shards (grid points are near-equal cost).
+func referencePlans(n, shards int) []multipass.ShardPlan {
+	if shards > n {
+		shards = n
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	plans := make([]multipass.ShardPlan, shards)
+	for i := 0; i < n; i++ {
+		s := i % shards
+		plans[s].Rest = append(plans[s].Rest, i)
+	}
+	return plans
+}
+
+// runConfigsSharded is the chunk-broadcast executor.  group selects
+// family construction (the MultiPass engine) versus one reference cache
+// per configuration (the Reference engine); label names cfgs[i] in
+// errors.
+func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Config, refs, wordSize, shards int, group bool, label func(int) string) ([]metrics.Run, error) {
+	var plans []multipass.ShardPlan
+	if group {
+		plans = multipass.PartitionShards(cfgs, shards)
+	} else {
+		plans = referencePlans(len(cfgs), shards)
+	}
+
+	runners := make([]*shardRunner, len(plans))
+	nbuf := 2*len(plans) + 2
+	for si, plan := range plans {
+		rn := &shardRunner{in: make(chan *chunk, nbuf)}
+		for _, idxs := range plan.Families {
+			fcfgs := make([]cache.Config, len(idxs))
+			for j, k := range idxs {
+				fcfgs[j] = cfgs[k]
+			}
+			fam, err := multipass.New(fcfgs)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %s: %w", label(idxs[0]), err)
+			}
+			rn.families = append(rn.families, fam)
+			rn.famIdx = append(rn.famIdx, idxs)
+		}
+		for _, k := range plan.Rest {
+			c, err := cache.New(cfgs[k])
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %s: %w", label(k), err)
+			}
+			rn.caches = append(rn.caches, c)
+			rn.cacheIdx = append(rn.cacheIdx, k)
+		}
+		runners[si] = rn
+	}
+
+	src, err := synth.NewWordSource(prof, refs, wordSize)
+	if err != nil {
+		return nil, err
+	}
+
+	// The free ring: every chunk buffer in existence.  At most nbuf
+	// chunks are ever in flight, so the per-shard queues (capacity
+	// nbuf) never block the producer -- backpressure comes solely from
+	// an empty ring, i.e. from the slowest shard.
+	free := make(chan []trace.Ref, nbuf)
+	for i := 0; i < nbuf; i++ {
+		free <- make([]trace.Ref, chunkRefs)
+	}
+
+	var produceErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			for _, rn := range runners {
+				close(rn.in)
+			}
+		}()
+		for {
+			var buf []trace.Ref
+			select {
+			case buf = <-free:
+			case <-ctx.Done():
+				return
+			}
+			n, err := trace.ReadChunk(src, buf[:chunkRefs])
+			if n > 0 {
+				ck := &chunk{refs: buf[:n]}
+				ck.left.Store(int32(len(runners)))
+				for _, rn := range runners {
+					select {
+					case rn.in <- ck:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+			if err != nil {
+				if err != io.EOF {
+					produceErr = err
+				}
+				return
+			}
+		}
+	}()
+
+	for _, rn := range runners {
+		wg.Add(1)
+		go func(rn *shardRunner) {
+			defer wg.Done()
+			for ck := range rn.in {
+				// On cancellation keep draining (the producer may have
+				// broadcast chunks already) but stop simulating.
+				if ctx.Err() == nil {
+					for _, r := range ck.refs {
+						for _, fam := range rn.families {
+							fam.Access(r)
+						}
+						for _, c := range rn.caches {
+							c.Access(r)
+						}
+					}
+				}
+				if ck.left.Add(-1) == 0 {
+					free <- ck.refs[:chunkRefs]
+				}
+			}
+		}(rn)
+	}
+	wg.Wait()
+
+	if produceErr != nil {
+		return nil, fmt.Errorf("sweep: %s trace: %w", prof.Name, produceErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	runs := make([]metrics.Run, len(cfgs))
+	for _, rn := range runners {
+		for fi, fam := range rn.families {
+			fam.FlushUsage()
+			for j, k := range rn.famIdx[fi] {
+				runs[k] = metrics.NewRun(prof.Name, fam.Config(j), fam.Stats(j))
+			}
+		}
+		for ci, c := range rn.caches {
+			c.FlushUsage()
+			runs[rn.cacheIdx[ci]] = metrics.NewRun(prof.Name, c.Config(), c.Stats())
+		}
+	}
+	return runs, nil
+}
+
+// simulateSharded evaluates every requested point over one workload via
+// the chunk-broadcast executor, for either engine.
+func simulateSharded(ctx context.Context, prof synth.Profile, req Request, shards int, group bool) (map[Point]metrics.Run, error) {
+	cfgs := make([]cache.Config, len(req.Points))
+	for i, p := range req.Points {
+		cfgs[i] = pointConfig(p, req)
+	}
+	runs, err := runConfigsSharded(ctx, prof, cfgs, req.Refs, req.Arch.WordSize(), shards, group,
+		func(i int) string { return req.Points[i].String() })
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[Point]metrics.Run, len(req.Points))
+	for i, run := range runs {
+		out[req.Points[i]] = run
+	}
+	return out, nil
+}
+
+// simulateShardedAll runs every workload through the sharded executor,
+// spending the parallelism budget on concurrent workloads first and
+// intra-workload shards second.  The first failing workload cancels its
+// siblings promptly.
+func simulateShardedAll(ctx context.Context, profiles []synth.Profile, req Request, par int, group bool) ([]map[Point]metrics.Run, error) {
+	shards := req.Shards
+	if shards == 0 {
+		// Auto: spread the cores over the suite's concurrent workloads,
+		// rounding up so a many-core box stays busy even when the suite
+		// is small.
+		shards = (par + len(profiles) - 1) / len(profiles)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	outer := par / shards
+	if outer < 1 {
+		outer = 1
+	}
+	if outer > len(profiles) {
+		outer = len(profiles)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	perProf := make([]map[Point]metrics.Run, len(profiles))
+	errs := make([]error, len(profiles))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < outer; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					continue
+				}
+				perProf[i], errs[i] = simulateSharded(ctx, profiles[i], req, shards, group)
+				if errs[i] != nil {
+					cancel()
+				}
+			}
+		}()
+	}
+	for i := range profiles {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return perProf, nil
+}
+
+// firstError picks the error to report from per-workload results: the
+// lowest-index real failure, so the cancellations the first failure
+// triggered in sibling workloads never mask it.
+func firstError(errs []error) error {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	return first
+}

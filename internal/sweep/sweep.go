@@ -9,6 +9,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -164,6 +165,17 @@ type Request struct {
 	// per-point Reference engine.  MultiPass produces bit-identical
 	// results in far fewer trace passes (see Result.TracePasses).
 	Engine Engine
+	// Shards selects intra-workload parallelism.  With Shards >= 1 each
+	// workload's families and fallback caches are partitioned across
+	// that many shard workers, all fed from a single chunk-broadcast
+	// trace generation (every cache still sees the complete ordered
+	// stream, so results stay bit-identical; the trace is streamed, not
+	// materialised).  0, the default, picks a machine-appropriate shard
+	// count for the MultiPass engine and keeps the Reference engine on
+	// its materialised per-point path, preserving it as an independent
+	// baseline.  Negative forces the materialised-trace paths for both
+	// engines (the differential baselines).
+	Shards int
 }
 
 // Result holds a completed sweep.
@@ -206,6 +218,13 @@ func (r *Result) Points() []Point {
 
 // Run executes the sweep.
 func Run(req Request) (*Result, error) {
+	return RunContext(context.Background(), req)
+}
+
+// RunContext executes the sweep under a context: cancelling ctx aborts
+// every worker promptly, and the first failing point cancels the rest
+// of the sweep.
+func RunContext(ctx context.Context, req Request) (*Result, error) {
 	if req.Refs <= 0 {
 		return nil, fmt.Errorf("sweep: non-positive trace length %d", req.Refs)
 	}
@@ -229,12 +248,29 @@ func Run(req Request) (*Result, error) {
 
 	switch req.Engine {
 	case Reference:
+		if req.Shards >= 1 {
+			// Sharded streaming executor, one reference cache per point.
+			perProf, err := simulateShardedAll(ctx, profiles, req, par, false)
+			if err != nil {
+				return nil, err
+			}
+			for _, runs := range perProf {
+				for p, run := range runs {
+					res.Runs[p] = append(res.Runs[p], run)
+				}
+				res.TracePasses += len(req.Points)
+			}
+			break
+		}
 		for _, prof := range profiles {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			accesses, err := wordTrace(prof, req.Refs, req.Arch.WordSize())
 			if err != nil {
 				return nil, err
 			}
-			runs, err := simulatePoints(prof.Name, accesses, req, par)
+			runs, err := simulatePoints(ctx, prof.Name, accesses, req, par)
 			if err != nil {
 				return nil, err
 			}
@@ -244,7 +280,12 @@ func Run(req Request) (*Result, error) {
 			res.TracePasses += len(req.Points)
 		}
 	case MultiPass:
-		perProf, err := simulateOnePassAll(profiles, req, par)
+		var perProf []map[Point]metrics.Run
+		if req.Shards < 0 {
+			perProf, err = simulateOnePassAll(ctx, profiles, req, par)
+		} else {
+			perProf, err = simulateShardedAll(ctx, profiles, req, par, true)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -278,7 +319,9 @@ func pointConfig(p Point, req Request) cache.Config {
 // workload's trace at a time).  The returned slice is in profile order,
 // so per-point run lists keep the catalog order the Reference engine
 // produces.
-func simulateOnePassAll(profiles []synth.Profile, req Request, par int) ([]map[Point]metrics.Run, error) {
+func simulateOnePassAll(ctx context.Context, profiles []synth.Profile, req Request, par int) ([]map[Point]metrics.Run, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	perProf := make([]map[Point]metrics.Run, len(profiles))
 	errs := make([]error, len(profiles))
 	jobs := make(chan int)
@@ -291,7 +334,13 @@ func simulateOnePassAll(profiles []synth.Profile, req Request, par int) ([]map[P
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				perProf[i], errs[i] = simulateOnePass(profiles[i], req)
+				if ctx.Err() != nil {
+					continue
+				}
+				perProf[i], errs[i] = simulateOnePass(ctx, profiles[i], req)
+				if errs[i] != nil {
+					cancel()
+				}
 			}
 		}()
 	}
@@ -300,10 +349,11 @@ func simulateOnePassAll(profiles []synth.Profile, req Request, par int) ([]map[P
 	}
 	close(jobs)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return perProf, nil
 }
@@ -313,7 +363,7 @@ func simulateOnePassAll(profiles []synth.Profile, req Request, par int) ([]map[P
 // grouped by cache.Config.FamilyKey into shared-tag-engine families;
 // the rest are simulated by individual reference caches fed from the
 // same loop.
-func simulateOnePass(prof synth.Profile, req Request) (map[Point]metrics.Run, error) {
+func simulateOnePass(ctx context.Context, prof synth.Profile, req Request) (map[Point]metrics.Run, error) {
 	accesses, err := wordTrace(prof, req.Refs, req.Arch.WordSize())
 	if err != nil {
 		return nil, err
@@ -346,8 +396,12 @@ func simulateOnePass(prof synth.Profile, req Request) (map[Point]metrics.Run, er
 	}
 
 	// The single pass: every family and every fallback cache sees each
-	// access once.
-	for _, r := range accesses {
+	// access once.  A cancelled sweep (sibling failure or caller abort)
+	// is noticed every 64Ki accesses.
+	for i, r := range accesses {
+		if i&0xffff == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		for _, fam := range families {
 			fam.Access(r)
 		}
@@ -402,8 +456,13 @@ func wordTrace(prof synth.Profile, refs, wordSize int) ([]trace.Ref, error) {
 }
 
 // simulatePoints runs every point over one workload's accesses, with
-// bounded parallelism.
-func simulatePoints(name string, accesses []trace.Ref, req Request, par int) (map[Point]metrics.Run, error) {
+// bounded parallelism.  The first error cancels the remaining work:
+// workers drain the job queue without simulating and abort an
+// in-flight replay at the next 64Ki-access boundary, instead of
+// replaying the full trace for every remaining point.
+func simulatePoints(ctx context.Context, name string, accesses []trace.Ref, req Request, par int) (map[Point]metrics.Run, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	type job struct {
 		point Point
 		run   metrics.Run
@@ -417,14 +476,25 @@ func simulatePoints(name string, accesses []trace.Ref, req Request, par int) (ma
 		go func() {
 			defer wg.Done()
 			for p := range jobs {
+				if ctx.Err() != nil {
+					continue
+				}
 				cfg := pointConfig(p, req)
 				c, err := cache.New(cfg)
 				if err != nil {
 					results <- job{point: p, err: fmt.Errorf("sweep: %v: %w", p, err)}
 					continue
 				}
-				for _, r := range accesses {
+				aborted := false
+				for i, r := range accesses {
+					if i&0xffff == 0 && ctx.Err() != nil {
+						aborted = true
+						break
+					}
 					c.Access(r)
+				}
+				if aborted {
+					continue
 				}
 				c.FlushUsage()
 				results <- job{point: p, run: metrics.NewRun(name, cfg, c.Stats())}
@@ -446,6 +516,7 @@ func simulatePoints(name string, accesses []trace.Ref, req Request, par int) (ma
 		if j.err != nil {
 			if firstErr == nil {
 				firstErr = j.err
+				cancel()
 			}
 			continue
 		}
@@ -454,23 +525,26 @@ func simulatePoints(name string, accesses []trace.Ref, req Request, par int) (ma
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
-// RunOne simulates a single workload through a single configuration: the
-// facade's simple path and a convenience for tests.
+// RunOne simulates a single workload through a single configuration:
+// the facade's simple path and a convenience for tests.  The trace is
+// streamed straight from the generator, never materialised.
 func RunOne(prof synth.Profile, cfg cache.Config, refs int) (metrics.Run, error) {
 	c, err := cache.New(cfg)
 	if err != nil {
 		return metrics.Run{}, err
 	}
-	accesses, err := wordTrace(prof, refs, cfg.WordSize)
+	src, err := synth.NewWordSource(prof, refs, cfg.WordSize)
 	if err != nil {
 		return metrics.Run{}, err
 	}
-	for _, r := range accesses {
-		c.Access(r)
+	if err := c.Run(src); err != nil {
+		return metrics.Run{}, err
 	}
-	c.FlushUsage()
 	return metrics.NewRun(prof.Name, cfg, c.Stats()), nil
 }

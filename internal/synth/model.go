@@ -419,6 +419,19 @@ func (g *Generator) Next() (trace.Ref, error) {
 	return ref, nil
 }
 
+// NewWordSource returns the profile's reference stream pre-split to
+// word accesses on a data path of the given width: the exact input a
+// cache simulation replays, as a stream.  limit bounds the generated
+// references before splitting, so the emitted accesses match
+// Generate(p, limit) expanded through trace.SplitAll.
+func NewWordSource(p Profile, limit, wordSize int) (trace.Source, error) {
+	g, err := NewGenerator(p, limit)
+	if err != nil {
+		return nil, err
+	}
+	return trace.NewSplitter(g, wordSize), nil
+}
+
 // Generate materialises n references of the profile into memory,
 // a convenience for the sweep harness (which replays one trace through
 // many cache configurations).

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"subcache/internal/addr"
+)
+
+func chunkRefs(n int) []Ref {
+	out := make([]Ref, n)
+	for i := range out {
+		out[i] = Ref{Addr: addr.Addr(0x1000 + 2*i), Kind: Read, Size: 2}
+	}
+	return out
+}
+
+// TestReadChunkBatching: a 10-reference stream through 4-reference
+// buffers yields 4, 4, then 2 alongside io.EOF -- the final partial
+// chunk arrives with the sentinel, never after it.
+func TestReadChunkBatching(t *testing.T) {
+	refs := chunkRefs(10)
+	src := NewSliceSource(refs)
+	buf := make([]Ref, 4)
+
+	for i := 0; i < 2; i++ {
+		n, err := ReadChunk(src, buf)
+		if n != 4 || err != nil {
+			t.Fatalf("chunk %d: got (%d, %v), want (4, nil)", i, n, err)
+		}
+		if !reflect.DeepEqual(buf[:n], refs[4*i:4*i+4]) {
+			t.Fatalf("chunk %d: wrong contents", i)
+		}
+	}
+	n, err := ReadChunk(src, buf)
+	if n != 2 || err != io.EOF {
+		t.Fatalf("final chunk: got (%d, %v), want (2, io.EOF)", n, err)
+	}
+	if !reflect.DeepEqual(buf[:n], refs[8:]) {
+		t.Fatal("final chunk: wrong contents")
+	}
+	if n, err = ReadChunk(src, buf); n != 0 || err != io.EOF {
+		t.Fatalf("after EOF: got (%d, %v), want (0, io.EOF)", n, err)
+	}
+}
+
+// TestReadChunkExactMultiple: when the stream length divides the buffer
+// size the EOF arrives on its own with an empty chunk.
+func TestReadChunkExactMultiple(t *testing.T) {
+	src := NewSliceSource(chunkRefs(8))
+	buf := make([]Ref, 4)
+	for i := 0; i < 2; i++ {
+		if n, err := ReadChunk(src, buf); n != 4 || err != nil {
+			t.Fatalf("chunk %d: got (%d, %v)", i, n, err)
+		}
+	}
+	if n, err := ReadChunk(src, buf); n != 0 || err != io.EOF {
+		t.Fatalf("got (%d, %v), want (0, io.EOF)", n, err)
+	}
+}
+
+// TestReadChunkMatchesSplitAll: concatenating chunks read off a
+// splitter reproduces SplitAll exactly, for buffer sizes that do and do
+// not divide the stream -- the equivalence the chunk-broadcast sweep
+// executor relies on.
+func TestReadChunkMatchesSplitAll(t *testing.T) {
+	mixed := []Ref{
+		{Addr: 0x1000, Kind: IFetch, Size: 4},
+		{Addr: 0x2001, Kind: Read, Size: 2},
+		{Addr: 0x3003, Kind: Write, Size: 8},
+		{Addr: 0x4000, Kind: Read, Size: 1},
+	}
+	var stream []Ref
+	for i := 0; i < 25; i++ {
+		for _, r := range mixed {
+			r.Addr += addr.Addr(64 * i)
+			stream = append(stream, r)
+		}
+	}
+	want, err := SplitAll(NewSliceSource(stream), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bufSize := range []int{1, 3, 7, 64, len(want), len(want) + 9} {
+		sp := NewSplitter(NewSliceSource(stream), 2)
+		buf := make([]Ref, bufSize)
+		var got []Ref
+		for {
+			n, err := ReadChunk(sp, buf)
+			got = append(got, buf[:n]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("bufSize=%d: chunked stream differs from SplitAll (%d vs %d refs)",
+				bufSize, len(got), len(want))
+		}
+	}
+}
+
+// TestReadChunkPropagatesErrors: a mid-stream failure surfaces with the
+// count of good references read before it.
+func TestReadChunkPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	i := 0
+	src := FuncSource(func() (Ref, error) {
+		if i == 3 {
+			return Ref{}, boom
+		}
+		i++
+		return Ref{Addr: addr.Addr(i), Size: 1}, nil
+	})
+	buf := make([]Ref, 8)
+	if n, err := ReadChunk(src, buf); n != 3 || err != boom {
+		t.Fatalf("got (%d, %v), want (3, boom)", n, err)
+	}
+}
+
+// TestTextReaderLatchesErrors: after a parse error the reader must keep
+// returning that error instead of silently resuming on the next line,
+// which would drop the bad record from the trace.
+func TestTextReaderLatchesErrors(t *testing.T) {
+	r := NewTextReader(strings.NewReader("2 1000 2\nbogus line here\n0 2000 2\n"))
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("good line: %v", err)
+	}
+	_, err := r.Next()
+	if err == nil {
+		t.Fatal("bad line accepted")
+	}
+	for i := 0; i < 3; i++ {
+		ref, again := r.Next()
+		if again != err {
+			t.Fatalf("call %d after error: got %v, want the latched %v", i, again, err)
+		}
+		if (ref != Ref{}) {
+			t.Fatalf("call %d after error: yielded record %v past the failure", i, ref)
+		}
+	}
+}
+
+// TestTextReaderLatchKinds: every parse-failure class latches -- field
+// count, label, address, size.
+func TestTextReaderLatchKinds(t *testing.T) {
+	for _, tc := range []struct{ name, line string }{
+		{"fields", "0 1 2 3 4"},
+		{"label", "x 1000 2"},
+		{"badlabel", "9 1000 2"},
+		{"address", "0 zz 2"},
+		{"size", "0 1000 zz"},
+		{"zerosize", "0 1000 0"},
+	} {
+		r := NewTextReader(strings.NewReader(tc.line + "\n0 4000 2\n"))
+		_, err := r.Next()
+		if err == nil {
+			t.Errorf("%s: bad line %q accepted", tc.name, tc.line)
+			continue
+		}
+		if _, again := r.Next(); again != err {
+			t.Errorf("%s: error not latched: %v then %v", tc.name, err, again)
+		}
+	}
+}

@@ -75,6 +75,24 @@ func CountWords(r Ref, wordSize int) int {
 	return int((last-first)/addr.Addr(w)) + 1
 }
 
+// ReadChunk fills buf with the next references from src, returning how
+// many were stored.  The error is io.EOF only at end of stream --
+// possibly alongside n > 0 for a final partial chunk -- and any other
+// error reports a failed read after n good references.  It is the
+// batching primitive behind the sweep harness's chunk-broadcast
+// executor, which streams a trace through reusable fixed-size buffers
+// instead of materialising it.
+func ReadChunk(src Source, buf []Ref) (int, error) {
+	for n := range buf {
+		r, err := src.Next()
+		if err != nil {
+			return n, err
+		}
+		buf[n] = r
+	}
+	return len(buf), nil
+}
+
 // SplitAll is a convenience that fully expands src through a splitter,
 // returning the word accesses.  Intended for tests and small traces.
 func SplitAll(src Source, wordSize int) ([]Ref, error) {

@@ -76,6 +76,7 @@ func (t *TextWriter) Flush() error { return t.w.Flush() }
 type TextReader struct {
 	sc   *bufio.Scanner
 	line int
+	err  error // first parse or scan error, latched
 }
 
 // NewTextReader returns a Source reading din text from r.
@@ -85,8 +86,20 @@ func NewTextReader(r io.Reader) *TextReader {
 	return &TextReader{sc: sc}
 }
 
-// Next implements Source.
+// fail latches the reader on its first error: every subsequent Next
+// returns the same error instead of silently resuming on the line after
+// the bad record, which would drop it from the trace.
+func (t *TextReader) fail(err error) (Ref, error) {
+	t.err = err
+	return Ref{}, err
+}
+
+// Next implements Source.  After any error other than io.EOF the
+// reader is stuck: all further calls return that same error.
 func (t *TextReader) Next() (Ref, error) {
+	if t.err != nil {
+		return Ref{}, t.err
+	}
 	for t.sc.Scan() {
 		t.line++
 		line := strings.TrimSpace(t.sc.Text())
@@ -95,32 +108,32 @@ func (t *TextReader) Next() (Ref, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 || len(fields) > 3 {
-			return Ref{}, fmt.Errorf("trace: line %d: want 2 or 3 fields, got %d", t.line, len(fields))
+			return t.fail(fmt.Errorf("trace: line %d: want 2 or 3 fields, got %d", t.line, len(fields)))
 		}
 		label, err := strconv.Atoi(fields[0])
 		if err != nil {
-			return Ref{}, fmt.Errorf("trace: line %d: bad label %q: %v", t.line, fields[0], err)
+			return t.fail(fmt.Errorf("trace: line %d: bad label %q: %v", t.line, fields[0], err))
 		}
 		kind, err := dinToKind(label)
 		if err != nil {
-			return Ref{}, fmt.Errorf("trace: line %d: %v", t.line, err)
+			return t.fail(fmt.Errorf("trace: line %d: %v", t.line, err))
 		}
 		hexs := strings.TrimPrefix(strings.TrimPrefix(fields[1], "0x"), "0X")
 		a, err := strconv.ParseUint(hexs, 16, 64)
 		if err != nil {
-			return Ref{}, fmt.Errorf("trace: line %d: bad address %q: %v", t.line, fields[1], err)
+			return t.fail(fmt.Errorf("trace: line %d: bad address %q: %v", t.line, fields[1], err))
 		}
 		size := uint64(1)
 		if len(fields) == 3 {
 			size, err = strconv.ParseUint(fields[2], 10, 8)
 			if err != nil || size == 0 {
-				return Ref{}, fmt.Errorf("trace: line %d: bad size %q", t.line, fields[2])
+				return t.fail(fmt.Errorf("trace: line %d: bad size %q", t.line, fields[2]))
 			}
 		}
 		return Ref{Addr: addr.Addr(a), Kind: kind, Size: uint8(size)}, nil
 	}
 	if err := t.sc.Err(); err != nil {
-		return Ref{}, err
+		return t.fail(err)
 	}
 	return Ref{}, io.EOF
 }

@@ -103,68 +103,81 @@ func OpenTraceFile(path string, format TraceFormat) (*TraceFile, error) {
 	}
 }
 
+// refWriter is the encoding-independent writing interface both trace
+// formats implement.
+type refWriter interface {
+	Write(trace.Ref) error
+	Flush() error
+}
+
 // WriteTraceFile writes every reference from src to path in the given
 // (or auto-detected) format, returning the number written.  Paths named
-// *.gz are gzip-compressed.
-func WriteTraceFile(path string, src Source, format TraceFormat) (int, error) {
+// *.gz are gzip-compressed.  On any error the partial output file is
+// removed, so a path either holds a complete, well-formed trace
+// (gzip footer included) or does not exist.
+func WriteTraceFile(path string, src Source, format TraceFormat) (n int, err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return 0, err
 	}
-	defer f.Close()
+	var gz *gzip.Writer
+	defer func() {
+		if err == nil {
+			return
+		}
+		// Abandon the partial file: release the compressor and the
+		// descriptor, then remove it so no truncated or footer-less
+		// trace is left behind to fail a later read.
+		if gz != nil {
+			gz.Close()
+		}
+		f.Close()
+		os.Remove(path)
+	}()
 
 	var out io.Writer = f
-	var gz *gzip.Writer
 	if isGzipPath(path) {
 		gz = gzip.NewWriter(f)
 		out = gz
 	}
-	n := 0
+	var w refWriter
 	switch resolveFormat(path, format) {
 	case FormatBinary:
-		w, err := trace.NewBinWriter(out)
-		if err != nil {
+		if w, err = trace.NewBinWriter(out); err != nil {
 			return 0, err
 		}
-		for {
-			r, err := src.Next()
-			if err == EOF {
-				break
-			}
-			if err != nil {
-				return n, err
-			}
-			if err := w.Write(r); err != nil {
-				return n, err
-			}
-			n++
-		}
-		if err := w.Flush(); err != nil {
-			return n, err
-		}
 	default:
-		w := trace.NewTextWriter(out)
-		for {
-			r, err := src.Next()
-			if err == EOF {
-				break
-			}
-			if err != nil {
-				return n, err
-			}
-			if err := w.Write(r); err != nil {
-				return n, err
-			}
-			n++
+		w = trace.NewTextWriter(out)
+	}
+	for {
+		r, rerr := src.Next()
+		if rerr == EOF {
+			break
 		}
-		if err := w.Flush(); err != nil {
+		if rerr != nil {
+			err = rerr
 			return n, err
 		}
+		if err = w.Write(r); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if err = w.Flush(); err != nil {
+		return n, err
 	}
 	if gz != nil {
-		if err := gz.Close(); err != nil {
+		err = gz.Close()
+		gz = nil // closed: the error path must not close it twice
+		if err != nil {
 			return n, err
 		}
 	}
-	return n, f.Sync()
+	if err = f.Sync(); err != nil {
+		return n, err
+	}
+	if err = f.Close(); err != nil {
+		return n, err
+	}
+	return n, nil
 }

@@ -1,0 +1,97 @@
+package subcache
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func gzipTestRefs(n int) []Ref {
+	out := make([]Ref, n)
+	for i := range out {
+		k := Read
+		switch i % 3 {
+		case 1:
+			k = Write
+		case 2:
+			k = IFetch
+		}
+		out[i] = Ref{Addr: Address(0x1000 + 2*i), Kind: k, Size: 2}
+	}
+	return out
+}
+
+// TestGzipRoundTrip: both formats survive a gzip-wrapped write/read
+// cycle, which exercises the footer WriteTraceFile must emit by closing
+// the compressor before the file.
+func TestGzipRoundTrip(t *testing.T) {
+	refs := gzipTestRefs(200)
+	for _, name := range []string{"trace.din.gz", "trace.strc.gz"} {
+		path := filepath.Join(t.TempDir(), name)
+		n, err := WriteTraceFile(path, NewSliceSource(refs), FormatAuto)
+		if err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		if n != len(refs) {
+			t.Fatalf("%s: wrote %d refs, want %d", name, n, len(refs))
+		}
+		tf, err := OpenTraceFile(path, FormatAuto)
+		if err != nil {
+			t.Fatalf("%s: open: %v", name, err)
+		}
+		var got []Ref
+		for {
+			r, err := tf.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s: read: %v", name, err)
+			}
+			got = append(got, r)
+		}
+		if err := tf.Close(); err != nil {
+			t.Fatalf("%s: close: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, refs) {
+			t.Errorf("%s: round trip changed the trace (%d vs %d refs)", name, len(got), len(refs))
+		}
+	}
+}
+
+// TestWriteTraceFileRemovesPartialOutput: a source failure mid-write
+// must leave no file behind -- a truncated gzip stream without its
+// footer would otherwise sit on disk looking like a trace until a later
+// read fails on it.
+func TestWriteTraceFileRemovesPartialOutput(t *testing.T) {
+	boom := errors.New("synthetic trace failure")
+	for _, name := range []string{"partial.din.gz", "partial.strc.gz", "partial.din", "partial.strc"} {
+		path := filepath.Join(t.TempDir(), name)
+		i := 0
+		src := failingSource(func() (Ref, error) {
+			if i == 50 {
+				return Ref{}, boom
+			}
+			i++
+			return Ref{Addr: Address(2 * i), Kind: Read, Size: 2}, nil
+		})
+		n, err := WriteTraceFile(path, src, FormatAuto)
+		if !errors.Is(err, boom) {
+			t.Fatalf("%s: err = %v, want the source failure", name, err)
+		}
+		if n != 50 {
+			t.Errorf("%s: reported %d written refs, want 50", name, n)
+		}
+		if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+			t.Errorf("%s: partial file left behind (stat err %v)", name, statErr)
+		}
+	}
+}
+
+// failingSource adapts a function to Source for fault injection.
+type failingSource func() (Ref, error)
+
+func (f failingSource) Next() (Ref, error) { return f() }

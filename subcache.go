@@ -33,6 +33,7 @@
 package subcache
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -40,7 +41,6 @@ import (
 	"subcache/internal/cache"
 	"subcache/internal/membus"
 	"subcache/internal/metrics"
-	"subcache/internal/multipass"
 	"subcache/internal/sweep"
 	"subcache/internal/synth"
 	"subcache/internal/trace"
@@ -259,12 +259,15 @@ const (
 func ParseEngine(s string) (Engine, error) { return sweep.ParseEngine(s) }
 
 // SimulateWorkloadMany measures every configuration against the named
-// workload in as few trace passes as possible -- usually one.
-// Configurations that share tag geometry and policies, differing only
-// in SubBlockSize and Fetch, are simulated together by the single-pass
-// multipass kernel; configurations the kernel cannot host (OBL
-// prefetch, write-no-allocate) ride the same pass on individual
-// reference simulators.  The returned runs align with cfgs and are
+// workload in a single pass over its trace.  Configurations that share
+// tag geometry and policies, differing only in SubBlockSize and Fetch,
+// are simulated together by the single-pass multipass kernel;
+// configurations the kernel cannot host (OBL prefetch,
+// write-no-allocate) ride the same pass on individual reference
+// simulators.  The pass is sharded across the machine's cores by the
+// sweep harness's chunk-broadcast executor -- the trace is streamed,
+// never materialised, and every configuration still sees the complete
+// ordered stream.  The returned runs align with cfgs and are
 // bit-identical to len(cfgs) separate SimulateWorkload calls.  All
 // configurations must agree on WordSize, since they consume one shared
 // word-split trace.
@@ -276,64 +279,7 @@ func SimulateWorkloadMany(name string, cfgs []Config, refs int) ([]Run, error) {
 	if !ok {
 		return nil, fmt.Errorf("subcache: unknown workload %q (have %v)", name, synth.Names())
 	}
-	ws := cfgs[0].WordSize
-	for i, c := range cfgs {
-		if c.WordSize != ws {
-			return nil, fmt.Errorf("subcache: cfgs[%d].WordSize = %d, want %d (configurations must share one word-split trace)", i, c.WordSize, ws)
-		}
-	}
-	g, err := synth.NewGenerator(prof, refs)
-	if err != nil {
-		return nil, err
-	}
-	accesses, err := trace.SplitAll(g, ws)
-	if err != nil {
-		return nil, err
-	}
-
-	groups, rest := multipass.Group(cfgs)
-	families := make([]*multipass.Family, len(groups))
-	for i, idxs := range groups {
-		fcfgs := make([]Config, len(idxs))
-		for j, k := range idxs {
-			fcfgs[j] = cfgs[k]
-		}
-		fam, err := multipass.New(fcfgs)
-		if err != nil {
-			return nil, fmt.Errorf("subcache: cfgs[%d]: %w", idxs[0], err)
-		}
-		families[i] = fam
-	}
-	fallbacks := make([]*cache.Cache, len(rest))
-	for i, k := range rest {
-		c, err := cache.New(cfgs[k])
-		if err != nil {
-			return nil, fmt.Errorf("subcache: cfgs[%d]: %w", k, err)
-		}
-		fallbacks[i] = c
-	}
-
-	for _, r := range accesses {
-		for _, fam := range families {
-			fam.Access(r)
-		}
-		for _, c := range fallbacks {
-			c.Access(r)
-		}
-	}
-
-	runs := make([]Run, len(cfgs))
-	for i, fam := range families {
-		fam.FlushUsage()
-		for j, k := range groups[i] {
-			runs[k] = metrics.NewRun(prof.Name, fam.Config(j), fam.Stats(j))
-		}
-	}
-	for i, c := range fallbacks {
-		c.FlushUsage()
-		runs[rest[i]] = metrics.NewRun(prof.Name, c.Config(), c.Stats())
-	}
-	return runs, nil
+	return sweep.RunConfigs(context.Background(), prof, cfgs, refs, 0)
 }
 
 // GenerateWorkload materialises n references of the named workload,
