@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-sweep experiments traces cover fmt clean
+.PHONY: all build test test-race vet bench bench-kernel bench-sweep experiments traces cover fmt clean
 
 all: build test
 
@@ -22,6 +22,11 @@ vet:
 # One reduced-size benchmark per paper table/figure plus ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Hot access-kernel microbenchmarks (hit, miss, load-forward fill) with
+# allocation counts; all three must report 0 allocs/op.
+bench-kernel:
+	$(GO) test -run='^$$' -bench='BenchmarkAccessHit|BenchmarkAccessMiss|BenchmarkFillLoadForward' -benchmem ./internal/cache
 
 # Time both sweep engines on the Table 7 grid and refresh BENCH_sweep.json.
 bench-sweep:

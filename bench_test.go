@@ -393,8 +393,8 @@ func BenchmarkGenerator(b *testing.B) {
 // histogram.
 func BenchmarkScaledTraffic(b *testing.B) {
 	st := &cache.Stats{
-		Accesses:     1000000,
-		Transactions: map[int]uint64{1: 10000, 2: 20000, 4: 30000, 8: 5000, 16: 100},
+		Accesses: 1000000,
+		TxHist:   cache.TxHistFromMap(map[int]uint64{1: 10000, 2: 20000, 4: 30000, 8: 5000, 16: 100}),
 	}
 	for i := 0; i < b.N; i++ {
 		_ = membus.ScaledTraffic(st, membus.PaperNibble)

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	benchsweep [-refs N] [-nets LIST] [-shards LIST] [-verify] [-out FILE]
+//	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // The engine comparison times the materialised per-point Reference
 // engine against the default MultiPass engine.  The shard curve then
@@ -19,6 +20,14 @@
 // identical results, exiting non-zero on any mismatch (the CI smoke
 // step runs this).
 //
+// Alongside wall-clock figures the record carries two kernel-level
+// numbers for the MultiPass engine: ns_per_ref (engine seconds over the
+// total word references replayed across every workload) and
+// allocs_per_ref (heap objects allocated during the timed engine run
+// over the same denominator -- ~0 now that the access path is
+// allocation-free).  -cpuprofile and -memprofile write pprof profiles
+// of the run for drilling into regressions.
+//
 // The committed BENCH_sweep.json is regenerated with the defaults:
 //
 //	go run ./cmd/benchsweep
@@ -28,16 +37,19 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"subcache/internal/sweep"
 	"subcache/internal/synth"
+	"subcache/internal/trace"
 )
 
 type engineResult struct {
@@ -69,17 +81,42 @@ type record struct {
 	// ShardSpeedup is the best point of the curve: wall-clock at
 	// shards=1 over wall-clock at the largest measured shard count.
 	ShardSpeedup float64 `json:"shard_speedup"`
+	// WordRefs is the total word references replayed per full-grid
+	// sweep: the denominator of the two per-reference kernel figures.
+	WordRefs uint64 `json:"word_refs_total"`
+	// NsPerRef is MultiPass engine wall-clock nanoseconds per word
+	// reference (each reference drives every grid configuration that
+	// shares its architecture's trace pass).
+	NsPerRef float64 `json:"ns_per_ref"`
+	// AllocsPerRef is heap objects allocated during the timed MultiPass
+	// run per word reference.
+	AllocsPerRef float64 `json:"allocs_per_ref"`
 }
 
 func main() {
 	var (
-		refs   = flag.Int("refs", 100000, "references per workload trace")
-		nets   = flag.String("nets", "64,256,1024", "comma-separated net sizes")
-		shards = flag.String("shards", "", "comma-separated shard counts for the scaling curve (default 1,2,4,...,NumCPU)")
-		verify = flag.Bool("verify", false, "cross-check sharded results for bit-identity and exit non-zero on mismatch")
-		out    = flag.String("out", "BENCH_sweep.json", "output file")
+		refs       = flag.Int("refs", 100000, "references per workload trace")
+		nets       = flag.String("nets", "64,256,1024", "comma-separated net sizes")
+		shards     = flag.String("shards", "", "comma-separated shard counts for the scaling curve (default 1,2,4,...,NumCPU)")
+		verify     = flag.Bool("verify", false, "cross-check sharded results for bit-identity and exit non-zero on mismatch")
+		out        = flag.String("out", "BENCH_sweep.json", "output file")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to `file`")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsweep: -cpuprofile:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsweep: -cpuprofile:", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	netSizes, err := parseInts(*nets)
 	if err != nil {
@@ -114,8 +151,17 @@ func main() {
 		fmt.Printf("verify ok: shards=1, shards=%d and the materialised baseline agree on every counter\n", runtime.NumCPU())
 	}
 
+	var mpSecs float64
+	var mpAllocs uint64
 	for _, eng := range []sweep.Engine{sweep.Reference, sweep.MultiPass} {
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
 		secs, passes := timeSweep(netSizes, *refs, sweep.Request{Engine: eng})
+		if eng == sweep.MultiPass {
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			mpSecs, mpAllocs = secs, after.Mallocs-before.Mallocs
+		}
 		er := engineResult{Engine: eng.String(), Seconds: round3(secs), TracePasses: passes}
 		rec.Engines = append(rec.Engines, er)
 		fmt.Printf("%-10s %8.3fs  %5d passes\n", er.Engine, er.Seconds, er.TracePasses)
@@ -128,6 +174,19 @@ func main() {
 		rec.PassReduction = round3(float64(ref.TracePasses) / float64(mp.TracePasses))
 	}
 	fmt.Printf("engine speedup %.2fx wall clock, %.0fx fewer trace passes\n", rec.Speedup, rec.PassReduction)
+
+	wordRefs, err := countWordRefs(*refs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep: counting word refs:", err)
+		os.Exit(1)
+	}
+	rec.WordRefs = wordRefs
+	if wordRefs > 0 {
+		rec.NsPerRef = round3(mpSecs * 1e9 / float64(wordRefs))
+		rec.AllocsPerRef = round3(float64(mpAllocs) / float64(wordRefs))
+	}
+	fmt.Printf("multipass kernel: %.1f ns/ref, %.3f allocs/ref over %d word refs\n",
+		rec.NsPerRef, rec.AllocsPerRef, rec.WordRefs)
 
 	var base float64
 	for _, s := range curve {
@@ -163,6 +222,47 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchsweep:", err)
 		os.Exit(1)
 	}
+
+	if *memprofile != "" {
+		runtime.GC() // drop dead objects so the profile shows what is retained
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsweep: -memprofile:", err)
+			os.Exit(2)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsweep: -memprofile:", err)
+			os.Exit(2)
+		}
+		f.Close()
+	}
+}
+
+// countWordRefs streams every workload's word-split trace (untimed) and
+// counts the references one MultiPass full-grid sweep replays: the
+// denominator for ns_per_ref and allocs_per_ref.
+func countWordRefs(refs int) (uint64, error) {
+	var total uint64
+	buf := make([]trace.Ref, trace.ChunkRefs)
+	for _, a := range synth.AllArchs() {
+		for _, prof := range synth.Workloads(a) {
+			src, err := synth.NewWordSource(prof, refs, a.WordSize())
+			if err != nil {
+				return 0, fmt.Errorf("%s/%s: %w", a, prof.Name, err)
+			}
+			for {
+				n, err := trace.ReadChunk(src, buf)
+				total += uint64(n)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return 0, fmt.Errorf("%s/%s: %w", a, prof.Name, err)
+				}
+			}
+		}
+	}
+	return total, nil
 }
 
 // timeSweep runs the full Table 7 grid across every architecture with

@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 	"io"
+	"math/bits"
 
 	"subcache/internal/addr"
 	"subcache/internal/rng"
@@ -35,13 +36,16 @@ type Cache struct {
 	sets   [][]frame
 	tick   uint64
 	rand   *rng.Stream
-	filled int // frames filled at least once, for warm-start gating
+	filled int  // frames filled at least once, for warm-start gating
+	warm   bool // counting enabled: warm-start satisfied or disabled
 
-	// Geometry shifts/masks, precomputed.
-	blockShift uint
-	setMask    addr.Addr
-	subShift   uint
-	subPerBlk  uint
+	// Geometry shifts/masks, precomputed so the per-access path never
+	// divides or re-derives configuration quantities.
+	blockShift  uint
+	setMask     addr.Addr
+	subShift    uint
+	subPerBlk   uint
+	wordsPerSub int
 
 	stats Stats
 }
@@ -58,13 +62,18 @@ func New(cfg Config) (*Cache, error) {
 		sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
 	}
 	c := &Cache{
-		cfg:        cfg,
-		sets:       sets,
-		blockShift: addr.Log2(uint64(cfg.BlockSize)),
-		setMask:    addr.Addr(numSets - 1),
-		subShift:   addr.Log2(uint64(cfg.SubBlockSize)),
-		subPerBlk:  uint(cfg.SubBlocksPerBlock()),
+		cfg:         cfg,
+		sets:        sets,
+		warm:        !cfg.WarmStart,
+		blockShift:  addr.Log2(uint64(cfg.BlockSize)),
+		setMask:     addr.Addr(numSets - 1),
+		subShift:    addr.Log2(uint64(cfg.SubBlockSize)),
+		subPerBlk:   uint(cfg.SubBlocksPerBlock()),
+		wordsPerSub: cfg.WordsPerSubBlock(),
 	}
+	// Pre-size the transaction histogram to the longest possible
+	// transfer (a whole block) so fills record with a plain increment.
+	c.stats.TxHist = make([]uint64, cfg.BlockSize/cfg.WordSize+1)
 	if cfg.Replacement == Random {
 		c.rand = rng.New(cfg.RandomSeed)
 	}
@@ -79,9 +88,17 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) Stats() *Stats { return &c.stats }
 
 // counting reports whether events are currently recorded, honouring the
-// warm-start rule.
-func (c *Cache) counting() bool {
-	return !c.cfg.WarmStart || c.filled == len(c.sets)*c.cfg.Assoc
+// warm-start rule.  The flag is maintained by noteFill, so the hot path
+// reads one bool instead of recomputing the frame count.
+func (c *Cache) counting() bool { return c.warm }
+
+// noteFill records the first fill of a frame and flips the warm flag
+// once every frame has been filled.
+func (c *Cache) noteFill() {
+	c.filled++
+	if c.filled == len(c.sets)*c.cfg.Assoc {
+		c.warm = true
+	}
 }
 
 // Result describes what one access did, for tests and fine-grained
@@ -178,7 +195,7 @@ func (c *Cache) prefetch(blockAddr addr.Addr, counted bool, exclude *frame) {
 	if f.tagValid {
 		c.retire(f)
 	} else {
-		c.filled++
+		c.noteFill()
 	}
 	c.tick++
 	f.tag = blockAddr
@@ -316,7 +333,7 @@ func (c *Cache) access(r trace.Ref, allocate, count bool) Result {
 			res.Evicted = true
 			c.retire(f)
 		} else {
-			c.filled++
+			c.noteFill()
 		}
 		f.tag = tag
 		f.tagValid = true
@@ -380,7 +397,7 @@ func (c *Cache) fill(f *frame, subIdx uint, counted bool) int {
 		}
 		if counted {
 			c.stats.SubBlockFills += uint64(loaded)
-			c.stats.WordsFetched += uint64(loaded * c.cfg.WordsPerSubBlock())
+			c.stats.WordsFetched += uint64(loaded * c.wordsPerSub)
 		}
 		return loaded
 
@@ -397,21 +414,19 @@ func (c *Cache) fill(f *frame, subIdx uint, counted bool) int {
 	if counted {
 		c.stats.SubBlockFills += uint64(loaded)
 		c.stats.RedundantLoads += uint64(redundant)
-		c.stats.WordsFetched += uint64(loaded * c.cfg.WordsPerSubBlock())
+		c.stats.WordsFetched += uint64(loaded * c.wordsPerSub)
 	}
 	return loaded
 }
 
 // recordTransaction logs one contiguous bus transfer of n sub-blocks.
+// The histogram is pre-sized to the block's word count, so this is a
+// single allocation-free increment.
 func (c *Cache) recordTransaction(n int, counted bool) {
 	if !counted || n == 0 {
 		return
 	}
-	words := n * c.cfg.WordsPerSubBlock()
-	if c.stats.Transactions == nil {
-		c.stats.Transactions = make(map[int]uint64)
-	}
-	c.stats.Transactions[words]++
+	c.stats.TxHist[n*c.wordsPerSub]++
 }
 
 // victim picks the way to replace in set, preferring an unused frame.
@@ -454,9 +469,9 @@ func (c *Cache) retire(f *frame) {
 	}
 	c.stats.Evictions++
 	c.stats.ResidencySubBlocks += uint64(c.subPerBlk)
-	c.stats.ResidencyTouched += uint64(popcount(f.touched))
+	c.stats.ResidencyTouched += uint64(bits.OnesCount64(f.touched))
 	if f.dirty != 0 {
-		c.stats.WriteBackWords += uint64(popcount(f.dirty) * c.cfg.WordsPerSubBlock())
+		c.stats.WriteBackWords += uint64(bits.OnesCount64(f.dirty) * c.wordsPerSub)
 		f.dirty = 0
 	}
 }
@@ -470,9 +485,9 @@ func (c *Cache) FlushUsage() {
 			f := &c.sets[s][w]
 			if f.tagValid {
 				c.stats.ResidencySubBlocks += uint64(c.subPerBlk)
-				c.stats.ResidencyTouched += uint64(popcount(f.touched))
+				c.stats.ResidencyTouched += uint64(bits.OnesCount64(f.touched))
 				if f.dirty != 0 {
-					c.stats.WriteBackWords += uint64(popcount(f.dirty) * c.cfg.WordsPerSubBlock())
+					c.stats.WriteBackWords += uint64(bits.OnesCount64(f.dirty) * c.wordsPerSub)
 					f.dirty = 0
 				}
 			}
@@ -501,18 +516,33 @@ func (c *Cache) ResidentSubBlocks() int {
 	for s := range c.sets {
 		for w := range c.sets[s] {
 			if c.sets[s][w].tagValid {
-				n += popcount(c.sets[s][w].valid)
+				n += bits.OnesCount64(c.sets[s][w].valid)
 			}
 		}
 	}
 	return n
 }
 
+// AccessBatch presents a chunk of word accesses to the cache.  It is
+// the batched equivalent of calling Access per reference: callers that
+// hold a materialised or chunk-buffered trace avoid one call (and, for
+// streamed traces, one interface dispatch) per reference.
+func (c *Cache) AccessBatch(refs []trace.Ref) {
+	for i := range refs {
+		c.Access(refs[i])
+	}
+}
+
 // Run drives the cache with every access from src until EOF, then
-// flushes residency usage.  src should already be word-split.
+// flushes residency usage.  src should already be word-split.  The
+// stream is consumed in fixed-size chunks through AccessBatch, so the
+// per-reference cost is a slice iteration rather than an interface
+// call.
 func (c *Cache) Run(src trace.Source) error {
+	buf := make([]trace.Ref, trace.ChunkRefs)
 	for {
-		r, err := src.Next()
+		n, err := trace.ReadChunk(src, buf)
+		c.AccessBatch(buf[:n])
 		if err == io.EOF {
 			c.FlushUsage()
 			return nil
@@ -520,15 +550,5 @@ func (c *Cache) Run(src trace.Source) error {
 		if err != nil {
 			return fmt.Errorf("cache: reading trace: %w", err)
 		}
-		c.Access(r)
 	}
-}
-
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
 }

@@ -215,8 +215,8 @@ func TestLoadForwardOptimizedGapTransactions(t *testing.T) {
 	if st.SubBlockFills != 3 {
 		t.Fatalf("fills = %d, want 3", st.SubBlockFills)
 	}
-	if st.Transactions[6] != 1 { // 3 sub-blocks * 2 words each
-		t.Errorf("transactions = %v, want one of 6 words", st.Transactions)
+	if st.Transactions()[6] != 1 { // 3 sub-blocks * 2 words each
+		t.Errorf("transactions = %v, want one of 6 words", st.Transactions())
 	}
 }
 
@@ -241,14 +241,14 @@ func TestTransactionsHistogram(t *testing.T) {
 	c.Access(read(0x100))
 	c.Access(read(0x200))
 	st := c.Stats()
-	if st.Transactions[2] != 2 || len(st.Transactions) != 1 {
-		t.Errorf("transactions = %v", st.Transactions)
+	if tx := st.Transactions(); tx[2] != 2 || len(tx) != 1 {
+		t.Errorf("transactions = %v", tx)
 	}
 	// Load-forward: one contiguous transaction of 4 sub-blocks.
 	lf := small(t, func(cfg *Config) { cfg.Fetch = LoadForward })
 	lf.Access(read(0x100))
-	if lf.Stats().Transactions[8] != 1 {
-		t.Errorf("LF transactions = %v, want one of 8 words", lf.Stats().Transactions)
+	if lf.Stats().Transactions()[8] != 1 {
+		t.Errorf("LF transactions = %v, want one of 8 words", lf.Stats().Transactions())
 	}
 }
 

@@ -92,7 +92,7 @@ func TestRandomSeedChangesOutcome(t *testing.T) {
 func TestStatsAddMergesEverything(t *testing.T) {
 	a := &Stats{
 		Accesses: 1, IFetches: 1, Hits: 1,
-		Transactions:   map[int]uint64{2: 3},
+		TxHist:         TxHistFromMap(map[int]uint64{2: 3}),
 		WriteBackWords: 5, WriteThroughWords: 7,
 	}
 	b := &Stats{
@@ -100,15 +100,15 @@ func TestStatsAddMergesEverything(t *testing.T) {
 		SubBlockFills: 4, WordsFetched: 8, RedundantLoads: 1,
 		Evictions: 1, ResidencyTouched: 2, ResidencySubBlocks: 4,
 		WarmupAccesses: 9, WarmupMisses: 3, WriteAccesses: 6, WriteMisses: 2,
-		Transactions:   map[int]uint64{2: 1, 4: 2},
+		TxHist:         TxHistFromMap(map[int]uint64{2: 1, 4: 2}),
 		WriteBackWords: 1, WriteThroughWords: 2,
 	}
 	a.Add(b)
 	if a.Accesses != 3 || a.Reads != 2 || a.Misses != 2 || a.Hits != 1 {
 		t.Errorf("core counters wrong: %+v", a)
 	}
-	if a.Transactions[2] != 4 || a.Transactions[4] != 2 {
-		t.Errorf("transactions wrong: %v", a.Transactions)
+	if tx := a.Transactions(); tx[2] != 4 || tx[4] != 2 {
+		t.Errorf("transactions wrong: %v", tx)
 	}
 	if a.WriteBackWords != 6 || a.WriteThroughWords != 9 {
 		t.Errorf("write words wrong: %d/%d", a.WriteBackWords, a.WriteThroughWords)
@@ -120,16 +120,16 @@ func TestStatsAddMergesEverything(t *testing.T) {
 
 func TestStatsAddIntoEmptyTransactions(t *testing.T) {
 	a := &Stats{}
-	b := &Stats{Transactions: map[int]uint64{8: 2}}
+	b := &Stats{TxHist: TxHistFromMap(map[int]uint64{8: 2})}
 	a.Add(b)
-	if a.Transactions[8] != 2 {
-		t.Errorf("transactions not copied: %v", a.Transactions)
+	if a.Transactions()[8] != 2 {
+		t.Errorf("transactions not copied: %v", a.Transactions())
 	}
-	// And the copy must be independent of b's map? Add documents a
-	// merge; mutating a must not corrupt b.
-	a.Transactions[8] = 99
-	if b.Transactions[8] != 2 {
-		t.Error("Add aliased the source map")
+	// And the copy must be independent of b's histogram: Add documents
+	// a merge; mutating a must not corrupt b.
+	a.TxHist[8] = 99
+	if b.TxHist[8] != 2 {
+		t.Error("Add aliased the source histogram")
 	}
 }
 

@@ -1,0 +1,174 @@
+package cache
+
+// Microbenchmarks and allocation regressions for the hot access kernel.
+// These pin down the per-reference cost of the three paths every sweep
+// spends its time in -- steady-state hits, conflict misses, and
+// load-forward fills -- and assert that none of them allocates.
+
+import (
+	"math/rand"
+	"testing"
+
+	"subcache/internal/trace"
+)
+
+func benchCache(b *testing.B, mutate ...func(*Config)) *Cache {
+	b.Helper()
+	cfg := Config{NetSize: 1024, BlockSize: 32, SubBlockSize: 4, Assoc: 4, WordSize: 2}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkAccessHit: steady-state read hits on a resident word, the
+// dominant path of any realistic sweep.
+func BenchmarkAccessHit(b *testing.B) {
+	c := benchCache(b)
+	ref := trace.Ref{Addr: 0x100, Kind: trace.Read, Size: 2}
+	c.Access(ref) // warm the block
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(ref)
+	}
+}
+
+// BenchmarkAccessMiss: alternating conflict blocks in a direct-mapped
+// cache, so every access is a block miss with an eviction.
+func BenchmarkAccessMiss(b *testing.B) {
+	c := benchCache(b, func(cfg *Config) { cfg.Assoc = 1 })
+	refs := [2]trace.Ref{
+		{Addr: 0x0000, Kind: trace.Read, Size: 2},
+		{Addr: 0x1000, Kind: trace.Read, Size: 2}, // same set, different tag
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(refs[i&1])
+	}
+}
+
+// BenchmarkFillLoadForward: block misses under load-forward with many
+// sub-blocks per block, exercising the fill loop and the transaction
+// histogram.
+func BenchmarkFillLoadForward(b *testing.B) {
+	c := benchCache(b, func(cfg *Config) {
+		cfg.Assoc = 1
+		cfg.BlockSize = 64
+		cfg.SubBlockSize = 2 // 32 sub-blocks per block
+		cfg.Fetch = LoadForward
+	})
+	refs := [2]trace.Ref{
+		{Addr: 0x0000, Kind: trace.Read, Size: 2},
+		{Addr: 0x1000, Kind: trace.Read, Size: 2},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(refs[i&1])
+	}
+}
+
+// TestAccessNoAllocs: the steady-state access path -- hits, misses with
+// eviction, fills, and the transaction histogram -- must never allocate.
+// A regression here (e.g. the old lazy map in recordTransaction) would
+// cost every simulated reference a heap operation.
+func TestAccessNoAllocs(t *testing.T) {
+	hitCache := small(t)
+	hit := read(0x100)
+	hitCache.Access(hit)
+	if n := testing.AllocsPerRun(1000, func() { hitCache.Access(hit) }); n != 0 {
+		t.Errorf("hit path allocates %.1f per access, want 0", n)
+	}
+
+	missCache := small(t, func(cfg *Config) { cfg.Assoc = 1; cfg.Fetch = LoadForward })
+	refs := [2]trace.Ref{read(0x0000), read(0x1000)}
+	i := 0
+	if n := testing.AllocsPerRun(1000, func() {
+		missCache.Access(refs[i&1])
+		i++
+	}); n != 0 {
+		t.Errorf("miss path allocates %.1f per access, want 0", n)
+	}
+}
+
+// TestTxHistAddMatchesMapMerge: Stats.Add on dense histograms must be
+// equivalent to the old map-merge semantics for arbitrary histograms,
+// including length mismatches in both directions.
+func TestTxHistAddMatchesMapMerge(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	randHist := func() []uint64 {
+		h := make([]uint64, 1+r.Intn(40))
+		for w := 1; w < len(h); w++ {
+			if r.Intn(2) == 0 {
+				h[w] = uint64(r.Intn(1000))
+			}
+		}
+		return h
+	}
+	toMap := func(h []uint64) map[int]uint64 {
+		m := map[int]uint64{}
+		for w, n := range h {
+			if n != 0 {
+				m[w] = n
+			}
+		}
+		return m
+	}
+	for trial := 0; trial < 200; trial++ {
+		a := Stats{TxHist: randHist()}
+		b := Stats{TxHist: randHist()}
+
+		// Reference semantics: merge the map views.
+		want := toMap(a.TxHist)
+		for w, n := range toMap(b.TxHist) {
+			want[w] += n
+		}
+
+		a.Add(&b)
+		got := a.Transactions()
+		if got == nil {
+			got = map[int]uint64{}
+		}
+		for w := range want {
+			if want[w] == 0 {
+				delete(want, w)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: merged histogram %v, want %v", trial, got, want)
+		}
+		for w, n := range want {
+			if got[w] != n {
+				t.Fatalf("trial %d: merged[%d] = %d, want %d", trial, w, got[w], n)
+			}
+		}
+	}
+}
+
+// TestTxHistFromMapRoundTrip: the map/dense conversions must invert each
+// other for any histogram a cache can produce.
+func TestTxHistFromMapRoundTrip(t *testing.T) {
+	m := map[int]uint64{1: 3, 4: 9, 16: 1}
+	st := Stats{TxHist: TxHistFromMap(m)}
+	got := st.Transactions()
+	if len(got) != len(m) {
+		t.Fatalf("round trip %v -> %v", m, got)
+	}
+	for w, n := range m {
+		if got[w] != n {
+			t.Errorf("round trip lost %d: got %d, want %d", w, got[w], n)
+		}
+	}
+	if TxHistFromMap(nil) != nil {
+		t.Error("TxHistFromMap(nil) should be nil")
+	}
+	if (&Stats{}).Transactions() != nil {
+		t.Error("empty histogram should view as nil map")
+	}
+}

@@ -68,7 +68,7 @@ func TestPropertyInvariants(t *testing.T) {
 		// The transaction histogram must account for every fetched word
 		// (for the fetch policies where fills equal transaction content).
 		var words uint64
-		for w, n := range st.Transactions {
+		for w, n := range st.Transactions() {
 			words += uint64(w) * n
 		}
 		return words == st.WordsFetched

@@ -28,9 +28,14 @@ type Stats struct {
 	// RedundantLoads counts load-forward transfers of sub-blocks that
 	// were already resident (the cost of the simple redundant scheme).
 	RedundantLoads uint64
-	// Transactions histograms contiguous bus transfers by length in
-	// words, the input to the nibble-mode cost models.
-	Transactions map[int]uint64
+	// TxHist histograms contiguous bus transfers by length in words,
+	// the input to the nibble-mode cost models: TxHist[w] counts the
+	// w-word transactions.  It is a dense array rather than a map so
+	// the simulation kernel records a transfer with a single slice
+	// increment and no allocation; New pre-sizes it to the block's
+	// word count (the longest possible transfer).  Index 0 is unused.
+	// Use Transactions for the historical map shape.
+	TxHist []uint64
 
 	// Evictions counts replaced valid blocks.
 	Evictions uint64
@@ -66,6 +71,47 @@ type Stats struct {
 	// at eviction or final flush under copy-back.
 	WriteThroughWords uint64
 	WriteBackWords    uint64
+}
+
+// Transactions returns the bus-transaction histogram in its historical
+// map shape -- length in words to count, zero-count widths omitted, nil
+// when no transaction was recorded.  The map is built on each call;
+// hot paths should read TxHist directly.
+func (s *Stats) Transactions() map[int]uint64 {
+	var m map[int]uint64
+	for w, n := range s.TxHist {
+		if n == 0 {
+			continue
+		}
+		if m == nil {
+			m = make(map[int]uint64)
+		}
+		m[w] = n
+	}
+	return m
+}
+
+// TxHistFromMap builds a dense transaction histogram from the map
+// shape, for tests and hand-assembled Stats values.  Widths must be
+// non-negative; an empty or nil map yields a nil histogram.
+func TxHistFromMap(m map[int]uint64) []uint64 {
+	maxW := -1
+	for w := range m {
+		if w < 0 {
+			panic(fmt.Sprintf("cache.TxHistFromMap: negative transaction width %d", w))
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW < 0 {
+		return nil
+	}
+	h := make([]uint64, maxW+1)
+	for w, n := range m {
+		h[w] = n
+	}
+	return h
 }
 
 // WriteTrafficWords returns the total store traffic to memory in words.
@@ -148,12 +194,14 @@ func (s *Stats) Add(other *Stats) {
 	s.WriteMisses += other.WriteMisses
 	s.WriteThroughWords += other.WriteThroughWords
 	s.WriteBackWords += other.WriteBackWords
-	if other.Transactions != nil {
-		if s.Transactions == nil {
-			s.Transactions = make(map[int]uint64, len(other.Transactions))
+	if len(other.TxHist) > 0 {
+		if len(s.TxHist) < len(other.TxHist) {
+			grown := make([]uint64, len(other.TxHist))
+			copy(grown, s.TxHist)
+			s.TxHist = grown
 		}
-		for w, n := range other.Transactions {
-			s.Transactions[w] += n
+		for w, n := range other.TxHist {
+			s.TxHist[w] += n
 		}
 	}
 }

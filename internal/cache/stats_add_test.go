@@ -17,11 +17,9 @@ func fillStats(t *testing.T, s *Stats, base uint64) {
 		switch f.Kind() {
 		case reflect.Uint64:
 			f.SetUint(base + uint64(i))
-		case reflect.Map:
-			f.Set(reflect.ValueOf(map[int]uint64{
-				1: base + 100,
-				4: base + 200,
-				8: base + 300,
+		case reflect.Slice:
+			f.Set(reflect.ValueOf([]uint64{
+				0, base + 100, 0, 0, base + 200, 0, 0, 0, base + 300,
 			}))
 		default:
 			t.Fatalf("Stats.%s has kind %v: teach fillStats and Stats.Add about it",
@@ -50,11 +48,11 @@ func TestStatsAddSumsEveryField(t *testing.T) {
 			if got := f.Uint(); got != want {
 				t.Errorf("Stats.%s = %d after Add, want %d (field not summed?)", name, got, want)
 			}
-		case reflect.Map:
-			want := map[int]uint64{
-				1: 1000 + 100 + 5000 + 100,
-				4: 1000 + 200 + 5000 + 200,
-				8: 1000 + 300 + 5000 + 300,
+		case reflect.Slice:
+			want := []uint64{
+				0, 1000 + 100 + 5000 + 100, 0, 0,
+				1000 + 200 + 5000 + 200, 0, 0, 0,
+				1000 + 300 + 5000 + 300,
 			}
 			if got := f.Interface(); !reflect.DeepEqual(got, want) {
 				t.Errorf("Stats.%s = %v after Add, want %v", name, got, want)
@@ -64,7 +62,7 @@ func TestStatsAddSumsEveryField(t *testing.T) {
 }
 
 // TestStatsAddIntoZero: merging into a zero value (nil histogram) must
-// allocate the map rather than panic, and reproduce the source.
+// allocate the slice rather than panic, and reproduce the source.
 func TestStatsAddIntoZero(t *testing.T) {
 	var a, b Stats
 	fillStats(t, &b, 42)
@@ -73,8 +71,8 @@ func TestStatsAddIntoZero(t *testing.T) {
 		t.Errorf("zero.Add(b) = %+v, want %+v", a, b)
 	}
 	// The merged histogram must be a private copy, not an alias.
-	a.Transactions[1]++
-	if a.Transactions[1] == b.Transactions[1] {
+	a.TxHist[1]++
+	if a.TxHist[1] == b.TxHist[1] {
 		t.Error("Add aliased the source histogram instead of copying it")
 	}
 }
@@ -85,10 +83,21 @@ func TestStatsAddNilHistogram(t *testing.T) {
 	var a, b Stats
 	a.Accesses = 7
 	a.Add(&b)
-	if a.Transactions != nil {
-		t.Errorf("Add allocated a histogram for a nil source: %v", a.Transactions)
+	if a.TxHist != nil {
+		t.Errorf("Add allocated a histogram for a nil source: %v", a.TxHist)
 	}
 	if a.Accesses != 7 {
 		t.Errorf("Accesses = %d, want 7", a.Accesses)
+	}
+}
+
+// TestStatsAddShorterHistogram: merging a short histogram into a longer
+// one must not truncate the destination's tail.
+func TestStatsAddShorterHistogram(t *testing.T) {
+	a := Stats{TxHist: []uint64{0, 1, 0, 0, 0, 0, 0, 0, 9}}
+	b := Stats{TxHist: []uint64{0, 2}}
+	a.Add(&b)
+	if a.TxHist[1] != 3 || a.TxHist[8] != 9 || len(a.TxHist) != 9 {
+		t.Errorf("short-into-long merge wrong: %v", a.TxHist)
 	}
 }

@@ -13,7 +13,6 @@ package membus
 
 import (
 	"fmt"
-	"sort"
 
 	"subcache/internal/cache"
 )
@@ -109,17 +108,15 @@ func ScaledTraffic(st *cache.Stats, m CostModel) float64 {
 	if st.Accesses == 0 {
 		return 0
 	}
-	// Sum in ascending width order: map iteration order is randomised,
-	// and with three or more distinct widths the float summation order
-	// would otherwise perturb the last bit from run to run.
-	widths := make([]int, 0, len(st.Transactions))
-	for w := range st.Transactions {
-		widths = append(widths, w)
-	}
-	sort.Ints(widths)
+	// The dense histogram iterates in ascending width order by
+	// construction, matching the sorted-map summation the function
+	// historically used, so the float result is bit-identical from run
+	// to run (and release to release).
 	var total float64
-	for _, w := range widths {
-		total += m.Cost(w) * float64(st.Transactions[w])
+	for w, n := range st.TxHist {
+		if n != 0 {
+			total += m.Cost(w) * float64(n)
+		}
 	}
 	base := m.Cost(1) * float64(st.Accesses)
 	if base == 0 {

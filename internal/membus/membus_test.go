@@ -90,7 +90,7 @@ func TestScaledTrafficUniformTransactions(t *testing.T) {
 	st := &cache.Stats{
 		Accesses:     100,
 		WordsFetched: 40,
-		Transactions: map[int]uint64{4: 10},
+		TxHist:       cache.TxHistFromMap(map[int]uint64{4: 10}),
 	}
 	if got := ScaledTraffic(st, Linear{}); !close(got, 0.4) {
 		t.Errorf("linear scaled = %g, want 0.4", got)
@@ -103,8 +103,8 @@ func TestScaledTrafficUniformTransactions(t *testing.T) {
 func TestScaledTrafficMixedTransactions(t *testing.T) {
 	// Mixed transaction lengths (as load-forward produces): sum costs.
 	st := &cache.Stats{
-		Accesses:     10,
-		Transactions: map[int]uint64{1: 2, 4: 1},
+		Accesses: 10,
+		TxHist:   cache.TxHistFromMap(map[int]uint64{1: 2, 4: 1}),
 	}
 	want := (2*1 + 1*2.0) / 10 // nibble: cost(1)=1, cost(4)=2
 	if got := ScaledTraffic(st, PaperNibble); !close(got, want) {
@@ -125,13 +125,14 @@ func TestPropertyLinearEqualsStandard(t *testing.T) {
 		if accesses == 0 {
 			return true
 		}
-		st := &cache.Stats{Accesses: uint64(accesses), Transactions: map[int]uint64{}}
+		hist := map[int]uint64{}
 		var words uint64
 		for i, n := range counts {
 			w := 1 << i
-			st.Transactions[w] = uint64(n)
+			hist[w] = uint64(n)
 			words += uint64(w) * uint64(n)
 		}
+		st := &cache.Stats{Accesses: uint64(accesses), TxHist: cache.TxHistFromMap(hist)}
 		st.WordsFetched = words
 		return close(ScaledTraffic(st, Linear{}), st.TrafficRatio())
 	}

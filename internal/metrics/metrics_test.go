@@ -16,7 +16,7 @@ func TestNewRun(t *testing.T) {
 		Accesses: 1000, Misses: 100, Hits: 900,
 		BlockMisses: 60, SubBlockMisses: 40,
 		SubBlockFills: 100, WordsFetched: 400,
-		Transactions:       map[int]uint64{4: 100},
+		TxHist:             cache.TxHistFromMap(map[int]uint64{4: 100}),
 		ResidencyTouched:   30,
 		ResidencySubBlocks: 60,
 	}

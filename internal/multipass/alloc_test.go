@@ -1,0 +1,44 @@
+package multipass_test
+
+// Allocation regression for the family kernel: the steady-state access
+// path (hits, misses, fills across every lane) must never touch the
+// heap, or each simulated reference in a sweep pays for it.
+
+import (
+	"testing"
+
+	"subcache/internal/cache"
+	"subcache/internal/multipass"
+	"subcache/internal/trace"
+)
+
+func TestFamilyAccessNoAllocs(t *testing.T) {
+	base := cache.Config{NetSize: 256, BlockSize: 32, Assoc: 1, WordSize: 2}
+	var cfgs []cache.Config
+	for _, sub := range []int{2, 8, 32} {
+		c := base
+		c.SubBlockSize = sub
+		cfgs = append(cfgs, c)
+	}
+	lf := base
+	lf.SubBlockSize = 4
+	lf.Fetch = cache.LoadForward
+	cfgs = append(cfgs, lf)
+
+	fam, err := multipass.New(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := [2]trace.Ref{
+		{Addr: 0x0000, Kind: trace.Read, Size: 2},
+		{Addr: 0x1000, Kind: trace.Read, Size: 2}, // same set, conflicting tag
+	}
+	i := 0
+	if n := testing.AllocsPerRun(1000, func() {
+		fam.Access(refs[i&1]) // alternating conflict misses
+		fam.Access(refs[i&1]) // plus a hit
+		i++
+	}); n != 0 {
+		t.Errorf("family access path allocates %.1f per round, want 0", n)
+	}
+}

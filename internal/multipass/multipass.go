@@ -14,10 +14,21 @@
 //
 // The kernel is bit-exact against cache.Cache: every counter in
 // cache.Stats, including the bus-transaction histogram, is accumulated
-// by the same rules in the same order.  internal/multipass/diff_test.go
-// and FuzzMultiPassEquivalence enforce the equivalence; the sweep
-// harness additionally regression-tests the generated paper artifacts
+// by the same rules.  internal/multipass/diff_test.go and
+// FuzzMultiPassEquivalence enforce the equivalence; the sweep harness
+// additionally regression-tests the generated paper artifacts
 // byte-for-byte across engines.
+//
+// To keep the per-reference loop tight, counters that are tag-level
+// facts -- identical in every lane by the set-refinement argument
+// (accesses, warm-up accesses, write accesses, block misses,
+// evictions) -- are accumulated once per family and folded into each
+// lane's cache.Stats by FlushUsage, which also derives Hits and Misses
+// from the partition identities (Hits = Accesses - Misses, Misses =
+// BlockMisses + SubBlockMisses).  Per-lane stats are therefore only
+// partially populated until FlushUsage runs; every consumer of
+// Family.Stats must flush first, exactly as the reference simulator
+// requires for its residency counters.
 //
 // Eligibility is decided by cache.Config.MultiPassSafe: OBL prefetch and
 // write-no-allocate feed sub-block validity back into tag-array
@@ -68,13 +79,29 @@ type Family struct {
 	frames []tagFrame // numSets * assoc
 	assoc  int
 
-	tick   uint64
-	filled int
-	rand   *rng.Stream
+	tick    uint64
+	filled  int
+	warm    bool // counting enabled: warm-start satisfied or disabled
+	flushed bool // FlushUsage has folded the shared counters
+	rand    *rng.Stream
 
 	blockShift uint
 	setMask    addr.Addr
+	offMask    uint64 // BlockSize-1: block-offset extraction
 	copyBack   bool
+
+	// Tag-level event counts, identical in every lane and therefore
+	// accumulated once per family instead of once per lane per access.
+	// FlushUsage folds them into each lane's cache.Stats.
+	accesses          uint64 // counted (read + ifetch) accesses
+	ifetches          uint64
+	reads             uint64
+	warmupAccesses    uint64
+	writeAccesses     uint64
+	blockMisses       uint64 // counted block (tag) misses
+	warmupBlockMisses uint64
+	writeBlockMisses  uint64
+	evictions         uint64
 }
 
 // New builds a family kernel for the given configurations.  All
@@ -102,8 +129,10 @@ func New(cfgs []cache.Config) (*Family, error) {
 		base:       base,
 		frames:     make([]tagFrame, numFrames),
 		assoc:      base.Assoc,
+		warm:       !base.WarmStart,
 		blockShift: addr.Log2(uint64(base.BlockSize)),
 		setMask:    addr.Addr(base.NumSets() - 1),
+		offMask:    uint64(base.BlockSize - 1),
 		copyBack:   base.CopyBack,
 	}
 	if base.Replacement == cache.Random {
@@ -120,6 +149,8 @@ func New(cfgs []cache.Config) (*Family, error) {
 			touched:     make([]uint64, numFrames),
 			dirty:       make([]uint64, numFrames),
 		}
+		// Same pre-sizing as cache.New: fills record with one increment.
+		f.lanes[i].stats.TxHist = make([]uint64, cfg.BlockSize/cfg.WordSize+1)
 	}
 	return f, nil
 }
@@ -155,20 +186,23 @@ func (f *Family) Lanes() int { return len(f.lanes) }
 func (f *Family) Config(i int) cache.Config { return f.lanes[i].cfg }
 
 // Stats returns the i'th lane's accumulated statistics.  The pointer
-// stays valid and live for the lifetime of the family.
+// stays valid for the lifetime of the family, but the tag-level
+// counters (accesses, block misses, evictions, and the hit/miss
+// totals derived from them) are only folded in by FlushUsage: call
+// FlushUsage once at end of trace before reading any counter.
 func (f *Family) Stats(i int) *cache.Stats { return &f.lanes[i].stats }
 
 // counting mirrors cache.Cache.counting: with warm start, events are
 // recorded only once every frame has been filled.  Fill progress is a
-// tag-level property, so one flag covers every lane.
-func (f *Family) counting() bool {
-	return !f.base.WarmStart || f.filled == len(f.frames)
-}
+// tag-level property, so one flag covers every lane; the flag is
+// maintained at fill time so the hot path reads a bool.
+func (f *Family) counting() bool { return f.warm }
 
 // Access presents one word access to every lane of the family.
 func (f *Family) Access(r trace.Ref) {
+	isWrite := r.Kind == trace.Write
 	count := true
-	if r.Kind == trace.Write {
+	if isWrite {
 		if f.base.Write == cache.WriteIgnore {
 			return
 		}
@@ -180,24 +214,22 @@ func (f *Family) Access(r trace.Ref) {
 	f.tick++
 	blockAddr := r.Addr >> f.blockShift
 	setIdx := int(blockAddr & f.setMask)
-	off := addr.Offset(r.Addr, uint64(f.base.BlockSize))
-	counted := count && f.counting()
+	off := uint(uint64(r.Addr) & f.offMask)
+	counted := count && f.warm
 
-	for i := range f.lanes {
-		st := &f.lanes[i].stats
-		if counted {
-			st.Accesses++
-			if r.Kind == trace.IFetch {
-				st.IFetches++
-			} else {
-				st.Reads++
-			}
-		} else if count {
-			st.WarmupAccesses++
+	// Access classification is a tag-level fact: record it once for
+	// the family instead of once per lane.
+	if counted {
+		f.accesses++
+		if r.Kind == trace.IFetch {
+			f.ifetches++
+		} else {
+			f.reads++
 		}
-		if !count {
-			st.WriteAccesses++
-		}
+	} else if count {
+		f.warmupAccesses++
+	} else {
+		f.writeAccesses++
 	}
 
 	// Shared tag probe.
@@ -213,31 +245,27 @@ func (f *Family) Access(r trace.Ref) {
 
 	if way >= 0 {
 		// Tag hit: each lane resolves to a full hit or a sub-block miss
-		// against its own valid bitmap.
+		// against its own valid bitmap.  A full hit needs no counter at
+		// all -- FlushUsage derives Hits from the access and miss
+		// totals -- so the steady-state lane cost is one bitmap test
+		// and one touched-bit set.
 		fi := base + way
 		for i := range f.lanes {
 			ln := &f.lanes[i]
-			subIdx := uint(off) >> ln.subShift
-			bit := uint64(1) << subIdx
-			st := &ln.stats
-			if ln.valid[fi]&bit != 0 {
+			bit := uint64(1) << (off >> ln.subShift)
+			if ln.valid[fi]&bit == 0 {
+				st := &ln.stats
 				if counted {
-					st.Hits++
-				}
-			} else {
-				if counted {
-					st.Misses++
 					st.SubBlockMisses++
 				} else if count {
 					st.WarmupMisses++
-				}
-				if !count {
+				} else {
 					st.WriteMisses++
 				}
-				ln.fill(fi, subIdx, counted)
+				ln.fill(fi, off>>ln.subShift, counted)
 			}
 			ln.touched[fi] |= bit
-			if r.Kind == trace.Write {
+			if isWrite {
 				ln.markWrite(fi, bit)
 			}
 		}
@@ -245,28 +273,28 @@ func (f *Family) Access(r trace.Ref) {
 		return
 	}
 
-	// Block miss: one shared allocation, every lane misses.
-	for i := range f.lanes {
-		st := &f.lanes[i].stats
-		if counted {
-			st.Misses++
-			st.BlockMisses++
-		} else if count {
-			st.WarmupMisses++
-		}
-		if !count {
-			st.WriteMisses++
-		}
+	// Block miss: one shared allocation, every lane misses -- another
+	// tag-level fact, recorded once.
+	if counted {
+		f.blockMisses++
+	} else if count {
+		f.warmupBlockMisses++
+	} else {
+		f.writeBlockMisses++
 	}
 	v := f.victim(base)
 	fi := base + v
 	fr := &f.frames[fi]
 	if fr.tagValid {
+		f.evictions++
 		for i := range f.lanes {
 			f.lanes[i].retire(fi)
 		}
 	} else {
 		f.filled++
+		if f.filled == len(f.frames) {
+			f.warm = true
+		}
 	}
 	fr.tag = blockAddr
 	fr.tagValid = true
@@ -275,12 +303,21 @@ func (f *Family) Access(r trace.Ref) {
 	for i := range f.lanes {
 		ln := &f.lanes[i]
 		ln.valid[fi], ln.touched[fi], ln.dirty[fi] = 0, 0, 0
-		subIdx := uint(off) >> ln.subShift
+		subIdx := off >> ln.subShift
 		ln.fill(fi, subIdx, counted)
 		ln.touched[fi] |= 1 << subIdx
-		if r.Kind == trace.Write {
+		if isWrite {
 			ln.markWrite(fi, 1<<subIdx)
 		}
+	}
+}
+
+// AccessBatch presents a chunk of word accesses to every lane, the
+// batched equivalent of calling Access per reference.  The sweep
+// executors feed trace.ChunkRefs-sized chunks through it.
+func (f *Family) AccessBatch(refs []trace.Ref) {
+	for i := range refs {
+		f.Access(refs[i])
 	}
 }
 
@@ -383,22 +420,20 @@ func (ln *lane) fill(fi int, subIdx uint, counted bool) {
 }
 
 // recordTransaction logs one contiguous bus transfer of n sub-blocks.
+// The histogram is pre-sized to the block's word count, so this is a
+// single allocation-free increment.
 func (ln *lane) recordTransaction(n int, counted bool) {
 	if !counted || n == 0 {
 		return
 	}
-	words := n * ln.wordsPerSub
-	if ln.stats.Transactions == nil {
-		ln.stats.Transactions = make(map[int]uint64)
-	}
-	ln.stats.Transactions[words]++
+	ln.stats.TxHist[n*ln.wordsPerSub]++
 }
 
 // retire folds an evicted frame's utilisation and dirty words into the
-// lane's statistics, mirroring cache.Cache.retire.
+// lane's statistics.  The eviction count and residency denominator are
+// tag-level facts accumulated at family level (see FlushUsage), so the
+// per-lane work is just the touched popcount and the dirty write-back.
 func (ln *lane) retire(fi int) {
-	ln.stats.Evictions++
-	ln.stats.ResidencySubBlocks += uint64(ln.subPerBlk)
 	ln.stats.ResidencyTouched += uint64(bits.OnesCount64(ln.touched[fi]))
 	if ln.dirty[fi] != 0 {
 		ln.stats.WriteBackWords += uint64(bits.OnesCount64(ln.dirty[fi]) * ln.wordsPerSub)
@@ -406,16 +441,25 @@ func (ln *lane) retire(fi int) {
 	}
 }
 
-// FlushUsage folds still-resident blocks into every lane's residency
-// statistics.  Call once at end of trace, as for cache.Cache.
+// FlushUsage finalises every lane's statistics: it folds still-resident
+// blocks into the residency counters and distributes the family-level
+// tag counters into each lane's cache.Stats, deriving Hits and Misses
+// from the partition identities.  Call exactly once at end of trace;
+// further calls are no-ops, and counters read before the flush are
+// incomplete.
 func (f *Family) FlushUsage() {
+	if f.flushed {
+		return
+	}
+	f.flushed = true
+	resident := uint64(0)
 	for fi := range f.frames {
 		if !f.frames[fi].tagValid {
 			continue
 		}
+		resident++
 		for i := range f.lanes {
 			ln := &f.lanes[i]
-			ln.stats.ResidencySubBlocks += uint64(ln.subPerBlk)
 			ln.stats.ResidencyTouched += uint64(bits.OnesCount64(ln.touched[fi]))
 			if ln.dirty[fi] != 0 {
 				ln.stats.WriteBackWords += uint64(bits.OnesCount64(ln.dirty[fi]) * ln.wordsPerSub)
@@ -423,13 +467,36 @@ func (f *Family) FlushUsage() {
 			}
 		}
 	}
+	for i := range f.lanes {
+		ln := &f.lanes[i]
+		st := &ln.stats
+		st.Accesses = f.accesses
+		st.IFetches = f.ifetches
+		st.Reads = f.reads
+		st.BlockMisses = f.blockMisses
+		st.Misses = f.blockMisses + st.SubBlockMisses
+		st.Hits = f.accesses - st.Misses
+		st.WarmupAccesses = f.warmupAccesses
+		st.WarmupMisses += f.warmupBlockMisses
+		st.WriteAccesses = f.writeAccesses
+		st.WriteMisses += f.writeBlockMisses
+		st.Evictions = f.evictions
+		// Every retirement and every block resident at flush time
+		// contributes one block's worth of sub-blocks to the residency
+		// denominator.
+		st.ResidencySubBlocks = (f.evictions + resident) * uint64(ln.subPerBlk)
+	}
 }
 
 // Run drives the family with every access from src until EOF, then
-// flushes residency usage.  src should already be word-split.
+// flushes residency usage.  src should already be word-split.  As for
+// cache.Cache.Run, the stream is consumed in fixed-size chunks through
+// AccessBatch.
 func (f *Family) Run(src trace.Source) error {
+	buf := make([]trace.Ref, trace.ChunkRefs)
 	for {
-		r, err := src.Next()
+		n, err := trace.ReadChunk(src, buf)
+		f.AccessBatch(buf[:n])
 		if err == io.EOF {
 			f.FlushUsage()
 			return nil
@@ -437,6 +504,5 @@ func (f *Family) Run(src trace.Source) error {
 		if err != nil {
 			return fmt.Errorf("multipass: reading trace: %w", err)
 		}
-		f.Access(r)
 	}
 }

@@ -27,10 +27,10 @@ import (
 	"subcache/internal/trace"
 )
 
-// chunkRefs is the broadcast granularity: 8192 references (~128 KiB of
-// trace.Ref) keeps a chunk inside L2 while amortising channel traffic
-// to a few operations per hundred thousand accesses.
-const chunkRefs = 8192
+// chunkRefs is the broadcast granularity, shared with every other
+// batched access path in the harness (see trace.ChunkRefs for the
+// sizing rationale).
+const chunkRefs = trace.ChunkRefs
 
 // chunk is one slice of the word trace in flight to every shard.  left
 // counts shards that have yet to finish it; the last one returns the
@@ -194,13 +194,11 @@ func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Con
 				// On cancellation keep draining (the producer may have
 				// broadcast chunks already) but stop simulating.
 				if ctx.Err() == nil {
-					for _, r := range ck.refs {
-						for _, fam := range rn.families {
-							fam.Access(r)
-						}
-						for _, c := range rn.caches {
-							c.Access(r)
-						}
+					for _, fam := range rn.families {
+						fam.AccessBatch(ck.refs)
+					}
+					for _, c := range rn.caches {
+						c.AccessBatch(ck.refs)
 					}
 				}
 				if ck.left.Add(-1) == 0 {

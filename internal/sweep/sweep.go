@@ -396,17 +396,20 @@ func simulateOnePass(ctx context.Context, prof synth.Profile, req Request) (map[
 	}
 
 	// The single pass: every family and every fallback cache sees each
-	// access once.  A cancelled sweep (sibling failure or caller abort)
-	// is noticed every 64Ki accesses.
-	for i, r := range accesses {
-		if i&0xffff == 0 && ctx.Err() != nil {
+	// access once, fed in trace.ChunkRefs-sized batches so the kernels
+	// iterate a slice instead of paying a call per reference.  A
+	// cancelled sweep (sibling failure or caller abort) is noticed at
+	// every chunk boundary.
+	for off := 0; off < len(accesses); off += trace.ChunkRefs {
+		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
+		batch := accesses[off:min(off+trace.ChunkRefs, len(accesses))]
 		for _, fam := range families {
-			fam.Access(r)
+			fam.AccessBatch(batch)
 		}
 		for _, c := range fallbacks {
-			c.Access(r)
+			c.AccessBatch(batch)
 		}
 	}
 
@@ -458,8 +461,8 @@ func wordTrace(prof synth.Profile, refs, wordSize int) ([]trace.Ref, error) {
 // simulatePoints runs every point over one workload's accesses, with
 // bounded parallelism.  The first error cancels the remaining work:
 // workers drain the job queue without simulating and abort an
-// in-flight replay at the next 64Ki-access boundary, instead of
-// replaying the full trace for every remaining point.
+// in-flight replay at the next chunk boundary, instead of replaying
+// the full trace for every remaining point.
 func simulatePoints(ctx context.Context, name string, accesses []trace.Ref, req Request, par int) (map[Point]metrics.Run, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -486,12 +489,12 @@ func simulatePoints(ctx context.Context, name string, accesses []trace.Ref, req 
 					continue
 				}
 				aborted := false
-				for i, r := range accesses {
-					if i&0xffff == 0 && ctx.Err() != nil {
+				for off := 0; off < len(accesses); off += trace.ChunkRefs {
+					if ctx.Err() != nil {
 						aborted = true
 						break
 					}
-					c.Access(r)
+					c.AccessBatch(accesses[off:min(off+trace.ChunkRefs, len(accesses))])
 				}
 				if aborted {
 					continue

@@ -195,8 +195,11 @@ type Generator struct {
 	streams  []addr.Addr
 
 	// Interleaving: data references owed before the next ifetch.
+	// pending[pendHead:] is the drain queue; the backing array is
+	// reused across refills so steady-state generation never allocates.
 	owedData float64
 	pending  []trace.Ref
+	pendHead int
 
 	emitted int
 	limit   int // <= 0: unlimited
@@ -405,13 +408,15 @@ func (g *Generator) Next() (trace.Ref, error) {
 		return trace.Ref{}, io.EOF
 	}
 	g.emitted++
-	if len(g.pending) > 0 {
-		r := g.pending[0]
-		g.pending = g.pending[1:]
+	if g.pendHead < len(g.pending) {
+		r := g.pending[g.pendHead]
+		g.pendHead++
 		return r, nil
 	}
 	ref := g.stepInstr()
 	g.owedData += g.p.DataRefsPerInstr
+	g.pending = g.pending[:0]
+	g.pendHead = 0
 	for g.owedData >= 1 {
 		g.owedData--
 		g.pending = append(g.pending, g.stepData())

@@ -75,6 +75,14 @@ func CountWords(r Ref, wordSize int) int {
 	return int((last-first)/addr.Addr(w)) + 1
 }
 
+// ChunkRefs is the standard batching granularity of the simulation
+// harness: 8192 references (~128 KiB of trace.Ref) keeps a chunk inside
+// L2 while amortising per-chunk overhead (channel traffic, cancellation
+// checks, interface dispatch) to a few operations per hundred thousand
+// accesses.  Cache.Run, multipass.Family.Run and the sweep executors
+// all feed the access kernels in chunks of this size.
+const ChunkRefs = 8192
+
 // ReadChunk fills buf with the next references from src, returning how
 // many were stored.  The error is io.EOF only at end of stream --
 // possibly alongside n > 0 for a final partial chunk -- and any other
