@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-kernel bench-sweep experiments traces cover fmt clean
+.PHONY: all build test test-race vet test-faults bench bench-kernel bench-sweep experiments traces cover fmt clean
 
 all: build test
 
@@ -18,6 +18,11 @@ test-race:
 
 vet:
 	$(GO) vet ./...
+
+# Deterministic fault-injection campaign plus the checkpoint, panic
+# isolation and corrupt-trace suites, under the race detector.
+test-faults:
+	$(GO) test -race -run 'Fault|Panic|Campaign|ContinueOnError|Journal|Checkpoint|Corrupt|Truncated|Latched|Cancel' ./internal/faultinject/... ./internal/sweep/... ./internal/trace/... .
 
 # One reduced-size benchmark per paper table/figure plus ablations.
 bench:

@@ -99,6 +99,7 @@ func main() {
 		nets       = flag.String("nets", "64,256,1024", "comma-separated net sizes")
 		shards     = flag.String("shards", "", "comma-separated shard counts for the scaling curve (default 1,2,4,...,NumCPU)")
 		verify     = flag.Bool("verify", false, "cross-check sharded results for bit-identity and exit non-zero on mismatch")
+		checkpoint = flag.String("checkpoint", "", "journal `file` for the checkpoint/resume round-trip proof: run half of each suite checkpointed, resume the full suite from the journal, and exit non-zero unless the merged results are identical to an uninterrupted sweep")
 		out        = flag.String("out", "BENCH_sweep.json", "output file")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to `file`")
@@ -149,6 +150,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("verify ok: shards=1, shards=%d and the materialised baseline agree on every counter\n", runtime.NumCPU())
+	}
+
+	if *checkpoint != "" {
+		if err := verifyCheckpointResume(netSizes, *refs, *checkpoint); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsweep: checkpoint:", err)
+			os.Exit(1)
+		}
+		fmt.Println("checkpoint ok: interrupted-then-resumed sweeps reproduce the uninterrupted results exactly, across engines")
 	}
 
 	var mpSecs float64
@@ -313,6 +322,55 @@ func verifyShardIdentity(netSizes []int, refs int) error {
 				!reflect.DeepEqual(res.Summaries, wantRes.Summaries) {
 				return fmt.Errorf("%s: shards=%d results differ from the materialised baseline", a, s)
 			}
+		}
+	}
+	return nil
+}
+
+// verifyCheckpointResume proves checkpoint/resume exact on the full
+// grid: for every architecture, a checkpointed sweep of half the suite
+// followed by a full-suite resume (under a different engine and shard
+// strategy -- the journal is keyed only by what determines results)
+// must reproduce an uninterrupted sweep's runs and summaries exactly.
+func verifyCheckpointResume(netSizes []int, refs int, path string) error {
+	for _, a := range synth.AllArchs() {
+		base := sweep.Request{
+			Arch: a, Points: sweep.Grid(netSizes, a.WordSize()),
+			Refs: refs, Engine: sweep.MultiPass,
+		}
+		want, err := sweep.Run(base)
+		if err != nil {
+			return fmt.Errorf("%s baseline: %w", a, err)
+		}
+
+		suite := synth.Workloads(a)
+		half := len(suite) / 2
+		if half == 0 {
+			half = len(suite)
+		}
+		partial := base
+		partial.Checkpoint = path
+		for _, p := range suite[:half] {
+			partial.Workloads = append(partial.Workloads, p.Name)
+		}
+		if _, err := sweep.Run(partial); err != nil {
+			return fmt.Errorf("%s interrupted phase: %w", a, err)
+		}
+
+		resumed := base
+		resumed.Checkpoint = path
+		resumed.Engine = sweep.Reference
+		resumed.Shards = runtime.NumCPU()
+		res, err := sweep.Run(resumed)
+		if err != nil {
+			return fmt.Errorf("%s resume: %w", a, err)
+		}
+		if res.Resumed != half {
+			return fmt.Errorf("%s: resumed %d workloads from the journal, want %d", a, res.Resumed, half)
+		}
+		if !reflect.DeepEqual(res.Runs, want.Runs) ||
+			!reflect.DeepEqual(res.Summaries, want.Summaries) {
+			return fmt.Errorf("%s: resumed results differ from the uninterrupted sweep", a)
 		}
 	}
 	return nil

@@ -135,7 +135,9 @@ func loadRefs(tracePath, workload string, n int) ([]subcache.Ref, error) {
 				return refs, nil
 			}
 			if err != nil {
-				return nil, err
+				// One attributed line: file, then the reader's record
+				// position (line or byte offset) and cause.
+				return nil, fmt.Errorf("%s: %w", tracePath, err)
 			}
 			refs = append(refs, r)
 		}

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"subcache"
@@ -53,6 +56,52 @@ func TestParseFetch(t *testing.T) {
 		}
 		if !c.ok && err == nil {
 			t.Errorf("parseFetch(%q) accepted", c.in)
+		}
+	}
+}
+
+// TestLoadRefsAttributesTraceErrors: malformed or truncated trace input
+// must surface as one line naming the file, the record position and the
+// cause -- the message the CLI prints before exiting non-zero.
+func TestLoadRefsAttributesTraceErrors(t *testing.T) {
+	dir := t.TempDir()
+
+	textPath := filepath.Join(dir, "bad.din")
+	if err := os.WriteFile(textPath, []byte("0 1000 2\nbanana\n0 1002 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := loadRefs(textPath, "", 100)
+	if err == nil {
+		t.Fatal("malformed text trace loaded cleanly")
+	}
+	for _, want := range []string{textPath, "line 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	if strings.Contains(err.Error(), "\n") {
+		t.Errorf("error spans multiple lines: %q", err)
+	}
+
+	binPath := filepath.Join(dir, "cut.strc")
+	refs := []subcache.Ref{{Addr: 0x10, Kind: subcache.Read, Size: 2}, {Addr: 0x12, Kind: subcache.Read, Size: 2}}
+	if _, err := subcache.WriteTraceFile(binPath, subcache.NewSliceSource(refs), subcache.FormatAuto); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(binPath, data[:len(data)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = loadRefs(binPath, "", 100)
+	if err == nil {
+		t.Fatal("truncated binary trace loaded cleanly")
+	}
+	for _, want := range []string{binPath, "record 1", "offset 26"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
 		}
 	}
 }

@@ -27,7 +27,7 @@ func runAblateReplacement(ctx *runCtx) (artifact, error) {
 	miss := map[cache.Replacement]map[sweep.Point]float64{}
 	for _, pol := range []cache.Replacement{cache.LRU, cache.FIFO, cache.Random} {
 		pol := pol
-		res, err := sweep.Run(sweep.Request{
+		res, err := ctx.run(sweep.Request{
 			Arch: synth.PDP11, Points: points, Refs: ctx.refs,
 			Engine: ctx.engine, Shards: ctx.shards,
 			Override: func(c *cache.Config) {
@@ -72,7 +72,7 @@ func runAblateAssoc(ctx *runCtx) (artifact, error) {
 	trafByAssoc := map[int]float64{}
 	for _, assoc := range []int{1, 2, 4, 8} {
 		assoc := assoc
-		res, err := sweep.Run(sweep.Request{
+		res, err := ctx.run(sweep.Request{
 			Arch: synth.PDP11, Points: []sweep.Point{point}, Refs: ctx.refs,
 			Engine: ctx.engine, Shards: ctx.shards,
 			Override: func(c *cache.Config) { c.Assoc = assoc },
@@ -101,7 +101,7 @@ func runAblateLF(ctx *runCtx) (artifact, error) {
 	base := sweep.Point{Net: 256, Block: 16, Sub: 2, Fetch: cache.LoadForward}
 	opt := base
 	opt.Fetch = cache.LoadForwardOptimized
-	res, err := sweep.Run(sweep.Request{
+	res, err := ctx.run(sweep.Request{
 		Arch: synth.Z8000, Points: []sweep.Point{base, opt}, Refs: ctx.refs,
 		Engine: ctx.engine, Shards: ctx.shards,
 		Workloads: []string{"CCP", "C1", "C2"},
@@ -142,11 +142,11 @@ func runAblateWarm(ctx *runCtx) (artifact, error) {
 	}
 	t := report.NewTable("Warm-start vs cold-start accounting (Z8000 suite)",
 		"config", "warm miss", "cold miss", "cold/warm")
-	warmRes, err := sweep.Run(sweep.Request{Arch: synth.Z8000, Points: points, Refs: ctx.refs, Engine: ctx.engine, Shards: ctx.shards})
+	warmRes, err := ctx.run(sweep.Request{Arch: synth.Z8000, Points: points, Refs: ctx.refs, Engine: ctx.engine, Shards: ctx.shards})
 	if err != nil {
 		return artifact{}, err
 	}
-	coldRes, err := sweep.Run(sweep.Request{
+	coldRes, err := ctx.run(sweep.Request{
 		Arch: synth.Z8000, Points: points, Refs: ctx.refs,
 		Engine: ctx.engine, Shards: ctx.shards,
 		Override: func(c *cache.Config) { c.WarmStart = false },

@@ -13,16 +13,28 @@ import (
 // figures that share its grid simulate each (architecture, net-size set)
 // only once.
 type runCtx struct {
-	refs   int
-	engine sweep.Engine
-	shards int
+	refs       int
+	engine     sweep.Engine
+	shards     int
+	checkpoint string
 
 	mu     sync.Mutex
 	sweeps map[string]*sweep.Result
 }
 
-func newRunCtx(refs int, engine sweep.Engine, shards int) *runCtx {
-	return &runCtx{refs: refs, engine: engine, shards: shards, sweeps: make(map[string]*sweep.Result)}
+func newRunCtx(refs int, engine sweep.Engine, shards int, checkpoint string) *runCtx {
+	return &runCtx{refs: refs, engine: engine, shards: shards, checkpoint: checkpoint,
+		sweeps: make(map[string]*sweep.Result)}
+}
+
+// run executes req, attaching the shared checkpoint journal when the
+// request is checkpointable.  Requests with a config Override cannot be
+// fingerprinted (the journal refuses them), so they always re-run.
+func (c *runCtx) run(req sweep.Request) (*sweep.Result, error) {
+	if req.Override == nil {
+		req.Checkpoint = c.checkpoint
+	}
+	return sweep.Run(req)
 }
 
 // gridSweep runs (or returns the memoised) full Table 1 grid for an
@@ -36,7 +48,7 @@ func (c *runCtx) gridSweep(arch synth.Arch, nets []int) (*sweep.Result, error) {
 	}
 	c.mu.Unlock()
 
-	res, err := sweep.Run(sweep.Request{
+	res, err := c.run(sweep.Request{
 		Arch:   arch,
 		Points: sweep.Grid(nets, arch.WordSize()),
 		Refs:   c.refs,

@@ -28,7 +28,7 @@ func TestEngineGoldenArtifacts(t *testing.T) {
 	for _, eng := range []sweep.Engine{sweep.Reference, sweep.MultiPass} {
 		dir := t.TempDir()
 		dirs[eng] = dir
-		ctx := newRunCtx(refs, eng, 0)
+		ctx := newRunCtx(refs, eng, 0, "")
 		for _, id := range ids {
 			var ran bool
 			for _, e := range experiments {

@@ -30,7 +30,7 @@ func TestRegistryIdsUnique(t *testing.T) {
 }
 
 func TestGridSweepMemoized(t *testing.T) {
-	ctx := newRunCtx(2000, sweep.Reference, 0)
+	ctx := newRunCtx(2000, sweep.Reference, 0, "")
 	a, err := ctx.gridSweep(synth.PDP11, []int{64})
 	if err != nil {
 		t.Fatal(err)
@@ -77,7 +77,7 @@ func TestExperimentsRunAtTinyScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs several simulations")
 	}
-	ctx := newRunCtx(3000, sweep.Reference, 0)
+	ctx := newRunCtx(3000, sweep.Reference, 0, "")
 	for _, id := range []string{"table6", "table8", "fig9", "optsub", "compare",
 		"ablate-lf", "ibuf", "riscii", "split", "writepol"} {
 		var found bool

@@ -39,7 +39,7 @@ func runTable6(ctx *runCtx) (artifact, error) {
 	var base float64
 	for i, o := range orgs {
 		assoc := o.assoc
-		res, err := sweep.Run(sweep.Request{
+		res, err := ctx.run(sweep.Request{
 			Arch:   synth.S370,
 			Points: []sweep.Point{o.point},
 			Refs:   ctx.refs,
@@ -116,7 +116,7 @@ func (c *runCtx) lfSweep() (*sweep.Result, error) {
 		return r, nil
 	}
 	c.mu.Unlock()
-	res, err := sweep.Run(sweep.Request{
+	res, err := c.run(sweep.Request{
 		Arch:   synth.Z8000,
 		Points: table8Points(),
 		Refs:   c.refs,
@@ -154,6 +154,9 @@ func runTable8(ctx *runCtx) (artifact, error) {
 		}
 		if a.Block != b.Block {
 			return a.Block > b.Block
+		}
+		if a.Sub != b.Sub {
+			return a.Sub > b.Sub
 		}
 		return a.LoadForward && !b.LoadForward
 	})

@@ -107,7 +107,9 @@ func load(tracePath, workload string, n, word int) ([]subcache.Ref, int, error) 
 				break
 			}
 			if err != nil {
-				return nil, 0, err
+				// One attributed line: file, then the reader's record
+				// position (line or byte offset) and cause.
+				return nil, 0, fmt.Errorf("%s: %w", tracePath, err)
 			}
 			refs = append(refs, r)
 		}

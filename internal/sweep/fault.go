@@ -1,0 +1,195 @@
+// Fault tolerance for sweep execution: typed, attributed errors and
+// panic isolation.
+//
+// A million-reference grid sweep is only trustworthy if partial
+// failures are detected and attributed rather than silently absorbed --
+// or worse, if one corrupt trace byte or one panicking worker discards
+// the whole grid.  Every simulation unit (a multipass family or a
+// fallback reference cache) therefore runs its per-chunk work inside a
+// recovery boundary: a panic becomes a PanicError, which is wrapped in
+// a PointError naming the exact workload, point and shard that died.
+// Under the default fail-fast policy the first PointError aborts the
+// sweep (as before, but without crashing the process); under
+// Request.ContinueOnError the dead unit is retired, its points are
+// reported in Result.Errors, and every other unit keeps consuming the
+// complete ordered stream -- so surviving points stay bit-identical to
+// an undisturbed run.
+package sweep
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"subcache/internal/cache"
+	"subcache/internal/metrics"
+	"subcache/internal/multipass"
+	"subcache/internal/trace"
+)
+
+// PointError attributes one simulation failure to its exact origin: the
+// workload whose trace was being replayed, the grid point (cache
+// configuration) that was lost, and the shard worker that hosted it.
+type PointError struct {
+	// Workload names the trace suite member being simulated.
+	Workload string
+	// Point is the lost grid point.  The zero Point marks a
+	// workload-scope failure (e.g. a trace read error), which loses
+	// every point of the workload; see WorkloadScope.
+	Point Point
+	// Shard is the shard worker index that hosted the failure, or -1
+	// when the failing path was not sharded.
+	Shard int
+	// Cause is the underlying failure: a trace error, a configuration
+	// error, or a *PanicError for a recovered panic.
+	Cause error
+}
+
+// WorkloadScope reports whether the failure lost the whole workload
+// rather than one point: trace-stream errors invalidate every
+// configuration's counters, so no partial runs are reported for it.
+func (e *PointError) WorkloadScope() bool { return e.Point == Point{} }
+
+// Error renders the attribution on one line.
+func (e *PointError) Error() string {
+	s := "sweep: workload " + e.Workload
+	if !e.WorkloadScope() {
+		s += " point " + e.Point.String()
+	}
+	if e.Shard >= 0 {
+		s += fmt.Sprintf(" shard %d", e.Shard)
+	}
+	return s + ": " + e.Cause.Error()
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *PointError) Unwrap() error { return e.Cause }
+
+// PanicError is a panic recovered from a simulation unit, a hook, or a
+// trace source, preserving the panic value and the stack at the point
+// of recovery.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error renders the panic value; the stack is kept for callers that
+// want to log it.
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// safeCall runs fn, converting a panic into a *PanicError.
+func safeCall(fn func()) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	fn()
+	return nil
+}
+
+// Hooks instruments the execution layer.  It exists for the
+// fault-injection harness (internal/faultinject) and tests: every hook
+// is called from hot simulation paths, under the same panic-recovery
+// boundaries as the simulation itself, so an injected panic is
+// attributed exactly like a real one.  All hooks may be nil.
+type Hooks struct {
+	// WrapSource, if set, wraps each workload's word-split trace
+	// source before simulation starts, for both the materialised and
+	// the streamed executors.  Faults injected here surface as
+	// workload-scope trace errors.
+	WrapSource func(workload string, src trace.Source) trace.Source
+	// BeforeChunk is called by each shard worker before it simulates a
+	// chunk.  A panic here kills every unit the shard owns
+	// (shard-scope).  Not called by the unsharded paths, which have no
+	// shard worker to kill.
+	BeforeChunk func(workload string, shard, chunk int)
+	// BeforeUnit is called before one simulation unit (a multipass
+	// family, a fallback cache, or a reference-engine point) processes
+	// a chunk; points lists the grid points the unit carries.  A panic
+	// here kills exactly that unit.  shard is -1 on unsharded paths.
+	BeforeUnit func(workload string, shard int, points []Point, chunk int)
+}
+
+func (h *Hooks) wrapSource(workload string, src trace.Source) trace.Source {
+	if h == nil || h.WrapSource == nil {
+		return src
+	}
+	return h.WrapSource(workload, src)
+}
+
+// simUnit is one independently failable simulation unit: a multipass
+// family or a single reference cache, plus the grid points it carries.
+// Exactly one goroutine drives a unit, so no locking is needed; dead
+// units stop simulating but their stream keeps flowing to the rest.
+type simUnit struct {
+	fam   *multipass.Family
+	cache *cache.Cache
+	idxs  []int   // config indexes into the request's cfgs/points
+	pts   []Point // attributed points, aligned with idxs (nil for RunConfigs)
+	dead  bool
+}
+
+// accessBatch feeds one chunk to the unit inside a recovery boundary,
+// calling the BeforeUnit hook (if any) inside the same boundary.
+func (u *simUnit) accessBatch(refs []trace.Ref, hooks *Hooks, workload string, shard, chunk int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if hooks != nil && hooks.BeforeUnit != nil {
+		hooks.BeforeUnit(workload, shard, u.pts, chunk)
+	}
+	if u.fam != nil {
+		u.fam.AccessBatch(refs)
+	} else {
+		u.cache.AccessBatch(refs)
+	}
+	return nil
+}
+
+// collect finalises the unit and writes its runs into runs (indexed by
+// config index), inside a recovery boundary of its own: a panic while
+// flushing loses only this unit's points.
+func (u *simUnit) collect(traceName string, runs []metrics.Run) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if u.fam != nil {
+		u.fam.FlushUsage()
+		for j, k := range u.idxs {
+			runs[k] = metrics.NewRun(traceName, u.fam.Config(j), u.fam.Stats(j))
+		}
+	} else {
+		u.cache.FlushUsage()
+		runs[u.idxs[0]] = metrics.NewRun(traceName, u.cache.Config(), u.cache.Stats())
+	}
+	return nil
+}
+
+// unitFailure records one dead unit inside a single-workload executor,
+// before translation into per-point PointErrors.
+type unitFailure struct {
+	idxs  []int
+	shard int
+	cause error
+}
+
+// pointErrors expands per-unit failures into one PointError per lost
+// point, in config-index order.
+func pointErrors(workload string, points []Point, failed []unitFailure) []*PointError {
+	var out []*PointError
+	for _, f := range failed {
+		for _, k := range f.idxs {
+			out = append(out, &PointError{Workload: workload, Point: points[k], Shard: f.shard, Cause: f.cause})
+		}
+	}
+	return out
+}
+
+// workloadError wraps a workload-scope failure (no surviving points).
+func workloadError(workload string, shard int, cause error) []*PointError {
+	return []*PointError{{Workload: workload, Shard: shard, Cause: cause}}
+}

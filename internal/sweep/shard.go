@@ -9,6 +9,12 @@
 // counters are bit-identical to the materialised single-pass and
 // reference paths -- only the scheduling changes.  The trace is never
 // materialised; memory stays at O(buffers), not O(refs).
+//
+// Fault tolerance: each shard's simulation units (see fault.go) fail
+// independently.  A panicking unit is retired with its configurations
+// attributed; the broadcast keeps flowing to the rest, so survivors
+// stay bit-identical.  A trace-stream failure is workload-scope -- it
+// invalidates every unit's counters, so no partial runs are reported.
 package sweep
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -40,14 +47,15 @@ type chunk struct {
 	left atomic.Int32
 }
 
-// shardRunner is one worker's owned simulation state: the families and
-// fallback caches its plan assigned, plus its inbound chunk queue.
+// shardRunner is one worker's owned simulation state: the units its
+// plan assigned, plus its inbound chunk queue.  Only the owning
+// goroutine touches units/live/chunk.
 type shardRunner struct {
-	families []*multipass.Family
-	famIdx   [][]int // cfg indexes per family, aligned with families
-	caches   []*cache.Cache
-	cacheIdx []int // cfg indexes, aligned with caches
-	in       chan *chunk
+	shard int
+	units []*simUnit
+	live  int // units not yet dead
+	chunk int // next chunk index (identical across shards)
+	in    chan *chunk
 }
 
 // RunConfigs evaluates every configuration against one workload in a
@@ -57,7 +65,9 @@ type shardRunner struct {
 // rest ride the same pass on reference simulators.  The returned runs
 // align with cfgs and are bit-identical to per-configuration
 // simulation.  All configurations must agree on WordSize, since they
-// consume one shared word-split trace.
+// consume one shared word-split trace.  Failures are fail-fast: the
+// first failing configuration (bad config or recovered panic) aborts
+// the pass and is returned, named by its index.
 func RunConfigs(ctx context.Context, prof synth.Profile, cfgs []cache.Config, refs, shards int) ([]metrics.Run, error) {
 	if refs <= 0 {
 		return nil, fmt.Errorf("sweep: non-positive trace length %d", refs)
@@ -74,8 +84,23 @@ func RunConfigs(ctx context.Context, prof synth.Profile, cfgs []cache.Config, re
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
-	return runConfigsSharded(ctx, prof, cfgs, refs, ws, shards, true,
-		func(i int) string { return fmt.Sprintf("cfgs[%d]", i) })
+	runs, ok, failed, err := runConfigsSharded(ctx, prof, cfgs, nil, refs, ws, shards, true, false, nil)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("sweep: %s trace: %w", prof.Name, err)
+	}
+	if len(failed) > 0 {
+		f := failed[0]
+		return nil, fmt.Errorf("sweep: cfgs[%d]: %w", f.idxs[0], f.cause)
+	}
+	for i := range ok {
+		if !ok[i] {
+			return nil, fmt.Errorf("sweep: cfgs[%d]: no result", i)
+		}
+	}
+	return runs, nil
 }
 
 // referencePlans gives each configuration its own reference cache,
@@ -97,9 +122,20 @@ func referencePlans(n, shards int) []multipass.ShardPlan {
 
 // runConfigsSharded is the chunk-broadcast executor.  group selects
 // family construction (the MultiPass engine) versus one reference cache
-// per configuration (the Reference engine); label names cfgs[i] in
-// errors.
-func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Config, refs, wordSize, shards int, group bool, label func(int) string) ([]metrics.Run, error) {
+// per configuration (the Reference engine); points (optional, aligned
+// with cfgs) gives failures their grid-point attribution.
+//
+// The return contract implements the sweep's failure granularity:
+//
+//   - err non-nil is workload scope: the trace stream failed (raw cause,
+//     unwrapped) or ctx was cancelled.  Every unit's counters cover a
+//     truncated stream, so runs is nil -- nothing is half-counted.
+//   - failed lists units that died (construction error, recovered panic
+//     from the unit, its hooks, or its whole shard).  Under fail-fast
+//     (continueOnError false) the first failure stops the pass and runs
+//     is nil; under continueOnError survivors complete the full stream
+//     and ok[i] marks which runs are valid.
+func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Config, points []Point, refs, wordSize, shards int, group, continueOnError bool, hooks *Hooks) (runs []metrics.Run, ok []bool, failed []unitFailure, err error) {
 	var plans []multipass.ShardPlan
 	if group {
 		plans = multipass.PartitionShards(cfgs, shards)
@@ -109,34 +145,41 @@ func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Con
 
 	runners := make([]*shardRunner, len(plans))
 	nbuf := 2*len(plans) + 2
+	total := 0
 	for si, plan := range plans {
-		rn := &shardRunner{in: make(chan *chunk, nbuf)}
-		for _, idxs := range plan.Families {
-			fcfgs := make([]cache.Config, len(idxs))
-			for j, k := range idxs {
-				fcfgs[j] = cfgs[k]
-			}
-			fam, err := multipass.New(fcfgs)
-			if err != nil {
-				return nil, fmt.Errorf("sweep: %s: %w", label(idxs[0]), err)
-			}
-			rn.families = append(rn.families, fam)
-			rn.famIdx = append(rn.famIdx, idxs)
+		units, fs := planUnits(plan, cfgs, points, si)
+		failed = append(failed, fs...)
+		if len(fs) > 0 && !continueOnError {
+			return nil, nil, failed[:1], nil
 		}
-		for _, k := range plan.Rest {
-			c, err := cache.New(cfgs[k])
-			if err != nil {
-				return nil, fmt.Errorf("sweep: %s: %w", label(k), err)
-			}
-			rn.caches = append(rn.caches, c)
-			rn.cacheIdx = append(rn.cacheIdx, k)
-		}
-		runners[si] = rn
+		runners[si] = &shardRunner{shard: si, units: units, live: len(units), in: make(chan *chunk, nbuf)}
+		total += len(units)
+	}
+	if total == 0 {
+		return make([]metrics.Run, len(cfgs)), make([]bool, len(cfgs)), failed, nil
 	}
 
 	src, err := synth.NewWordSource(prof, refs, wordSize)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
+	}
+	wrapped := hooks.wrapSource(prof.Name, src)
+
+	// ictx governs the pass internally: it is cancelled by the caller's
+	// ctx, by the first failure under fail-fast, or when every unit is
+	// dead and streaming the rest of the trace would be wasted work.
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var live atomic.Int64
+	live.Store(int64(total))
+	var mu sync.Mutex // guards failed after the workers start
+	fail := func(f unitFailure, killed int) {
+		mu.Lock()
+		failed = append(failed, f)
+		mu.Unlock()
+		if !continueOnError || live.Add(-int64(killed)) == 0 {
+			cancel()
+		}
 	}
 
 	// The free ring: every chunk buffer in existence.  At most nbuf
@@ -158,31 +201,38 @@ func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Con
 				close(rn.in)
 			}
 		}()
-		for {
-			var buf []trace.Ref
-			select {
-			case buf = <-free:
-			case <-ctx.Done():
-				return
-			}
-			n, err := trace.ReadChunk(src, buf[:chunkRefs])
-			if n > 0 {
-				ck := &chunk{refs: buf[:n]}
-				ck.left.Store(int32(len(runners)))
-				for _, rn := range runners {
-					select {
-					case rn.in <- ck:
-					case <-ctx.Done():
-						return
+		// A panicking trace source (or source wrapper) is recovered
+		// into a workload-scope error, like any other stream failure.
+		perr := safeCall(func() {
+			for {
+				var buf []trace.Ref
+				select {
+				case buf = <-free:
+				case <-ictx.Done():
+					return
+				}
+				n, rerr := trace.ReadChunk(wrapped, buf[:chunkRefs])
+				if n > 0 {
+					ck := &chunk{refs: buf[:n]}
+					ck.left.Store(int32(len(runners)))
+					for _, rn := range runners {
+						select {
+						case rn.in <- ck:
+						case <-ictx.Done():
+							return
+						}
 					}
 				}
-			}
-			if err != nil {
-				if err != io.EOF {
-					produceErr = err
+				if rerr != nil {
+					if rerr != io.EOF {
+						produceErr = rerr
+					}
+					return
 				}
-				return
 			}
+		})
+		if perr != nil {
+			produceErr = perr
 		}
 	}()
 
@@ -193,13 +243,8 @@ func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Con
 			for ck := range rn.in {
 				// On cancellation keep draining (the producer may have
 				// broadcast chunks already) but stop simulating.
-				if ctx.Err() == nil {
-					for _, fam := range rn.families {
-						fam.AccessBatch(ck.refs)
-					}
-					for _, c := range rn.caches {
-						c.AccessBatch(ck.refs)
-					}
+				if ictx.Err() == nil && rn.live > 0 {
+					rn.processChunk(ck.refs, prof.Name, hooks, fail)
 				}
 				if ck.left.Add(-1) == 0 {
 					free <- ck.refs[:chunkRefs]
@@ -210,103 +255,99 @@ func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Con
 	wg.Wait()
 
 	if produceErr != nil {
-		return nil, fmt.Errorf("sweep: %s trace: %w", prof.Name, produceErr)
+		return nil, nil, nil, produceErr
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, nil, nil, cerr
+	}
+	if len(failed) > 0 && !continueOnError {
+		mu.Lock()
+		first := failed[:1]
+		mu.Unlock()
+		return nil, nil, first, nil
 	}
 
-	runs := make([]metrics.Run, len(cfgs))
+	runs = make([]metrics.Run, len(cfgs))
+	ok = make([]bool, len(cfgs))
 	for _, rn := range runners {
-		for fi, fam := range rn.families {
-			fam.FlushUsage()
-			for j, k := range rn.famIdx[fi] {
-				runs[k] = metrics.NewRun(prof.Name, fam.Config(j), fam.Stats(j))
+		for _, u := range rn.units {
+			if u.dead {
+				continue
+			}
+			if uerr := u.collect(prof.Name, runs); uerr != nil {
+				failed = append(failed, unitFailure{idxs: u.idxs, shard: rn.shard, cause: uerr})
+				if !continueOnError {
+					return nil, nil, failed[len(failed)-1:], nil
+				}
+				continue
+			}
+			for _, k := range u.idxs {
+				ok[k] = true
 			}
 		}
-		for ci, c := range rn.caches {
-			c.FlushUsage()
-			runs[rn.cacheIdx[ci]] = metrics.NewRun(prof.Name, c.Config(), c.Stats())
+	}
+	return runs, ok, failed, nil
+}
+
+// processChunk feeds one broadcast chunk to every live unit the shard
+// owns.  The BeforeChunk hook runs in its own recovery boundary; a
+// panic there is shard-scope and kills every unit the shard still has.
+// A panic inside one unit (or its BeforeUnit hook) kills only that
+// unit.
+func (rn *shardRunner) processChunk(refs []trace.Ref, workload string, hooks *Hooks, fail func(unitFailure, int)) {
+	if hooks != nil && hooks.BeforeChunk != nil {
+		if herr := safeCall(func() { hooks.BeforeChunk(workload, rn.shard, rn.chunk) }); herr != nil {
+			for _, u := range rn.units {
+				if u.dead {
+					continue
+				}
+				u.dead = true
+				rn.live--
+				fail(unitFailure{idxs: u.idxs, shard: rn.shard, cause: herr}, 1)
+			}
+			rn.chunk++
+			return
 		}
 	}
-	return runs, nil
+	for _, u := range rn.units {
+		if u.dead {
+			continue
+		}
+		if uerr := u.accessBatch(refs, hooks, workload, rn.shard, rn.chunk); uerr != nil {
+			u.dead = true
+			rn.live--
+			fail(unitFailure{idxs: u.idxs, shard: rn.shard, cause: uerr}, 1)
+		}
+	}
+	rn.chunk++
 }
 
 // simulateSharded evaluates every requested point over one workload via
-// the chunk-broadcast executor, for either engine.
-func simulateSharded(ctx context.Context, prof synth.Profile, req Request, shards int, group bool) (map[Point]metrics.Run, error) {
+// the chunk-broadcast executor, for either engine, translating unit
+// failures into attributed PointErrors.  A workload aborted by the
+// caller's cancellation returns (nil, nil): a casualty, not a cause.
+func simulateSharded(ctx context.Context, prof synth.Profile, req Request, shards int, group bool) (map[Point]metrics.Run, []*PointError) {
 	cfgs := make([]cache.Config, len(req.Points))
 	for i, p := range req.Points {
 		cfgs[i] = pointConfig(p, req)
 	}
-	runs, err := runConfigsSharded(ctx, prof, cfgs, req.Refs, req.Arch.WordSize(), shards, group,
-		func(i int) string { return req.Points[i].String() })
+	runs, ok, failed, err := runConfigsSharded(ctx, prof, cfgs, req.Points, req.Refs,
+		req.Arch.WordSize(), shards, group, req.ContinueOnError, req.Hooks)
 	if err != nil {
-		return nil, err
+		if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			return nil, nil
+		}
+		return nil, workloadError(prof.Name, -1, fmt.Errorf("trace: %w", err))
 	}
+	pes := pointErrors(prof.Name, req.Points, failed)
+	sort.Slice(pes, func(i, j int) bool { return pointLess(pes[i].Point, pes[j].Point) })
 	out := make(map[Point]metrics.Run, len(req.Points))
 	for i, run := range runs {
-		out[req.Points[i]] = run
+		if ok[i] {
+			out[req.Points[i]] = run
+		}
 	}
-	return out, nil
-}
-
-// simulateShardedAll runs every workload through the sharded executor,
-// spending the parallelism budget on concurrent workloads first and
-// intra-workload shards second.  The first failing workload cancels its
-// siblings promptly.
-func simulateShardedAll(ctx context.Context, profiles []synth.Profile, req Request, par int, group bool) ([]map[Point]metrics.Run, error) {
-	shards := req.Shards
-	if shards == 0 {
-		// Auto: spread the cores over the suite's concurrent workloads,
-		// rounding up so a many-core box stays busy even when the suite
-		// is small.
-		shards = (par + len(profiles) - 1) / len(profiles)
-	}
-	if shards < 1 {
-		shards = 1
-	}
-	outer := par / shards
-	if outer < 1 {
-		outer = 1
-	}
-	if outer > len(profiles) {
-		outer = len(profiles)
-	}
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	perProf := make([]map[Point]metrics.Run, len(profiles))
-	errs := make([]error, len(profiles))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < outer; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				if ctx.Err() != nil {
-					continue
-				}
-				perProf[i], errs[i] = simulateSharded(ctx, profiles[i], req, shards, group)
-				if errs[i] != nil {
-					cancel()
-				}
-			}
-		}()
-	}
-	for i := range profiles {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	if err := firstError(errs); err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return perProf, nil
+	return out, pes
 }
 
 // firstError picks the error to report from per-workload results: the

@@ -6,11 +6,17 @@
 // in parallel.  Results come back as metrics.Run values keyed by
 // (workload, point) plus unweighted per-architecture averages, the
 // paper's aggregation (§3.3).
+//
+// Execution is fault tolerant (see fault.go): worker panics become
+// attributed PointErrors, Request.ContinueOnError trades fail-fast
+// abort for partial results, and Request.Checkpoint journals completed
+// workloads so an interrupted sweep resumes instead of restarting.
 package sweep
 
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
@@ -176,20 +182,56 @@ type Request struct {
 	// baseline.  Negative forces the materialised-trace paths for both
 	// engines (the differential baselines).
 	Shards int
+	// ContinueOnError selects the degraded-completion failure policy:
+	// instead of the first failing point aborting the sweep
+	// (fail-fast, the default), the failure is recorded in
+	// Result.Errors with its exact workload/point/shard attribution
+	// and every unaffected simulation unit keeps running.  Surviving
+	// points are bit-identical to an undisturbed sweep: a unit is
+	// either fed the complete ordered trace or reported failed, never
+	// half-counted.  Cancellation of the caller's context still aborts
+	// the sweep with an error.
+	ContinueOnError bool
+	// Checkpoint, when non-empty, names a journal file to which every
+	// completed workload's runs are atomically appended, and from
+	// which a restarted sweep restores hash-verified entries instead
+	// of re-simulating them (Result.Resumed counts restores).  The
+	// journal is keyed by what determines results -- architecture,
+	// Refs, point set -- so resumes may change engine, shard count,
+	// parallelism or the workload subset.  Incompatible with Override.
+	Checkpoint string
+	// Hooks instruments the execution layer for fault injection and
+	// tests; nil in production.  See Hooks.
+	Hooks *Hooks
 }
 
 // Result holds a completed sweep.
 type Result struct {
 	Arch synth.Arch
-	// Runs maps point -> one run per workload, in catalog order.
+	// Runs maps point -> one run per workload, in catalog order.  With
+	// ContinueOnError a failed (workload, point) pair is simply absent
+	// from its point's slice; Errors says why.
 	Runs map[Point][]metrics.Run
 	// Summaries maps point -> the unweighted average across workloads.
+	// With ContinueOnError a point that failed for some workloads is
+	// averaged over its surviving runs (N says how many), and a point
+	// with no surviving runs has no summary.
 	Summaries map[Point]metrics.Summary
 	// TracePasses counts full iterations over a workload's word trace
 	// summed across workloads: len(Points) per workload for the
-	// Reference engine, 1 per workload for MultiPass.  The sweep
-	// benchmarks report it as the single-pass kernel's headline saving.
+	// Reference engine, 1 per workload for MultiPass.  Workloads
+	// restored from a checkpoint cost no passes.  The sweep benchmarks
+	// report it as the single-pass kernel's headline saving.
 	TracePasses int
+	// Errors lists every attributed failure of a ContinueOnError
+	// sweep, ordered by workload (catalog order), then point.  Empty
+	// for a fully successful sweep; always empty under fail-fast,
+	// where the first failure is returned as the sweep's error
+	// instead.
+	Errors []*PointError
+	// Resumed counts workloads restored from the Checkpoint journal
+	// rather than simulated.
+	Resumed int
 }
 
 // Points returns the result's points sorted by net size, then by the
@@ -200,20 +242,28 @@ func (r *Result) Points() []Point {
 	for p := range r.Summaries {
 		pts = append(pts, p)
 	}
-	sort.Slice(pts, func(i, j int) bool {
-		a, b := pts[i], pts[j]
-		if a.Net != b.Net {
-			return a.Net < b.Net
-		}
-		if a.Block != b.Block {
-			return a.Block > b.Block
-		}
-		if a.Sub != b.Sub {
-			return a.Sub > b.Sub
-		}
-		return a.Fetch < b.Fetch
-	})
+	sortPoints(pts)
 	return pts
+}
+
+// pointLess is the canonical point ordering: net ascending, then the
+// Table 7 layout (block descending, sub descending, demand first).
+func pointLess(a, b Point) bool {
+	if a.Net != b.Net {
+		return a.Net < b.Net
+	}
+	if a.Block != b.Block {
+		return a.Block > b.Block
+	}
+	if a.Sub != b.Sub {
+		return a.Sub > b.Sub
+	}
+	return a.Fetch < b.Fetch
+}
+
+// sortPoints orders points canonically (see pointLess).
+func sortPoints(pts []Point) {
+	sort.Slice(pts, func(i, j int) bool { return pointLess(pts[i], pts[j]) })
 }
 
 // Run executes the sweep.
@@ -222,8 +272,11 @@ func Run(req Request) (*Result, error) {
 }
 
 // RunContext executes the sweep under a context: cancelling ctx aborts
-// every worker promptly, and the first failing point cancels the rest
-// of the sweep.
+// every worker promptly.  Under the default fail-fast policy the first
+// failing point cancels the rest of the sweep and is returned as the
+// error (panics included, recovered and attributed); with
+// Request.ContinueOnError failures accumulate in Result.Errors
+// instead.
 func RunContext(ctx context.Context, req Request) (*Result, error) {
 	if req.Refs <= 0 {
 		return nil, fmt.Errorf("sweep: non-positive trace length %d", req.Refs)
@@ -236,72 +289,208 @@ func RunContext(ctx context.Context, req Request) (*Result, error) {
 		return nil, err
 	}
 
-	res := &Result{
-		Arch:      req.Arch,
-		Runs:      make(map[Point][]metrics.Run, len(req.Points)),
-		Summaries: make(map[Point]metrics.Summary, len(req.Points)),
+	var ck *ckState
+	if req.Checkpoint != "" {
+		fp, err := requestFingerprint(req)
+		if err != nil {
+			return nil, err
+		}
+		j, err := OpenJournal(req.Checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		defer j.Close()
+		ck = &ckState{j: j, fp: fp, points: req.Points}
 	}
+
 	par := req.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
 
+	// Pick the per-workload executor and the cross-workload
+	// parallelism for the requested engine/shard strategy.
+	var fn func(ctx context.Context, prof synth.Profile) (map[Point]metrics.Run, []*PointError)
+	outer := par
+	passesPerWorkload := 1
 	switch req.Engine {
 	case Reference:
+		passesPerWorkload = len(req.Points)
 		if req.Shards >= 1 {
 			// Sharded streaming executor, one reference cache per point.
-			perProf, err := simulateShardedAll(ctx, profiles, req, par, false)
-			if err != nil {
-				return nil, err
-			}
-			for _, runs := range perProf {
-				for p, run := range runs {
-					res.Runs[p] = append(res.Runs[p], run)
+			outer, fn = shardedExecutor(req, profiles, par, false)
+		} else {
+			// Materialised per-point path: workloads sequential, points
+			// parallel within each (the legacy baseline scheduling).
+			outer = 1
+			fn = func(ctx context.Context, prof synth.Profile) (map[Point]metrics.Run, []*PointError) {
+				accesses, err := wordTrace(prof, req)
+				if err != nil {
+					return nil, workloadError(prof.Name, -1, err)
 				}
-				res.TracePasses += len(req.Points)
+				return simulatePoints(ctx, prof.Name, accesses, req, par)
 			}
-			break
-		}
-		for _, prof := range profiles {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			accesses, err := wordTrace(prof, req.Refs, req.Arch.WordSize())
-			if err != nil {
-				return nil, err
-			}
-			runs, err := simulatePoints(ctx, prof.Name, accesses, req, par)
-			if err != nil {
-				return nil, err
-			}
-			for p, run := range runs {
-				res.Runs[p] = append(res.Runs[p], run)
-			}
-			res.TracePasses += len(req.Points)
 		}
 	case MultiPass:
-		var perProf []map[Point]metrics.Run
 		if req.Shards < 0 {
-			perProf, err = simulateOnePassAll(ctx, profiles, req, par)
-		} else {
-			perProf, err = simulateShardedAll(ctx, profiles, req, par, true)
-		}
-		if err != nil {
-			return nil, err
-		}
-		for _, runs := range perProf {
-			for p, run := range runs {
-				res.Runs[p] = append(res.Runs[p], run)
+			if outer > len(profiles) {
+				outer = len(profiles)
 			}
-			res.TracePasses++
+			fn = func(ctx context.Context, prof synth.Profile) (map[Point]metrics.Run, []*PointError) {
+				return simulateOnePass(ctx, prof, req)
+			}
+		} else {
+			outer, fn = shardedExecutor(req, profiles, par, true)
 		}
 	default:
 		return nil, fmt.Errorf("sweep: unknown engine %v", req.Engine)
+	}
+
+	perProf, perrs, attempted, resumed, err := runWorkloads(ctx, profiles, req, ck, outer, fn)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Arch:      req.Arch,
+		Runs:      make(map[Point][]metrics.Run, len(req.Points)),
+		Summaries: make(map[Point]metrics.Summary, len(req.Points)),
+		Resumed:   resumed,
+	}
+	for i, runs := range perProf {
+		for p, run := range runs {
+			res.Runs[p] = append(res.Runs[p], run)
+		}
+		if attempted[i] {
+			res.TracePasses += passesPerWorkload
+		}
+	}
+	for _, pes := range perrs {
+		res.Errors = append(res.Errors, pes...)
 	}
 	for p, runs := range res.Runs {
 		res.Summaries[p] = metrics.Average(runs)
 	}
 	return res, nil
+}
+
+// shardedExecutor returns the outer (cross-workload) parallelism and
+// the per-workload function for the chunk-broadcast executor, for
+// either engine (group selects multipass family construction).
+func shardedExecutor(req Request, profiles []synth.Profile, par int, group bool) (int, func(context.Context, synth.Profile) (map[Point]metrics.Run, []*PointError)) {
+	shards := req.Shards
+	if shards == 0 {
+		// Auto: spread the cores over the suite's concurrent workloads,
+		// rounding up so a many-core box stays busy even when the suite
+		// is small.
+		shards = (par + len(profiles) - 1) / len(profiles)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	outer := par / shards
+	if outer < 1 {
+		outer = 1
+	}
+	if outer > len(profiles) {
+		outer = len(profiles)
+	}
+	fn := func(ctx context.Context, prof synth.Profile) (map[Point]metrics.Run, []*PointError) {
+		return simulateSharded(ctx, prof, req, shards, group)
+	}
+	return outer, fn
+}
+
+// runWorkloads executes fn once per profile with bounded parallelism,
+// applying the sweep's failure policy and checkpointing:
+//
+//   - fail-fast (default): the first workload reporting an error
+//     cancels its siblings, and the first error in profile order is
+//     returned;
+//   - ContinueOnError: per-workload errors accumulate and every other
+//     workload completes;
+//   - checkpointing: profiles present in the journal are restored
+//     without simulation, and every cleanly completed workload is
+//     recorded the moment it finishes.
+//
+// fn must return either complete runs for every point it does not
+// report an error for, or nil runs plus workload-scope errors -- never
+// half-counted partial counters.  A workload aborted by cancellation
+// returns no runs and no errors (it is a casualty, not a cause).
+func runWorkloads(
+	ctx context.Context,
+	profiles []synth.Profile,
+	req Request,
+	ck *ckState,
+	outer int,
+	fn func(context.Context, synth.Profile) (map[Point]metrics.Run, []*PointError),
+) (perProf []map[Point]metrics.Run, perrs [][]*PointError, attempted []bool, resumed int, err error) {
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	n := len(profiles)
+	perProf = make([]map[Point]metrics.Run, n)
+	perrs = make([][]*PointError, n)
+	attempted = make([]bool, n)
+	var mu sync.Mutex // guards resumed
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	if outer > n {
+		outer = n
+	}
+	if outer < 1 {
+		outer = 1
+	}
+	for w := 0; w < outer; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					continue
+				}
+				prof := profiles[i]
+				if runs, ok := ck.lookup(prof.Name); ok {
+					perProf[i] = runs
+					mu.Lock()
+					resumed++
+					mu.Unlock()
+					continue
+				}
+				attempted[i] = true
+				runs, pes := fn(ctx, prof)
+				perProf[i] = runs
+				if runs != nil && len(pes) == 0 && ctx.Err() == nil {
+					if ckErr := ck.record(prof.Name, runs); ckErr != nil {
+						pes = append(pes, &PointError{Workload: prof.Name, Shard: -1, Cause: ckErr})
+					}
+				}
+				perrs[i] = pes
+				if len(pes) > 0 && !req.ContinueOnError {
+					cancel()
+				}
+			}
+		}()
+	}
+	for i := range profiles {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	if !req.ContinueOnError {
+		for _, pes := range perrs {
+			if len(pes) > 0 {
+				return nil, nil, nil, 0, pes[0]
+			}
+		}
+	}
+	if cerr := parent.Err(); cerr != nil {
+		return nil, nil, nil, 0, cerr
+	}
+	return perProf, perrs, attempted, resumed, nil
 }
 
 // pointConfig resolves a point's full cache configuration under the
@@ -314,117 +503,134 @@ func pointConfig(p Point, req Request) cache.Config {
 	return cfg
 }
 
-// simulateOnePassAll runs every workload through the single-pass engine
-// with bounded parallelism across workloads (each worker owns one
-// workload's trace at a time).  The returned slice is in profile order,
-// so per-point run lists keep the catalog order the Reference engine
-// produces.
-func simulateOnePassAll(ctx context.Context, profiles []synth.Profile, req Request, par int) ([]map[Point]metrics.Run, error) {
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	perProf := make([]map[Point]metrics.Run, len(profiles))
-	errs := make([]error, len(profiles))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	if par > len(profiles) {
-		par = len(profiles)
-	}
-	for w := 0; w < par; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				if ctx.Err() != nil {
-					continue
-				}
-				perProf[i], errs[i] = simulateOnePass(ctx, profiles[i], req)
-				if errs[i] != nil {
-					cancel()
-				}
-			}
-		}()
-	}
-	for i := range profiles {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	if err := firstError(errs); err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return perProf, nil
-}
-
-// simulateOnePass evaluates every requested point over one workload in
-// a single iteration of its word trace.  MultiPassSafe points are
-// grouped by cache.Config.FamilyKey into shared-tag-engine families;
-// the rest are simulated by individual reference caches fed from the
-// same loop.
-func simulateOnePass(ctx context.Context, prof synth.Profile, req Request) (map[Point]metrics.Run, error) {
-	accesses, err := wordTrace(prof, req.Refs, req.Arch.WordSize())
-	if err != nil {
-		return nil, err
-	}
-
+// buildUnits groups the request's points into simulation units --
+// multipass families where group is set and the config qualifies,
+// individual reference caches otherwise.  A unit whose construction
+// fails is returned as a failure instead of a unit; under fail-fast
+// the caller aborts on the first one.
+func buildUnits(req Request, group bool) (units []*simUnit, failed []unitFailure) {
 	cfgs := make([]cache.Config, len(req.Points))
 	for i, p := range req.Points {
 		cfgs[i] = pointConfig(p, req)
 	}
-	groups, rest := multipass.Group(cfgs)
-	families := make([]*multipass.Family, len(groups))
-	for i, idxs := range groups {
+	var plans []multipass.ShardPlan
+	if group {
+		plans = multipass.PartitionShards(cfgs, 1)
+	} else {
+		plans = referencePlans(len(cfgs), 1)
+	}
+	for _, plan := range plans {
+		us, fs := planUnits(plan, cfgs, req.Points, -1)
+		units = append(units, us...)
+		failed = append(failed, fs...)
+	}
+	return units, failed
+}
+
+// planUnits realises one shard plan's families and fallback caches as
+// simUnits, attributing construction failures to the given shard.
+func planUnits(plan multipass.ShardPlan, cfgs []cache.Config, points []Point, shard int) (units []*simUnit, failed []unitFailure) {
+	for _, idxs := range plan.Families {
 		fcfgs := make([]cache.Config, len(idxs))
 		for j, k := range idxs {
 			fcfgs[j] = cfgs[k]
 		}
 		fam, err := multipass.New(fcfgs)
 		if err != nil {
-			return nil, fmt.Errorf("sweep: %v: %w", req.Points[idxs[0]], err)
+			failed = append(failed, unitFailure{idxs: idxs, shard: shard, cause: err})
+			continue
 		}
-		families[i] = fam
+		units = append(units, &simUnit{fam: fam, idxs: idxs, pts: unitPoints(points, idxs)})
 	}
-	fallbacks := make([]*cache.Cache, len(rest))
-	for i, k := range rest {
+	for _, k := range plan.Rest {
 		c, err := cache.New(cfgs[k])
 		if err != nil {
-			return nil, fmt.Errorf("sweep: %v: %w", req.Points[k], err)
+			failed = append(failed, unitFailure{idxs: []int{k}, shard: shard, cause: err})
+			continue
 		}
-		fallbacks[i] = c
+		units = append(units, &simUnit{cache: c, idxs: []int{k}, pts: unitPoints(points, []int{k})})
+	}
+	return units, failed
+}
+
+// unitPoints resolves the points a unit carries; nil when the caller
+// has no point vocabulary (RunConfigs).
+func unitPoints(points []Point, idxs []int) []Point {
+	if points == nil {
+		return nil
+	}
+	pts := make([]Point, len(idxs))
+	for j, k := range idxs {
+		pts[j] = points[k]
+	}
+	return pts
+}
+
+// simulateOnePass evaluates every requested point over one workload in
+// a single iteration of its materialised word trace.  MultiPassSafe
+// points are grouped into shared-tag-engine families; the rest are
+// simulated by individual reference caches fed from the same loop.  A
+// panicking unit is retired with its points attributed; surviving
+// units consume the complete trace and stay bit-identical.
+func simulateOnePass(ctx context.Context, prof synth.Profile, req Request) (map[Point]metrics.Run, []*PointError) {
+	accesses, err := wordTrace(prof, req)
+	if err != nil {
+		return nil, workloadError(prof.Name, -1, err)
 	}
 
-	// The single pass: every family and every fallback cache sees each
-	// access once, fed in trace.ChunkRefs-sized batches so the kernels
-	// iterate a slice instead of paying a call per reference.  A
-	// cancelled sweep (sibling failure or caller abort) is noticed at
-	// every chunk boundary.
-	for off := 0; off < len(accesses); off += trace.ChunkRefs {
+	units, failed := buildUnits(req, true)
+	if len(failed) > 0 && !req.ContinueOnError {
+		return nil, pointErrors(prof.Name, req.Points, failed[:1])
+	}
+
+	// The single pass: every live unit sees each access once, fed in
+	// trace.ChunkRefs-sized batches.  A cancelled sweep (sibling
+	// failure or caller abort) is noticed at every chunk boundary.
+	live := len(units)
+	chunk := 0
+	for off := 0; off < len(accesses) && live > 0; off += trace.ChunkRefs {
 		if ctx.Err() != nil {
-			return nil, ctx.Err()
+			return nil, pointErrors(prof.Name, req.Points, failed)
 		}
-		batch := accesses[off:min(off+trace.ChunkRefs, len(accesses))]
-		for _, fam := range families {
-			fam.AccessBatch(batch)
+		end := off + trace.ChunkRefs
+		if end > len(accesses) {
+			end = len(accesses)
 		}
-		for _, c := range fallbacks {
-			c.AccessBatch(batch)
+		batch := accesses[off:end]
+		for _, u := range units {
+			if u.dead {
+				continue
+			}
+			if uerr := u.accessBatch(batch, req.Hooks, prof.Name, -1, chunk); uerr != nil {
+				u.dead = true
+				live--
+				failed = append(failed, unitFailure{idxs: u.idxs, shard: -1, cause: uerr})
+				if !req.ContinueOnError {
+					return nil, pointErrors(prof.Name, req.Points, failed[len(failed)-1:])
+				}
+			}
 		}
+		chunk++
 	}
 
 	out := make(map[Point]metrics.Run, len(req.Points))
-	for i, fam := range families {
-		fam.FlushUsage()
-		for j, k := range groups[i] {
-			out[req.Points[k]] = metrics.NewRun(prof.Name, fam.Config(j), fam.Stats(j))
+	runs := make([]metrics.Run, len(req.Points))
+	for _, u := range units {
+		if u.dead {
+			continue
+		}
+		if uerr := u.collect(prof.Name, runs); uerr != nil {
+			failed = append(failed, unitFailure{idxs: u.idxs, shard: -1, cause: uerr})
+			if !req.ContinueOnError {
+				return nil, pointErrors(prof.Name, req.Points, failed[len(failed)-1:])
+			}
+			continue
+		}
+		for _, k := range u.idxs {
+			out[req.Points[k]] = runs[k]
 		}
 	}
-	for i, c := range fallbacks {
-		c.FlushUsage()
-		out[req.Points[rest[i]]] = metrics.NewRun(prof.Name, c.Config(), c.Stats())
-	}
-	return out, nil
+	return out, pointErrors(prof.Name, req.Points, failed)
 }
 
 // selectWorkloads resolves the request's workload list.
@@ -449,21 +655,45 @@ func selectWorkloads(arch synth.Arch, names []string) ([]synth.Profile, error) {
 }
 
 // wordTrace materialises a profile's trace, pre-split to word accesses,
-// so every configuration replays identical input.
-func wordTrace(prof synth.Profile, refs, wordSize int) ([]trace.Ref, error) {
-	g, err := synth.NewGenerator(prof, refs)
+// so every configuration replays identical input.  The request's
+// WrapSource hook (if any) wraps the word stream, and a panicking
+// source is recovered into an error.
+func wordTrace(prof synth.Profile, req Request) (refs []trace.Ref, err error) {
+	src, err := synth.NewWordSource(prof, req.Refs, req.Arch.WordSize())
 	if err != nil {
 		return nil, err
 	}
-	return trace.SplitAll(g, wordSize)
+	wrapped := req.Hooks.wrapSource(prof.Name, src)
+	ferr := safeCall(func() {
+		buf := make([]trace.Ref, trace.ChunkRefs)
+		for {
+			n, rerr := trace.ReadChunk(wrapped, buf)
+			refs = append(refs, buf[:n]...)
+			if rerr != nil {
+				if rerr != io.EOF {
+					err = rerr
+				}
+				return
+			}
+		}
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return refs, nil
 }
 
 // simulatePoints runs every point over one workload's accesses, with
-// bounded parallelism.  The first error cancels the remaining work:
-// workers drain the job queue without simulating and abort an
-// in-flight replay at the next chunk boundary, instead of replaying
-// the full trace for every remaining point.
-func simulatePoints(ctx context.Context, name string, accesses []trace.Ref, req Request, par int) (map[Point]metrics.Run, error) {
+// bounded parallelism: the Reference engine's materialised path.
+// Under fail-fast the first error cancels the remaining work (workers
+// drain the job queue without simulating and abort an in-flight replay
+// at the next chunk boundary); with ContinueOnError failed points are
+// reported and the rest complete.  Worker panics are recovered and
+// attributed to their exact point.
+func simulatePoints(ctx context.Context, name string, accesses []trace.Ref, req Request, par int) (map[Point]metrics.Run, []*PointError) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type job struct {
@@ -482,25 +712,14 @@ func simulatePoints(ctx context.Context, name string, accesses []trace.Ref, req 
 				if ctx.Err() != nil {
 					continue
 				}
-				cfg := pointConfig(p, req)
-				c, err := cache.New(cfg)
-				if err != nil {
-					results <- job{point: p, err: fmt.Errorf("sweep: %v: %w", p, err)}
+				run, completed, jerr := simulateOnePoint(ctx, name, accesses, p, req)
+				if jerr != nil {
+					results <- job{point: p, err: jerr}
 					continue
 				}
-				aborted := false
-				for off := 0; off < len(accesses); off += trace.ChunkRefs {
-					if ctx.Err() != nil {
-						aborted = true
-						break
-					}
-					c.AccessBatch(accesses[off:min(off+trace.ChunkRefs, len(accesses))])
+				if completed {
+					results <- job{point: p, run: run}
 				}
-				if aborted {
-					continue
-				}
-				c.FlushUsage()
-				results <- job{point: p, run: metrics.NewRun(name, cfg, c.Stats())}
 			}
 		}()
 	}
@@ -514,30 +733,73 @@ func simulatePoints(ctx context.Context, name string, accesses []trace.Ref, req 
 	}()
 
 	out := make(map[Point]metrics.Run, len(req.Points))
-	var firstErr error
+	var failed []*PointError
 	for j := range results {
 		if j.err != nil {
-			if firstErr == nil {
-				firstErr = j.err
+			failed = append(failed, &PointError{Workload: name, Point: j.point, Shard: -1, Cause: j.err})
+			if !req.ContinueOnError {
 				cancel()
 			}
 			continue
 		}
 		out[j.point] = j.run
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	// Completion order is scheduling-dependent; report errors in the
+	// deterministic Table 7 point order.
+	sort.Slice(failed, func(i, j int) bool {
+		return pointLess(failed[i].Point, failed[j].Point)
+	})
+	return out, failed
+}
+
+// simulateOnePoint replays one workload's accesses through one point's
+// cache inside a recovery boundary.  completed is false when the
+// replay was abandoned at a chunk boundary due to cancellation.
+func simulateOnePoint(ctx context.Context, name string, accesses []trace.Ref, p Point, req Request) (run metrics.Run, completed bool, err error) {
+	ferr := safeCall(func() {
+		cfg := pointConfig(p, req)
+		c, cerr := cache.New(cfg)
+		if cerr != nil {
+			err = cerr
+			return
+		}
+		pts := []Point{p}
+		chunk := 0
+		for off := 0; off < len(accesses); off += trace.ChunkRefs {
+			if ctx.Err() != nil {
+				return
+			}
+			if req.Hooks != nil && req.Hooks.BeforeUnit != nil {
+				req.Hooks.BeforeUnit(name, -1, pts, chunk)
+			}
+			end := off + trace.ChunkRefs
+			if end > len(accesses) {
+				end = len(accesses)
+			}
+			c.AccessBatch(accesses[off:end])
+			chunk++
+		}
+		c.FlushUsage()
+		run = metrics.NewRun(name, cfg, c.Stats())
+		completed = true
+	})
+	if ferr != nil {
+		return metrics.Run{}, false, ferr
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return run, completed, err
 }
 
 // RunOne simulates a single workload through a single configuration:
 // the facade's simple path and a convenience for tests.  The trace is
 // streamed straight from the generator, never materialised.
 func RunOne(prof synth.Profile, cfg cache.Config, refs int) (metrics.Run, error) {
+	return RunOneContext(context.Background(), prof, cfg, refs)
+}
+
+// RunOneContext is RunOne honoring a context: cancellation or deadline
+// expiry aborts the replay at the next chunk boundary with ctx's
+// error, exactly as RunContext does for full sweeps.
+func RunOneContext(ctx context.Context, prof synth.Profile, cfg cache.Config, refs int) (metrics.Run, error) {
 	c, err := cache.New(cfg)
 	if err != nil {
 		return metrics.Run{}, err
@@ -546,7 +808,7 @@ func RunOne(prof synth.Profile, cfg cache.Config, refs int) (metrics.Run, error)
 	if err != nil {
 		return metrics.Run{}, err
 	}
-	if err := c.Run(src); err != nil {
+	if err := c.Run(trace.WithContext(ctx, src)); err != nil {
 		return metrics.Run{}, err
 	}
 	return metrics.NewRun(prof.Name, cfg, c.Stats()), nil

@@ -63,9 +63,15 @@ func (b *BinWriter) Count() uint64 { return b.count }
 // Flush writes any buffered data to the underlying writer.
 func (b *BinWriter) Flush() error { return b.w.Flush() }
 
-// BinReader reads .strc binary traces and implements Source.
+// BinReader reads .strc binary traces and implements Source.  Errors
+// are attributed (record index and byte offset) and latched: after any
+// error other than io.EOF, every subsequent Next returns the same
+// error, so a corrupt or truncated stream can never resume mid-file and
+// silently skew counters downstream.
 type BinReader struct {
-	r *bufio.Reader
+	r   *bufio.Reader
+	rec uint64 // records successfully decoded so far
+	err error  // latched failure
 }
 
 // NewBinReader validates the header of r and returns a Source.
@@ -86,19 +92,33 @@ func NewBinReader(r io.Reader) (*BinReader, error) {
 
 // Next implements Source.
 func (b *BinReader) Next() (Ref, error) {
+	if b.err != nil {
+		return Ref{}, b.err
+	}
 	var rec [recordLen]byte
 	if _, err := io.ReadFull(b.r, rec[:]); err != nil {
-		if err == io.ErrUnexpectedEOF {
-			return Ref{}, fmt.Errorf("trace: truncated strc record: %w", err)
+		if err == io.EOF {
+			return Ref{}, err // clean end of stream; not latched
 		}
-		return Ref{}, err
+		return Ref{}, b.fail(fmt.Errorf("trace: truncated strc record %d (offset %d): %w",
+			b.rec, b.offset(), err))
 	}
 	if rec[0] >= byte(numKinds) {
-		return Ref{}, fmt.Errorf("trace: corrupt strc record: kind %d", rec[0])
+		return Ref{}, b.fail(fmt.Errorf("trace: corrupt strc record %d (offset %d): kind %d",
+			b.rec, b.offset(), rec[0]))
 	}
+	b.rec++
 	return Ref{
 		Kind: Kind(rec[0]),
 		Size: rec[1],
 		Addr: addr.Addr(binary.LittleEndian.Uint64(rec[2:])),
 	}, nil
+}
+
+// offset is the byte position of the record being decoded.
+func (b *BinReader) offset() uint64 { return headerLen + b.rec*recordLen }
+
+func (b *BinReader) fail(err error) error {
+	b.err = err
+	return err
 }

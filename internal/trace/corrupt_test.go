@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"subcache/internal/addr"
+)
+
+// binTrace serialises refs to .strc bytes for corruption tests.
+func binTrace(t *testing.T, refs []Ref) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewBinWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range refs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func corruptTestRefs(n int) []Ref {
+	out := make([]Ref, n)
+	for i := range out {
+		out[i] = Ref{Addr: addr.Addr(0x2000 + 2*i), Kind: Kind(i % 3), Size: 2}
+	}
+	return out
+}
+
+// drainChunks reads src through ReadChunk until it errors, returning
+// the refs recovered and the terminal error -- the access pattern the
+// sweep executors use.
+func drainChunks(src Source, chunkSize int) ([]Ref, error) {
+	var out []Ref
+	buf := make([]Ref, chunkSize)
+	for {
+		n, err := ReadChunk(src, buf)
+		out = append(out, buf[:n]...)
+		if err != nil {
+			return out, err
+		}
+	}
+}
+
+// TestBinReaderTruncatedChunked: a .strc stream cut mid-record fails
+// under chunked reads with an error naming the record and byte offset,
+// yields only the complete records before the cut, and latches.
+func TestBinReaderTruncatedChunked(t *testing.T) {
+	refs := corruptTestRefs(20)
+	data := binTrace(t, refs)
+	cut := data[:len(data)-3] // mid-record: 19 whole records + 7 bytes
+
+	br, err := NewBinReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rerr := drainChunks(br, 7)
+	if rerr == nil || rerr == io.EOF {
+		t.Fatalf("truncated stream ended with %v, want an attributed error", rerr)
+	}
+	if !errors.Is(rerr, io.ErrUnexpectedEOF) {
+		t.Errorf("cause = %v, want io.ErrUnexpectedEOF", rerr)
+	}
+	wantMsg := "record 19 (offset 206)" // header 16 + 19*10
+	if !strings.Contains(rerr.Error(), wantMsg) {
+		t.Errorf("error %q does not attribute %q", rerr, wantMsg)
+	}
+	if len(got) != 19 {
+		t.Errorf("recovered %d refs before the cut, want 19", len(got))
+	}
+	// Latched: further chunked reads keep failing identically.
+	if _, again := ReadChunk(br, make([]Ref, 4)); again != rerr {
+		t.Errorf("error not latched: %v then %v", rerr, again)
+	}
+}
+
+// TestBinReaderCorruptKindChunked: a flipped kind byte mid-stream is
+// caught at its exact record, and the reader never resumes past it.
+func TestBinReaderCorruptKindChunked(t *testing.T) {
+	refs := corruptTestRefs(12)
+	data := binTrace(t, refs)
+	// Record 5's kind byte sits at header + 5*recordLen.
+	data[16+5*10] = 0xEE
+
+	br, err := NewBinReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rerr := drainChunks(br, 5)
+	if rerr == nil || errors.Is(rerr, io.EOF) {
+		t.Fatalf("corrupt stream ended with %v, want an error", rerr)
+	}
+	if !strings.Contains(rerr.Error(), "record 5 (offset 66)") {
+		t.Errorf("error %q does not attribute record 5 at offset 66", rerr)
+	}
+	if len(got) != 5 {
+		t.Errorf("recovered %d refs before the corruption, want 5", len(got))
+	}
+	if _, again := br.Next(); again != rerr {
+		t.Errorf("error not latched: %v then %v", rerr, again)
+	}
+}
+
+// TestTextReaderLatchedChunked: the text reader's latched parse error
+// (PR 2) holds under chunked reads -- after a bad line, no chunk ever
+// yields further refs.
+func TestTextReaderLatchedChunked(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 10; i++ {
+		b.WriteString("0 1000 2\n")
+	}
+	b.WriteString("banana\n")
+	for i := 0; i < 10; i++ {
+		b.WriteString("0 1000 2\n")
+	}
+
+	tr := NewTextReader(strings.NewReader(b.String()))
+	got, rerr := drainChunks(tr, 4)
+	if rerr == nil || errors.Is(rerr, io.EOF) {
+		t.Fatalf("corrupt text ended with %v, want a parse error", rerr)
+	}
+	if !strings.Contains(rerr.Error(), "line 11") {
+		t.Errorf("error %q does not attribute line 11", rerr)
+	}
+	if len(got) != 10 {
+		t.Errorf("recovered %d refs before the bad line, want 10", len(got))
+	}
+	if _, again := ReadChunk(tr, make([]Ref, 4)); again != rerr {
+		t.Errorf("error not latched under chunked reads: %v then %v", rerr, again)
+	}
+}

@@ -11,6 +11,7 @@
 package trace
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -174,3 +175,35 @@ type FuncSource func() (Ref, error)
 
 // Next implements Source.
 func (f FuncSource) Next() (Ref, error) { return f() }
+
+// WithContext wraps src so the stream ends with ctx's error once ctx is
+// cancelled or its deadline expires.  The check runs once per ChunkRefs
+// references -- the same granularity at which the sweep executors
+// notice cancellation -- so the per-reference hot path stays a counter
+// decrement.  The error is latched: every Next after cancellation keeps
+// returning it.
+func WithContext(ctx context.Context, src Source) Source {
+	return &ctxSource{ctx: ctx, src: src}
+}
+
+type ctxSource struct {
+	ctx  context.Context
+	src  Source
+	n    int // references until the next ctx poll
+	done error
+}
+
+func (c *ctxSource) Next() (Ref, error) {
+	if c.done != nil {
+		return Ref{}, c.done
+	}
+	if c.n <= 0 {
+		if err := c.ctx.Err(); err != nil {
+			c.done = err
+			return Ref{}, err
+		}
+		c.n = ChunkRefs
+	}
+	c.n--
+	return c.src.Next()
+}

@@ -219,11 +219,18 @@ func EffectiveAccessTime(tCache, tMem, missRatio float64) float64 {
 // workload and drives them through a fresh cache, returning the measured
 // run.  The paper's runs use refs = 1,000,000.
 func SimulateWorkload(name string, cfg Config, refs int) (Run, error) {
+	return SimulateWorkloadContext(context.Background(), name, cfg, refs)
+}
+
+// SimulateWorkloadContext is SimulateWorkload honoring a context:
+// cancellation or deadline expiry aborts the replay promptly (at the
+// next trace chunk boundary) with ctx's error.
+func SimulateWorkloadContext(ctx context.Context, name string, cfg Config, refs int) (Run, error) {
 	prof, ok := synth.ProfileByName(name)
 	if !ok {
 		return Run{}, fmt.Errorf("subcache: unknown workload %q (have %v)", name, synth.Names())
 	}
-	return sweep.RunOne(prof, cfg, refs)
+	return sweep.RunOneContext(ctx, prof, cfg, refs)
 }
 
 // SimulateSuite runs every workload of an architecture through cfg and
@@ -272,6 +279,13 @@ func ParseEngine(s string) (Engine, error) { return sweep.ParseEngine(s) }
 // configurations must agree on WordSize, since they consume one shared
 // word-split trace.
 func SimulateWorkloadMany(name string, cfgs []Config, refs int) ([]Run, error) {
+	return SimulateWorkloadManyContext(context.Background(), name, cfgs, refs)
+}
+
+// SimulateWorkloadManyContext is SimulateWorkloadMany honoring a
+// context: cancellation or deadline expiry aborts the streamed pass
+// promptly with ctx's error, and no partial runs are returned.
+func SimulateWorkloadManyContext(ctx context.Context, name string, cfgs []Config, refs int) ([]Run, error) {
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("subcache: no configurations")
 	}
@@ -279,7 +293,7 @@ func SimulateWorkloadMany(name string, cfgs []Config, refs int) ([]Run, error) {
 	if !ok {
 		return nil, fmt.Errorf("subcache: unknown workload %q (have %v)", name, synth.Names())
 	}
-	return sweep.RunConfigs(context.Background(), prof, cfgs, refs, 0)
+	return sweep.RunConfigs(ctx, prof, cfgs, refs, 0)
 }
 
 // GenerateWorkload materialises n references of the named workload,
