@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet test-faults bench bench-kernel bench-sweep experiments traces cover fmt clean
+.PHONY: all build test test-race vet test-faults test-telemetry bench bench-kernel bench-sweep experiments traces cover fmt clean
 
 all: build test
 
@@ -23,6 +23,13 @@ vet:
 # isolation and corrupt-trace suites, under the race detector.
 test-faults:
 	$(GO) test -race -run 'Fault|Panic|Campaign|ContinueOnError|Journal|Checkpoint|Corrupt|Truncated|Latched|Cancel' ./internal/faultinject/... ./internal/sweep/... ./internal/trace/... .
+
+# Telemetry contracts under the race detector: schema round-trips,
+# counter exactness, bit-identical results with a recorder attached,
+# and error-attribution mirroring in the fault campaign (see
+# docs/OBSERVABILITY.md).
+test-telemetry:
+	$(GO) test -race -run 'Telemetry|Event|Stream|Sink|Manifest|Fingerprint|Snapshot|Run(Emit|Close|Concurrent)|Nop|Mirrored|WriteFileAtomic' ./internal/telemetry/... ./internal/sweep/... ./internal/faultinject/...
 
 # One reduced-size benchmark per paper table/figure plus ablations.
 bench:

@@ -8,7 +8,8 @@
 // Usage:
 //
 //	benchsweep [-refs N] [-nets LIST] [-shards LIST] [-verify] [-out FILE]
-//	           [-cpuprofile FILE] [-memprofile FILE]
+//	           [-pprof ADDR] [-cpuprofile FILE] [-memprofile FILE]
+//	           [-events FILE] [-manifest FILE] [-progress]
 //
 // The engine comparison times the materialised per-point Reference
 // engine against the default MultiPass engine.  The shard curve then
@@ -25,8 +26,12 @@
 // total word references replayed across every workload) and
 // allocs_per_ref (heap objects allocated during the timed engine run
 // over the same denominator -- ~0 now that the access path is
-// allocation-free).  -cpuprofile and -memprofile write pprof profiles
-// of the run for drilling into regressions.
+// allocation-free).  The shared observability bundle
+// (internal/telemetry) provides the rest: -cpuprofile/-memprofile write
+// pprof profiles of the run for drilling into regressions, -pprof
+// serves live profiles over HTTP, -events streams structured telemetry
+// events (JSONL), -manifest writes a RUN.json run manifest, and
+// -progress prints a live progress line.
 //
 // The committed BENCH_sweep.json is regenerated with the defaults:
 //
@@ -39,16 +44,15 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"reflect"
 	"runtime"
-	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"subcache/internal/sweep"
 	"subcache/internal/synth"
+	"subcache/internal/telemetry"
 	"subcache/internal/trace"
 )
 
@@ -101,23 +105,10 @@ func main() {
 		verify     = flag.Bool("verify", false, "cross-check sharded results for bit-identity and exit non-zero on mismatch")
 		checkpoint = flag.String("checkpoint", "", "journal `file` for the checkpoint/resume round-trip proof: run half of each suite checkpointed, resume the full suite from the journal, and exit non-zero unless the merged results are identical to an uninterrupted sweep")
 		out        = flag.String("out", "BENCH_sweep.json", "output file")
-		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
-		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to `file`")
 	)
+	tf := telemetry.RegisterFlags(flag.CommandLine)
+	tf.RegisterSweepFlags(flag.CommandLine)
 	flag.Parse()
-
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchsweep: -cpuprofile:", err)
-			os.Exit(2)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "benchsweep: -cpuprofile:", err)
-			os.Exit(2)
-		}
-		defer pprof.StopCPUProfile()
-	}
 
 	netSizes, err := parseInts(*nets)
 	if err != nil {
@@ -130,6 +121,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchsweep: bad -shards: %v\n", err)
 			os.Exit(2)
 		}
+	}
+
+	sess, err := tf.Start("benchsweep", telemetry.Fingerprint(
+		"bench=sweep_table7", fmt.Sprint("refs=", *refs),
+		fmt.Sprint("nets=", netSizes), fmt.Sprint("curve=", curve)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep:", err)
+		os.Exit(2)
+	}
+	sess.Manifest.Engine = sweep.MultiPass.String()
+	sess.Manifest.Shards = runtime.NumCPU()
+	// die finalises observability (profiles, manifest, event sink)
+	// before a failure exit, so even a failed bench leaves evidence.
+	die := func(v ...any) {
+		fmt.Fprintln(os.Stderr, v...)
+		sess.Close()
+		os.Exit(1)
 	}
 
 	rec := record{
@@ -146,16 +154,14 @@ func main() {
 
 	if *verify {
 		if err := verifyShardIdentity(netSizes, *refs); err != nil {
-			fmt.Fprintln(os.Stderr, "benchsweep: verify:", err)
-			os.Exit(1)
+			die("benchsweep: verify:", err)
 		}
 		fmt.Printf("verify ok: shards=1, shards=%d and the materialised baseline agree on every counter\n", runtime.NumCPU())
 	}
 
 	if *checkpoint != "" {
 		if err := verifyCheckpointResume(netSizes, *refs, *checkpoint); err != nil {
-			fmt.Fprintln(os.Stderr, "benchsweep: checkpoint:", err)
-			os.Exit(1)
+			die("benchsweep: checkpoint:", err)
 		}
 		fmt.Println("checkpoint ok: interrupted-then-resumed sweeps reproduce the uninterrupted results exactly, across engines")
 	}
@@ -165,7 +171,10 @@ func main() {
 	for _, eng := range []sweep.Engine{sweep.Reference, sweep.MultiPass} {
 		var before runtime.MemStats
 		runtime.ReadMemStats(&before)
-		secs, passes := timeSweep(netSizes, *refs, sweep.Request{Engine: eng})
+		secs, passes, err := timeSweep(netSizes, *refs, sweep.Request{Engine: eng, Recorder: sess.Recorder()})
+		if err != nil {
+			die("benchsweep:", err)
+		}
 		if eng == sweep.MultiPass {
 			var after runtime.MemStats
 			runtime.ReadMemStats(&after)
@@ -186,8 +195,7 @@ func main() {
 
 	wordRefs, err := countWordRefs(*refs)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchsweep: counting word refs:", err)
-		os.Exit(1)
+		die("benchsweep: counting word refs:", err)
 	}
 	rec.WordRefs = wordRefs
 	if wordRefs > 0 {
@@ -199,9 +207,13 @@ func main() {
 
 	var base float64
 	for _, s := range curve {
-		secs, _ := timeSweep(netSizes, *refs, sweep.Request{
+		secs, _, err := timeSweep(netSizes, *refs, sweep.Request{
 			Engine: sweep.MultiPass, Shards: s, Parallelism: s,
+			Recorder: sess.Recorder(),
 		})
+		if err != nil {
+			die("benchsweep:", err)
+		}
 		sr := shardResult{Shards: s, Seconds: round3(secs)}
 		if s == 1 {
 			base = secs
@@ -218,32 +230,17 @@ func main() {
 
 	b, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchsweep:", err)
-		os.Exit(1)
+		die("benchsweep:", err)
 	}
-	if dir := filepath.Dir(*out); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "benchsweep:", err)
-			os.Exit(1)
-		}
-	}
-	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchsweep:", err)
-		os.Exit(1)
+	// Atomic, like WriteTraceFile: an interrupted bench never leaves a
+	// torn BENCH_sweep.json behind for CI to diff against.
+	if err := telemetry.WriteFileAtomic(*out, append(b, '\n'), 0o644); err != nil {
+		die("benchsweep:", err)
 	}
 
-	if *memprofile != "" {
-		runtime.GC() // drop dead objects so the profile shows what is retained
-		f, err := os.Create(*memprofile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchsweep: -memprofile:", err)
-			os.Exit(2)
-		}
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "benchsweep: -memprofile:", err)
-			os.Exit(2)
-		}
-		f.Close()
+	if err := sess.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep: telemetry:", err)
+		os.Exit(2)
 	}
 }
 
@@ -277,7 +274,7 @@ func countWordRefs(refs int) (uint64, error) {
 // timeSweep runs the full Table 7 grid across every architecture with
 // the given engine settings, returning wall-clock seconds and summed
 // trace passes.
-func timeSweep(netSizes []int, refs int, base sweep.Request) (float64, int) {
+func timeSweep(netSizes []int, refs int, base sweep.Request) (float64, int, error) {
 	start := time.Now()
 	passes := 0
 	for _, a := range synth.AllArchs() {
@@ -287,12 +284,11 @@ func timeSweep(netSizes []int, refs int, base sweep.Request) (float64, int) {
 		req.Refs = refs
 		res, err := sweep.Run(req)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchsweep: %s/%s: %v\n", req.Engine, a, err)
-			os.Exit(1)
+			return 0, 0, fmt.Errorf("%s/%s: %w", req.Engine, a, err)
 		}
 		passes += res.TracePasses
 	}
-	return time.Since(start).Seconds(), passes
+	return time.Since(start).Seconds(), passes, nil
 }
 
 // verifyShardIdentity proves the sharded executor exact on the full

@@ -8,6 +8,9 @@
 //	cachesim -trace traces/ed.din -size 1024 -block 16 -sub 8 -word 2
 //	cachesim -workload ED -n 1000000 -size 1024 -block 16 -sub 8 -word 2
 //	cachesim -workload CCP -size 256 -block 16 -sub 2 -fetch lf -word 2
+//
+// The shared profiling flags -pprof, -cpuprofile and -memprofile
+// (internal/telemetry) are available for performance work.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"strings"
 
 	"subcache"
+	"subcache/internal/telemetry"
 )
 
 func main() {
@@ -41,7 +45,15 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
 		subs     = flag.String("subs", "", "comma-separated sub-block sizes to sweep (prints a tradeoff table)")
 	)
+	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	s, err := tf.Start("cachesim", telemetry.Fingerprint("tool=cachesim"))
+	if err != nil {
+		fatal(err)
+	}
+	sess = s
+	defer sess.Close()
 
 	if *sub == 0 {
 		*sub = *block
@@ -52,7 +64,6 @@ func main() {
 		WarmStart: *warm, RandomSeed: *seed,
 		CopyBack: *copyback, PrefetchOBL: *prefetch,
 	}
-	var err error
 	if cfg.Replacement, err = parseRepl(*repl); err != nil {
 		fatal(err)
 	}
@@ -224,7 +235,14 @@ func parseFetch(s string) (subcache.Fetch, error) {
 	return 0, fmt.Errorf("unknown fetch policy %q", s)
 }
 
+// sess is the live observability session, closed by fatal so profiles
+// survive failure exits.
+var sess *telemetry.Session
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "cachesim:", err)
+	if sess != nil {
+		sess.Close()
+	}
 	os.Exit(1)
 }

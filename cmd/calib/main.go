@@ -1,21 +1,34 @@
 // Command calib prints architecture-average miss/traffic ratios for a
 // few reference configurations, used to calibrate the synthetic
 // workload profiles against Table 7.
+//
+// The shared profiling flags -pprof, -cpuprofile and -memprofile
+// (internal/telemetry) are available for performance work.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"subcache/internal/cache"
 	"subcache/internal/metrics"
 	"subcache/internal/synth"
+	"subcache/internal/telemetry"
 	"subcache/internal/trace"
 )
 
 const refs = 1000000
 
 func main() {
+	tf := telemetry.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+	sess, err := tf.Start("calib", telemetry.Fingerprint("tool=calib", fmt.Sprint("refs=", refs)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calib:", err)
+		os.Exit(1)
+	}
+	defer sess.Close()
 	type target struct {
 		net, block, sub int
 		paper           map[synth.Arch][2]float64 // miss, traffic

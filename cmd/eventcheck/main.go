@@ -1,0 +1,90 @@
+// Command eventcheck validates telemetry artifacts: a structured JSONL
+// event stream (as written by -events) and, optionally, a RUN.json run
+// manifest (as written by -manifest).  It is the consumer-side contract
+// check for docs/OBSERVABILITY.md -- CI runs it against a live sweep's
+// output so schema drift is caught the moment it is introduced.
+//
+// Usage:
+//
+//	eventcheck [-manifest RUN.json] [-require TYPES] events.jsonl
+//
+// Every line of the stream must be a schema-valid event with strictly
+// increasing sequence numbers.  -require takes a comma-separated list
+// of event types (e.g. "run-start,point-done,shard-stat") that must
+// each appear at least once.  Exit status is non-zero on any violation,
+// with the offending line number on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"subcache/internal/telemetry"
+)
+
+func main() {
+	var (
+		manifest = flag.String("manifest", "", "also validate a RUN.json `file`")
+		require  = flag.String("require", "", "comma-separated event types that must appear at least once")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 && *manifest == "" {
+		fmt.Fprintln(os.Stderr, "usage: eventcheck [-manifest RUN.json] [-require TYPES] events.jsonl")
+		os.Exit(2)
+	}
+
+	if flag.NArg() == 1 {
+		path := flag.Arg(0)
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		st, err := telemetry.ValidateStream(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		for _, typ := range splitList(*require) {
+			if st.ByType[typ] == 0 {
+				fatal(fmt.Errorf("%s: no %q events (have %v)", path, typ, st.ByType))
+			}
+		}
+		fmt.Printf("%s: %d events ok", path, st.Events)
+		for _, typ := range []string{telemetry.EventRunStart, telemetry.EventPointDone,
+			telemetry.EventShardStat, telemetry.EventErrorAttributed, telemetry.EventHeartbeat} {
+			if n := st.ByType[typ]; n > 0 {
+				fmt.Printf("  %s=%d", typ, n)
+			}
+		}
+		fmt.Println()
+	}
+
+	if *manifest != "" {
+		m, err := telemetry.ReadManifest(*manifest)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: manifest ok  tool=%s fingerprint=%s wall=%.2fs cpu=%.2fs\n",
+			*manifest, m.Tool, m.Fingerprint, m.WallSeconds, m.CPUSeconds)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eventcheck:", err)
+	os.Exit(1)
+}

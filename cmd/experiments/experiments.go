@@ -6,6 +6,7 @@ import (
 
 	"subcache/internal/sweep"
 	"subcache/internal/synth"
+	"subcache/internal/telemetry"
 )
 
 // runCtx carries shared state across experiments: the trace length, the
@@ -17,6 +18,9 @@ type runCtx struct {
 	engine     sweep.Engine
 	shards     int
 	checkpoint string
+	// recorder is threaded into every sweep request; nil means off
+	// (sweep normalises it to the no-op recorder).
+	recorder telemetry.Recorder
 
 	mu     sync.Mutex
 	sweeps map[string]*sweep.Result
@@ -34,6 +38,7 @@ func (c *runCtx) run(req sweep.Request) (*sweep.Result, error) {
 	if req.Override == nil {
 		req.Checkpoint = c.checkpoint
 	}
+	req.Recorder = c.recorder
 	return sweep.Run(req)
 }
 

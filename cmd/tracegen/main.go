@@ -7,6 +7,9 @@
 //	tracegen -arch PDP-11 -n 1000000 -out traces/        # one suite
 //	tracegen -all -n 1000000 -out traces/ -format binary # everything
 //	tracegen -list                                       # show catalog
+//
+// The shared profiling flags -pprof, -cpuprofile and -memprofile
+// (internal/telemetry) are available for performance work.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"strings"
 
 	"subcache"
+	"subcache/internal/telemetry"
 )
 
 func main() {
@@ -29,7 +33,15 @@ func main() {
 		format   = flag.String("format", "text", "trace format: text or binary")
 		list     = flag.Bool("list", false, "list workloads and exit")
 	)
+	obs := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	s, err := obs.Start("tracegen", telemetry.Fingerprint("tool=tracegen"))
+	if err != nil {
+		fatal(err)
+	}
+	sess = s
+	defer sess.Close()
 
 	if *list {
 		for _, a := range subcache.Architectures() {
@@ -96,7 +108,14 @@ func archByName(name string) (subcache.Arch, error) {
 	return 0, fmt.Errorf("unknown architecture %q (want PDP-11, Z8000, VAX-11 or System/370)", name)
 }
 
+// sess is the live observability session, closed by fatal so profiles
+// survive failure exits.
+var sess *telemetry.Session
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	if sess != nil {
+		sess.Close()
+	}
 	os.Exit(1)
 }

@@ -5,6 +5,9 @@
 //
 //	traceinfo -workload FGO1 -n 1000000
 //	traceinfo -trace traces/ed.din -word 2
+//
+// The shared profiling flags -pprof, -cpuprofile and -memprofile
+// (internal/telemetry) are available for performance work.
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"subcache"
 	"subcache/internal/stackdist"
 	"subcache/internal/synth"
+	"subcache/internal/telemetry"
 	"subcache/internal/trace"
 )
 
@@ -26,18 +30,24 @@ func main() {
 		word      = flag.Int("word", 0, "data-path word size (default: workload's architecture, else 2)")
 		block     = flag.Int("block", 8, "block size for the working-set curve")
 	)
+	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	s, err := tf.Start("traceinfo", telemetry.Fingerprint("tool=traceinfo"))
+	if err != nil {
+		fatal(err)
+	}
+	sess = s
+	defer sess.Close()
 
 	refs, wordSize, err := load(*tracePath, *workload, *n, *word)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "traceinfo:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	st, err := trace.Measure(trace.NewSliceSource(refs), wordSize)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "traceinfo:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Printf("word accesses:   %d (ifetch %d, read %d, write %d)\n",
 		st.Total, st.ByKind[trace.IFetch], st.ByKind[trace.Read], st.ByKind[trace.Write])
@@ -47,20 +57,17 @@ func main() {
 
 	_, meanRun, err := trace.RunLengths(trace.NewSliceSource(refs), wordSize)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "traceinfo:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Printf("mean ifetch run: %.2f words (forward-sequential)\n", meanRun)
 
 	prof, err := stackdist.New(*block, 1, false)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "traceinfo:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	sp := trace.NewSplitter(trace.NewSliceSource(refs), wordSize)
 	if err := prof.Run(sp); err != nil {
-		fmt.Fprintln(os.Stderr, "traceinfo:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Printf("\nLRU working-set curve (%d-byte blocks, fully associative, one Mattson pass):\n", *block)
 	fmt.Printf("%10s  %s\n", "capacity", "miss ratio")
@@ -75,6 +82,18 @@ func main() {
 		}
 		fmt.Printf("capacity for %2.0f%% hits: %d bytes\n", 100*q, blocks**block)
 	}
+}
+
+// sess is the live observability session, closed by fatal so profiles
+// survive failure exits.
+var sess *telemetry.Session
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceinfo:", err)
+	if sess != nil {
+		sess.Close()
+	}
+	os.Exit(1)
 }
 
 // load returns the references and the effective word size.

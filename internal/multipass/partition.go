@@ -17,6 +17,20 @@ type ShardPlan struct {
 	Rest     []int
 }
 
+// Cost is the partitioner's estimated per-access simulation cost of the
+// whole plan -- the load PartitionShards balanced.  Exposed so the
+// telemetry layer can report estimated versus observed shard load.
+func (p ShardPlan) Cost() int {
+	c := 0
+	for _, idxs := range p.Families {
+		c += shardUnit{idxs: idxs, family: true}.cost()
+	}
+	for range p.Rest {
+		c += shardUnit{}.cost()
+	}
+	return c
+}
+
 // shardUnit is the indivisible (or, for families, divisible) scheduling
 // unit PartitionShards balances: either one family's lane set or one
 // reference-simulated configuration.

@@ -28,8 +28,10 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"subcache/internal/metrics"
+	"subcache/internal/telemetry"
 )
 
 // journalVersion is bumped when the entry layout changes; entries with
@@ -71,6 +73,7 @@ type Journal struct {
 	f    *os.File
 	path string
 	done map[string]journalEntry // "fp\x00workload" -> last valid entry
+	rec  telemetry.Recorder      // set by RunContext; never nil
 	// Skipped counts lines that failed to parse or verify on load:
 	// torn tails, corruption, foreign versions.  Informational.
 	Skipped int
@@ -86,7 +89,7 @@ func OpenJournal(path string) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sweep: checkpoint: %w", err)
 	}
-	j := &Journal{f: f, path: path, done: make(map[string]journalEntry)}
+	j := &Journal{f: f, path: path, done: make(map[string]journalEntry), rec: telemetry.Nop}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<16), 1<<26)
 	for sc.Scan() {
@@ -154,11 +157,26 @@ func (j *Journal) Record(fp, workload string, points []Point, runs map[Point]met
 	b = append(b, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	enabled := j.rec.Enabled()
+	var t0 time.Time
+	if enabled {
+		t0 = time.Now()
+	}
 	if _, err := j.f.Write(b); err != nil {
 		return fmt.Errorf("sweep: checkpoint %s: %w", j.path, err)
 	}
+	var w time.Time
+	if enabled {
+		w = time.Now()
+	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("sweep: checkpoint %s: %w", j.path, err)
+	}
+	if enabled {
+		now := time.Now()
+		j.rec.Observe(telemetry.StageCheckpoint, now.Sub(t0))
+		j.rec.Add(telemetry.CheckpointFsyncNanos, uint64(now.Sub(w)))
+		j.rec.Add(telemetry.CheckpointRecords, 1)
 	}
 	j.done[journalKey(fp, workload)] = e
 	return nil

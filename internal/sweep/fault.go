@@ -17,12 +17,14 @@
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"runtime/debug"
 
 	"subcache/internal/cache"
 	"subcache/internal/metrics"
 	"subcache/internal/multipass"
+	"subcache/internal/telemetry"
 	"subcache/internal/trace"
 )
 
@@ -63,6 +65,24 @@ func (e *PointError) Error() string {
 
 // Unwrap exposes the cause to errors.Is/As.
 func (e *PointError) Unwrap() error { return e.Cause }
+
+// event renders the attributed failure as its telemetry event: every
+// PointError a sweep reports is mirrored by exactly one
+// error-attributed event on the stream.
+func (e *PointError) event() *telemetry.Event {
+	var pe *PanicError
+	point := ""
+	if !e.WorkloadScope() {
+		point = e.Point.String()
+	}
+	return &telemetry.Event{Type: telemetry.EventErrorAttributed, Error: &telemetry.ErrorAttributed{
+		Workload: e.Workload,
+		Point:    point,
+		Shard:    e.Shard,
+		Cause:    e.Cause.Error(),
+		Panic:    errors.As(e.Cause, &pe),
+	}}
+}
 
 // PanicError is a panic recovered from a simulation unit, a hook, or a
 // trace source, preserving the panic value and the stack at the point

@@ -26,11 +26,13 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"subcache/internal/cache"
 	"subcache/internal/metrics"
 	"subcache/internal/multipass"
 	"subcache/internal/synth"
+	"subcache/internal/telemetry"
 	"subcache/internal/trace"
 )
 
@@ -49,13 +51,22 @@ type chunk struct {
 
 // shardRunner is one worker's owned simulation state: the units its
 // plan assigned, plus its inbound chunk queue.  Only the owning
-// goroutine touches units/live/chunk.
+// goroutine touches units/live/chunk and the telemetry fields.
 type shardRunner struct {
 	shard int
 	units []*simUnit
 	live  int // units not yet dead
 	chunk int // next chunk index (identical across shards)
 	in    chan *chunk
+
+	// Telemetry, accumulated locally (single-writer) and published
+	// once at end of pass: references fed to the shard, references
+	// consumed by its live units, wall time inside processChunk, and
+	// the partitioner's cost estimate for its plan.
+	refsFed uint64
+	simRefs uint64
+	busy    time.Duration
+	estCost int
 }
 
 // RunConfigs evaluates every configuration against one workload in a
@@ -84,7 +95,7 @@ func RunConfigs(ctx context.Context, prof synth.Profile, cfgs []cache.Config, re
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
-	runs, ok, failed, err := runConfigsSharded(ctx, prof, cfgs, nil, refs, ws, shards, true, false, nil)
+	runs, ok, failed, err := runConfigsSharded(ctx, prof, cfgs, nil, refs, ws, shards, true, false, nil, telemetry.Nop)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return nil, err
@@ -135,7 +146,8 @@ func referencePlans(n, shards int) []multipass.ShardPlan {
 //     (continueOnError false) the first failure stops the pass and runs
 //     is nil; under continueOnError survivors complete the full stream
 //     and ok[i] marks which runs are valid.
-func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Config, points []Point, refs, wordSize, shards int, group, continueOnError bool, hooks *Hooks) (runs []metrics.Run, ok []bool, failed []unitFailure, err error) {
+func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Config, points []Point, refs, wordSize, shards int, group, continueOnError bool, hooks *Hooks, rec telemetry.Recorder) (runs []metrics.Run, ok []bool, failed []unitFailure, err error) {
+	enabled := rec.Enabled()
 	var plans []multipass.ShardPlan
 	if group {
 		plans = multipass.PartitionShards(cfgs, shards)
@@ -152,7 +164,7 @@ func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Con
 		if len(fs) > 0 && !continueOnError {
 			return nil, nil, failed[:1], nil
 		}
-		runners[si] = &shardRunner{shard: si, units: units, live: len(units), in: make(chan *chunk, nbuf)}
+		runners[si] = &shardRunner{shard: si, units: units, live: len(units), in: make(chan *chunk, nbuf), estCost: plan.Cost()}
 		total += len(units)
 	}
 	if total == 0 {
@@ -201,18 +213,49 @@ func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Con
 				close(rn.in)
 			}
 		}()
+		// Producer-side stage accounting, at chunk granularity: time
+		// decoding the stream is trace-read; time waiting for a free
+		// buffer (backpressure from the slowest shard) plus time
+		// handing chunks to shard queues is broadcast.
+		var readTime, castTime time.Duration
+		if enabled {
+			defer func() {
+				rec.Observe(telemetry.StageTraceRead, readTime)
+				rec.Observe(telemetry.StageBroadcast, castTime)
+				if bc, ok := wrapped.(trace.ByteCounter); ok {
+					rec.Add(telemetry.BytesRead, bc.Bytes())
+				}
+			}()
+		}
 		// A panicking trace source (or source wrapper) is recovered
 		// into a workload-scope error, like any other stream failure.
 		perr := safeCall(func() {
+			var t0 time.Time
 			for {
 				var buf []trace.Ref
+				if enabled {
+					t0 = time.Now()
+				}
 				select {
 				case buf = <-free:
 				case <-ictx.Done():
 					return
 				}
+				if enabled {
+					now := time.Now()
+					castTime += now.Sub(t0)
+					t0 = now
+				}
 				n, rerr := trace.ReadChunk(wrapped, buf[:chunkRefs])
+				if enabled {
+					readTime += time.Since(t0)
+				}
 				if n > 0 {
+					if enabled {
+						rec.Add(telemetry.RefsRead, uint64(n))
+						rec.SetGauge(telemetry.FreeRingOccupancy, int64(len(free)))
+						t0 = time.Now()
+					}
 					ck := &chunk{refs: buf[:n]}
 					ck.left.Store(int32(len(runners)))
 					for _, rn := range runners {
@@ -221,6 +264,10 @@ func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Con
 						case <-ictx.Done():
 							return
 						}
+					}
+					if enabled {
+						castTime += time.Since(t0)
+						rec.Add(telemetry.ChunksBroadcast, 1)
 					}
 				}
 				if rerr != nil {
@@ -244,7 +291,14 @@ func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Con
 				// On cancellation keep draining (the producer may have
 				// broadcast chunks already) but stop simulating.
 				if ictx.Err() == nil && rn.live > 0 {
-					rn.processChunk(ck.refs, prof.Name, hooks, fail)
+					if enabled {
+						t0 := time.Now()
+						rn.processChunk(ck.refs, prof.Name, hooks, fail)
+						rn.busy += time.Since(t0)
+						rn.refsFed += uint64(len(ck.refs))
+					} else {
+						rn.processChunk(ck.refs, prof.Name, hooks, fail)
+					}
 				}
 				if ck.left.Add(-1) == 0 {
 					free <- ck.refs[:chunkRefs]
@@ -253,6 +307,31 @@ func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Con
 		}(rn)
 	}
 	wg.Wait()
+
+	// Publish per-shard telemetry: the aggregates, the simulate-stage
+	// time, and one shard-stat event per worker.  Emitted even for
+	// failed or cancelled passes -- a stalled shard is exactly what an
+	// observer wants to see attributed.
+	if enabled {
+		for _, rn := range runners {
+			rec.ShardObserve(rn.shard, rn.refsFed, rn.busy)
+			rec.Observe(telemetry.StageSimulate, rn.busy)
+			rec.Add(telemetry.RefsSimulated, rn.simRefs)
+			lanes := 0
+			for _, u := range rn.units {
+				lanes += len(u.idxs)
+			}
+			rec.Emit(&telemetry.Event{Type: telemetry.EventShardStat, ShardStat: &telemetry.ShardStat{
+				Workload: prof.Name,
+				Shard:    rn.shard,
+				Units:    len(rn.units),
+				Lanes:    lanes,
+				EstCost:  rn.estCost,
+				Refs:     rn.refsFed,
+				BusyMS:   float64(rn.busy) / 1e6,
+			}})
+		}
+	}
 
 	if produceErr != nil {
 		return nil, nil, nil, produceErr
@@ -267,6 +346,11 @@ func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Con
 		return nil, nil, first, nil
 	}
 
+	var flushStart time.Time
+	if enabled {
+		flushStart = time.Now()
+	}
+	var families uint64
 	runs = make([]metrics.Run, len(cfgs))
 	ok = make([]bool, len(cfgs))
 	for _, rn := range runners {
@@ -281,10 +365,17 @@ func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Con
 				}
 				continue
 			}
+			if u.fam != nil {
+				families++
+			}
 			for _, k := range u.idxs {
 				ok[k] = true
 			}
 		}
+	}
+	if enabled {
+		rec.Observe(telemetry.StageFlush, time.Since(flushStart))
+		rec.Add(telemetry.FamiliesFlushed, families)
 	}
 	return runs, ok, failed, nil
 }
@@ -317,7 +408,9 @@ func (rn *shardRunner) processChunk(refs []trace.Ref, workload string, hooks *Ho
 			u.dead = true
 			rn.live--
 			fail(unitFailure{idxs: u.idxs, shard: rn.shard, cause: uerr}, 1)
+			continue
 		}
+		rn.simRefs += uint64(len(refs))
 	}
 	rn.chunk++
 }
@@ -332,7 +425,8 @@ func simulateSharded(ctx context.Context, prof synth.Profile, req Request, shard
 		cfgs[i] = pointConfig(p, req)
 	}
 	runs, ok, failed, err := runConfigsSharded(ctx, prof, cfgs, req.Points, req.Refs,
-		req.Arch.WordSize(), shards, group, req.ContinueOnError, req.Hooks)
+		req.Arch.WordSize(), shards, group, req.ContinueOnError, req.Hooks,
+		telemetry.OrNop(req.Recorder))
 	if err != nil {
 		if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			return nil, nil

@@ -20,11 +20,14 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"subcache/internal/cache"
 	"subcache/internal/metrics"
 	"subcache/internal/multipass"
 	"subcache/internal/synth"
+	"subcache/internal/telemetry"
 	"subcache/internal/trace"
 )
 
@@ -203,6 +206,14 @@ type Request struct {
 	// Hooks instruments the execution layer for fault injection and
 	// tests; nil in production.  See Hooks.
 	Hooks *Hooks
+	// Recorder receives runtime telemetry: counters, stage timings
+	// and the structured event stream (run-start, point-done,
+	// shard-stat, error-attributed; see internal/telemetry and
+	// docs/OBSERVABILITY.md).  nil disables telemetry.  Recording is
+	// observation only -- results are bit-identical with it on or off
+	// -- and every call site sits at chunk or workload granularity,
+	// so the access kernel stays allocation-free.
+	Recorder telemetry.Recorder
 }
 
 // Result holds a completed sweep.
@@ -289,6 +300,20 @@ func RunContext(ctx context.Context, req Request) (*Result, error) {
 		return nil, err
 	}
 
+	rec := telemetry.OrNop(req.Recorder)
+	if rec.Enabled() {
+		rec.Add(telemetry.PointsPlanned, uint64(len(req.Points)*len(profiles)))
+		rec.Emit(&telemetry.Event{Type: telemetry.EventRunStart, RunStart: &telemetry.RunStart{
+			Arch:       req.Arch.String(),
+			Engine:     req.Engine.String(),
+			Shards:     req.Shards,
+			Points:     len(req.Points),
+			Workloads:  len(profiles),
+			Refs:       req.Refs,
+			Checkpoint: req.Checkpoint != "",
+		}})
+	}
+
 	var ck *ckState
 	if req.Checkpoint != "" {
 		fp, err := requestFingerprint(req)
@@ -300,6 +325,7 @@ func RunContext(ctx context.Context, req Request) (*Result, error) {
 			return nil, err
 		}
 		defer j.Close()
+		j.rec = rec
 		ck = &ckState{j: j, fp: fp, points: req.Points}
 	}
 
@@ -435,6 +461,9 @@ func runWorkloads(
 	attempted = make([]bool, n)
 	var mu sync.Mutex // guards resumed
 
+	rec := telemetry.OrNop(req.Recorder)
+	var active atomic.Int64 // concurrent workload executors, for the gauge
+
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	if outer > n {
@@ -457,10 +486,14 @@ func runWorkloads(
 					mu.Lock()
 					resumed++
 					mu.Unlock()
+					rec.Add(telemetry.PointsResumed, uint64(len(runs)))
+					emitPointsDone(rec, prof.Name, req.Points, runs, true)
 					continue
 				}
 				attempted[i] = true
+				rec.SetGauge(telemetry.ActiveWorkloads, active.Add(1))
 				runs, pes := fn(ctx, prof)
+				rec.SetGauge(telemetry.ActiveWorkloads, active.Add(-1))
 				perProf[i] = runs
 				if runs != nil && len(pes) == 0 && ctx.Err() == nil {
 					if ckErr := ck.record(prof.Name, runs); ckErr != nil {
@@ -468,6 +501,12 @@ func runWorkloads(
 					}
 				}
 				perrs[i] = pes
+				rec.Add(telemetry.PointsCompleted, uint64(len(runs)))
+				emitPointsDone(rec, prof.Name, req.Points, runs, false)
+				for _, pe := range pes {
+					rec.Add(telemetry.PointsFailed, 1)
+					rec.Emit(pe.event())
+				}
 				if len(pes) > 0 && !req.ContinueOnError {
 					cancel()
 				}
@@ -491,6 +530,28 @@ func runWorkloads(
 		return nil, nil, nil, 0, cerr
 	}
 	return perProf, perrs, attempted, resumed, nil
+}
+
+// emitPointsDone emits one point-done event per completed run, in the
+// request's point order (run completion order is scheduling-dependent,
+// the event stream should not be).
+func emitPointsDone(rec telemetry.Recorder, workload string, points []Point, runs map[Point]metrics.Run, resumed bool) {
+	if !rec.Enabled() {
+		return
+	}
+	for _, p := range points {
+		run, ok := runs[p]
+		if !ok {
+			continue
+		}
+		rec.Emit(&telemetry.Event{Type: telemetry.EventPointDone, PointDone: &telemetry.PointDone{
+			Workload: workload,
+			Point:    p.String(),
+			Miss:     run.Miss,
+			Traffic:  run.Traffic,
+			Resumed:  resumed,
+		}})
+	}
 }
 
 // pointConfig resolves a point's full cache configuration under the
@@ -583,6 +644,14 @@ func simulateOnePass(ctx context.Context, prof synth.Profile, req Request) (map[
 		return nil, pointErrors(prof.Name, req.Points, failed[:1])
 	}
 
+	rec := telemetry.OrNop(req.Recorder)
+	enabled := rec.Enabled()
+	var simStart time.Time
+	var simRefs uint64
+	if enabled {
+		simStart = time.Now()
+	}
+
 	// The single pass: every live unit sees each access once, fed in
 	// trace.ChunkRefs-sized batches.  A cancelled sweep (sibling
 	// failure or caller abort) is noticed at every chunk boundary.
@@ -608,11 +677,22 @@ func simulateOnePass(ctx context.Context, prof synth.Profile, req Request) (map[
 				if !req.ContinueOnError {
 					return nil, pointErrors(prof.Name, req.Points, failed[len(failed)-1:])
 				}
+				continue
 			}
+			simRefs += uint64(len(batch))
 		}
 		chunk++
 	}
+	if enabled {
+		rec.Observe(telemetry.StageSimulate, time.Since(simStart))
+		rec.Add(telemetry.RefsSimulated, simRefs)
+	}
 
+	var flushStart time.Time
+	var families uint64
+	if enabled {
+		flushStart = time.Now()
+	}
 	out := make(map[Point]metrics.Run, len(req.Points))
 	runs := make([]metrics.Run, len(req.Points))
 	for _, u := range units {
@@ -626,9 +706,16 @@ func simulateOnePass(ctx context.Context, prof synth.Profile, req Request) (map[
 			}
 			continue
 		}
+		if u.fam != nil {
+			families++
+		}
 		for _, k := range u.idxs {
 			out[req.Points[k]] = runs[k]
 		}
+	}
+	if enabled {
+		rec.Observe(telemetry.StageFlush, time.Since(flushStart))
+		rec.Add(telemetry.FamiliesFlushed, families)
 	}
 	return out, pointErrors(prof.Name, req.Points, failed)
 }
@@ -663,6 +750,11 @@ func wordTrace(prof synth.Profile, req Request) (refs []trace.Ref, err error) {
 	if err != nil {
 		return nil, err
 	}
+	rec := telemetry.OrNop(req.Recorder)
+	var readStart time.Time
+	if rec.Enabled() {
+		readStart = time.Now()
+	}
 	wrapped := req.Hooks.wrapSource(prof.Name, src)
 	ferr := safeCall(func() {
 		buf := make([]trace.Ref, trace.ChunkRefs)
@@ -682,6 +774,13 @@ func wordTrace(prof synth.Profile, req Request) (refs []trace.Ref, err error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if rec.Enabled() {
+		rec.Observe(telemetry.StageTraceRead, time.Since(readStart))
+		rec.Add(telemetry.RefsRead, uint64(len(refs)))
+		if bc, ok := wrapped.(trace.ByteCounter); ok {
+			rec.Add(telemetry.BytesRead, bc.Bytes())
+		}
 	}
 	return refs, nil
 }
@@ -756,6 +855,11 @@ func simulatePoints(ctx context.Context, name string, accesses []trace.Ref, req 
 // cache inside a recovery boundary.  completed is false when the
 // replay was abandoned at a chunk boundary due to cancellation.
 func simulateOnePoint(ctx context.Context, name string, accesses []trace.Ref, p Point, req Request) (run metrics.Run, completed bool, err error) {
+	rec := telemetry.OrNop(req.Recorder)
+	var simStart time.Time
+	if rec.Enabled() {
+		simStart = time.Now()
+	}
 	ferr := safeCall(func() {
 		cfg := pointConfig(p, req)
 		c, cerr := cache.New(cfg)
@@ -783,6 +887,10 @@ func simulateOnePoint(ctx context.Context, name string, accesses []trace.Ref, p 
 		run = metrics.NewRun(name, cfg, c.Stats())
 		completed = true
 	})
+	if completed && rec.Enabled() {
+		rec.Observe(telemetry.StageSimulate, time.Since(simStart))
+		rec.Add(telemetry.RefsSimulated, uint64(len(accesses)))
+	}
 	if ferr != nil {
 		return metrics.Run{}, false, ferr
 	}

@@ -1,0 +1,6 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package telemetry
+
+// processCPUSeconds is unavailable on this platform; manifests record 0.
+func processCPUSeconds() float64 { return 0 }

@@ -1,0 +1,319 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The structured event stream: one JSON object per line, written
+// alongside the checkpoint journal, so a running (or crashed) sweep
+// can be observed by tailing a file.  The schema is versioned and
+// deliberately flat: a fixed envelope carrying exactly one typed
+// payload, which keeps decoding trivial for tools in any language and
+// makes round-trip tests exact.
+
+// SchemaVersion is bumped when an envelope or payload field changes
+// meaning; additions are backward compatible and do not bump it.
+const SchemaVersion = 1
+
+// Event types.
+const (
+	// EventRunStart opens one sweep: what will be simulated and how.
+	EventRunStart = "run-start"
+	// EventPointDone records one completed (workload, point) pair.
+	EventPointDone = "point-done"
+	// EventShardStat summarises one shard worker at end of a
+	// workload's pass: balance, throughput, survivors.
+	EventShardStat = "shard-stat"
+	// EventErrorAttributed records one attributed simulation failure;
+	// every PointError a sweep reports has exactly one.
+	EventErrorAttributed = "error-attributed"
+	// EventHeartbeat carries a periodic counter snapshot.
+	EventHeartbeat = "heartbeat"
+)
+
+// Event is the envelope every telemetry event shares.  Exactly one
+// payload pointer is non-nil, matching Type; Validate enforces it.
+type Event struct {
+	// V is the schema version (SchemaVersion).
+	V int `json:"v"`
+	// Type is one of the Event* constants.
+	Type string `json:"type"`
+	// Seq is the emission sequence number, unique and increasing
+	// within one recorder's stream.
+	Seq uint64 `json:"seq"`
+	// ElapsedMS is wall milliseconds since the recorder started.
+	ElapsedMS int64 `json:"elapsed_ms"`
+
+	RunStart  *RunStart        `json:"run_start,omitempty"`
+	PointDone *PointDone       `json:"point_done,omitempty"`
+	ShardStat *ShardStat       `json:"shard_stat,omitempty"`
+	Error     *ErrorAttributed `json:"error,omitempty"`
+	Heartbeat *Heartbeat       `json:"heartbeat,omitempty"`
+}
+
+// RunStart is the EventRunStart payload.
+type RunStart struct {
+	// Arch names the architecture suite being swept.
+	Arch string `json:"arch"`
+	// Engine is the simulation strategy ("multipass" or "reference").
+	Engine string `json:"engine"`
+	// Shards is the requested intra-workload shard count (0 = auto,
+	// <0 = materialised baseline).
+	Shards int `json:"shards"`
+	// Points is the number of grid points per workload.
+	Points int `json:"points"`
+	// Workloads is the number of workloads in the sweep.
+	Workloads int `json:"workloads"`
+	// Refs is the requested trace length per workload.
+	Refs int `json:"refs"`
+	// Checkpoint reports whether a checkpoint journal is attached.
+	Checkpoint bool `json:"checkpoint,omitempty"`
+}
+
+// PointDone is the EventPointDone payload.
+type PointDone struct {
+	Workload string `json:"workload"`
+	// Point is the grid point in the paper's notation, e.g. "1024:16,8".
+	Point string `json:"point"`
+	// Miss and Traffic are the run's headline ratios.
+	Miss    float64 `json:"miss"`
+	Traffic float64 `json:"traffic"`
+	// Resumed marks a pair restored from the checkpoint journal
+	// rather than simulated.
+	Resumed bool `json:"resumed,omitempty"`
+}
+
+// ShardStat is the EventShardStat payload.
+type ShardStat struct {
+	Workload string `json:"workload"`
+	Shard    int    `json:"shard"`
+	// Units is the number of simulation units (families + fallback
+	// caches) the shard owned; Lanes counts their configurations.
+	Units int `json:"units"`
+	Lanes int `json:"lanes"`
+	// EstCost is the partitioner's per-access cost estimate for the
+	// shard's plan; compare across shards against BusyMS to judge the
+	// balance heuristic.
+	EstCost int `json:"est_cost"`
+	// Refs is the number of trace references fed to the shard.
+	Refs uint64 `json:"refs"`
+	// BusyMS is wall time the shard spent simulating (not waiting).
+	BusyMS float64 `json:"busy_ms"`
+}
+
+// ErrorAttributed is the EventErrorAttributed payload.
+type ErrorAttributed struct {
+	Workload string `json:"workload"`
+	// Point is the lost grid point, empty for a workload-scope
+	// failure (which loses every point of the workload).
+	Point string `json:"point,omitempty"`
+	// Shard is the shard worker that hosted the failure, -1 when the
+	// failing path was not sharded.
+	Shard int `json:"shard"`
+	// Cause is the error text; Panic marks a recovered panic.
+	Cause string `json:"cause"`
+	Panic bool   `json:"panic,omitempty"`
+}
+
+// Heartbeat is the EventHeartbeat payload.
+type Heartbeat struct {
+	Snapshot *Snapshot `json:"snapshot"`
+}
+
+// Validate checks an event against the schema: known version and
+// type, exactly one payload, and the payload matching the type with
+// its required fields set.
+func (ev *Event) Validate() error {
+	if ev.V != SchemaVersion {
+		return fmt.Errorf("telemetry: event seq %d: version %d, want %d", ev.Seq, ev.V, SchemaVersion)
+	}
+	if ev.ElapsedMS < 0 {
+		return fmt.Errorf("telemetry: event seq %d: negative elapsed_ms %d", ev.Seq, ev.ElapsedMS)
+	}
+	payloads := 0
+	for _, p := range []bool{ev.RunStart != nil, ev.PointDone != nil, ev.ShardStat != nil, ev.Error != nil, ev.Heartbeat != nil} {
+		if p {
+			payloads++
+		}
+	}
+	if payloads != 1 {
+		return fmt.Errorf("telemetry: event seq %d (%s): %d payloads, want exactly 1", ev.Seq, ev.Type, payloads)
+	}
+	switch ev.Type {
+	case EventRunStart:
+		if p := ev.RunStart; p == nil {
+			return payloadMismatch(ev)
+		} else if p.Arch == "" || p.Engine == "" || p.Points <= 0 || p.Workloads <= 0 || p.Refs <= 0 {
+			return fmt.Errorf("telemetry: run-start seq %d: missing arch/engine or non-positive points/workloads/refs", ev.Seq)
+		}
+	case EventPointDone:
+		if p := ev.PointDone; p == nil {
+			return payloadMismatch(ev)
+		} else if p.Workload == "" || p.Point == "" {
+			return fmt.Errorf("telemetry: point-done seq %d: empty workload or point", ev.Seq)
+		}
+	case EventShardStat:
+		if p := ev.ShardStat; p == nil {
+			return payloadMismatch(ev)
+		} else if p.Workload == "" || p.Shard < 0 {
+			return fmt.Errorf("telemetry: shard-stat seq %d: empty workload or negative shard", ev.Seq)
+		}
+	case EventErrorAttributed:
+		if p := ev.Error; p == nil {
+			return payloadMismatch(ev)
+		} else if p.Workload == "" || p.Cause == "" {
+			return fmt.Errorf("telemetry: error-attributed seq %d: empty workload or cause", ev.Seq)
+		} else if p.Shard < -1 {
+			return fmt.Errorf("telemetry: error-attributed seq %d: shard %d < -1", ev.Seq, p.Shard)
+		}
+	case EventHeartbeat:
+		if p := ev.Heartbeat; p == nil {
+			return payloadMismatch(ev)
+		} else if p.Snapshot == nil {
+			return fmt.Errorf("telemetry: heartbeat seq %d: nil snapshot", ev.Seq)
+		}
+	default:
+		return fmt.Errorf("telemetry: event seq %d: unknown type %q", ev.Seq, ev.Type)
+	}
+	return nil
+}
+
+func payloadMismatch(ev *Event) error {
+	return fmt.Errorf("telemetry: event seq %d: payload does not match type %q", ev.Seq, ev.Type)
+}
+
+// Sink consumes emitted events.  Implementations must be safe for
+// concurrent Write calls.
+type Sink interface {
+	Write(ev *Event) error
+	Close() error
+}
+
+// JSONLSink writes events as JSON lines.  Writes are serialised by a
+// mutex and buffered; Flush (or Close) makes them visible to tailing
+// readers.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer
+	err error // latched write failure
+}
+
+// NewJSONLSink wraps an open writer (closed with the sink if it
+// implements io.Closer).
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// CreateJSONLSink creates (truncating) an event file, making parent
+// directories as needed -- like WriteFileAtomic, so "-events dir/x"
+// works before dir exists.
+func CreateJSONLSink(path string) (*JSONLSink, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("telemetry: events: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: events: %w", err)
+	}
+	return NewJSONLSink(f), nil
+}
+
+// Write implements Sink.
+func (s *JSONLSink) Write(ev *Event) error {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if _, err := s.w.Write(append(b, '\n')); err != nil {
+		s.err = err
+		return err
+	}
+	return nil
+}
+
+// Flush pushes buffered events to the underlying writer.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// Close flushes and releases the sink.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ferr := s.w.Flush()
+	if s.err == nil {
+		s.err = fmt.Errorf("telemetry: sink closed")
+	}
+	if s.c != nil {
+		if cerr := s.c.Close(); ferr == nil {
+			ferr = cerr
+		}
+	}
+	return ferr
+}
+
+// StreamStats summarises a validated event stream.
+type StreamStats struct {
+	// Events counts valid events; ByType breaks them down.
+	Events int
+	ByType map[string]int
+}
+
+// ValidateStream reads a JSONL event stream and validates every line:
+// schema-valid events with strictly increasing sequence numbers.  It
+// returns the summary and the first error (with its line number).
+func ValidateStream(r io.Reader) (StreamStats, error) {
+	st := StreamStats{ByType: make(map[string]int)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<26)
+	line := 0
+	var lastSeq uint64
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return st, fmt.Errorf("line %d: %w", line, err)
+		}
+		if err := ev.Validate(); err != nil {
+			return st, fmt.Errorf("line %d: %w", line, err)
+		}
+		if st.Events > 0 && ev.Seq <= lastSeq {
+			return st, fmt.Errorf("line %d: seq %d not after %d", line, ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		st.Events++
+		st.ByType[ev.Type]++
+	}
+	if err := sc.Err(); err != nil {
+		return st, fmt.Errorf("line %d: %w", line, err)
+	}
+	return st, nil
+}

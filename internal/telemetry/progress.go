@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress renders a single updating status line from heartbeat
+// snapshots: points done/planned, reference throughput, and a coarse
+// ETA.  It writes carriage-return-rewritten lines (no scrollback
+// spam) and is off unless a command passes -progress, so default
+// stdout/stderr stay byte-identical.
+type Progress struct {
+	mu       sync.Mutex
+	w        io.Writer
+	tool     string
+	start    time.Time
+	lastRefs uint64
+	lastAt   time.Time
+	width    int // widest line written, for trailing-blank erasure
+}
+
+// NewProgress returns a renderer writing to w (conventionally stderr).
+func NewProgress(w io.Writer, tool string) *Progress {
+	now := time.Now()
+	return &Progress{w: w, tool: tool, start: now, lastAt: now}
+}
+
+// Update renders one snapshot; wire it to Options.OnHeartbeat.
+func (p *Progress) Update(s *Snapshot) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	done := s.Counter(PointsCompleted) + s.Counter(PointsFailed) + s.Counter(PointsResumed)
+	planned := s.Counter(PointsPlanned)
+	refs := s.Counter(RefsSimulated)
+
+	now := time.Now()
+	var rate float64 // refs/sec since the previous update
+	if dt := now.Sub(p.lastAt).Seconds(); dt > 0 && refs >= p.lastRefs {
+		rate = float64(refs-p.lastRefs) / dt
+	}
+	p.lastRefs, p.lastAt = refs, now
+
+	line := fmt.Sprintf("%s: points %d/%d", p.tool, done, planned)
+	if rate > 0 {
+		line += fmt.Sprintf("  %s refs/s", siCount(rate))
+	}
+	if planned > done && done > 0 {
+		perPoint := now.Sub(p.start) / time.Duration(done)
+		eta := time.Duration(planned-done) * perPoint
+		line += fmt.Sprintf("  eta %s", eta.Round(time.Second))
+	}
+	if failed := s.Counter(PointsFailed); failed > 0 {
+		line += fmt.Sprintf("  (%d failed)", failed)
+	}
+	p.render(line)
+}
+
+// Done finalises the line with the run's outcome and a newline.
+func (p *Progress) Done(s *Snapshot) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	done := s.Counter(PointsCompleted) + s.Counter(PointsResumed)
+	line := fmt.Sprintf("%s: %d points done (%d resumed, %d failed) in %s",
+		p.tool, done, s.Counter(PointsResumed), s.Counter(PointsFailed),
+		time.Since(p.start).Round(time.Millisecond))
+	p.render(line)
+	fmt.Fprintln(p.w)
+}
+
+// render rewrites the status line in place, blanking any residue from
+// a longer previous line.
+func (p *Progress) render(line string) {
+	pad := ""
+	if n := p.width - len(line); n > 0 {
+		for i := 0; i < n; i++ {
+			pad += " "
+		}
+	}
+	if len(line) > p.width {
+		p.width = len(line)
+	}
+	fmt.Fprintf(p.w, "\r%s%s", line, pad)
+}
+
+// siCount formats a rate with an SI suffix (12.3M, 456k, 789).
+func siCount(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

@@ -74,9 +74,10 @@ func (t *TextWriter) Flush() error { return t.w.Flush() }
 
 // TextReader reads references in din text format and implements Source.
 type TextReader struct {
-	sc   *bufio.Scanner
-	line int
-	err  error // first parse or scan error, latched
+	sc    *bufio.Scanner
+	line  int
+	bytes uint64
+	err   error // first parse or scan error, latched
 }
 
 // NewTextReader returns a Source reading din text from r.
@@ -102,6 +103,7 @@ func (t *TextReader) Next() (Ref, error) {
 	}
 	for t.sc.Scan() {
 		t.line++
+		t.bytes += uint64(len(t.sc.Bytes())) + 1 // +1 for the newline
 		line := strings.TrimSpace(t.sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
@@ -137,3 +139,8 @@ func (t *TextReader) Next() (Ref, error) {
 	}
 	return Ref{}, io.EOF
 }
+
+// Bytes implements ByteCounter: the bytes of trace text consumed so far
+// (lines plus their newlines), feeding the telemetry layer's bytes_read
+// counter.
+func (t *TextReader) Bytes() uint64 { return t.bytes }
