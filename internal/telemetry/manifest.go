@@ -133,9 +133,11 @@ func Fingerprint(parts ...string) string {
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
-// WriteFileAtomic writes data to path via a temp file and rename, the
-// same pattern WriteTraceFile uses: the destination is either the old
-// content or the complete new content, never a torn partial write.
+// WriteFileAtomic writes data to path via a temp file, fsync and
+// rename, the same pattern WriteTraceFile uses: the destination is
+// either the old content or the complete new content, never a torn
+// partial write.  The fsync before the rename keeps that true across
+// power loss, not just process crashes.
 func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	dir := filepath.Dir(path)
 	if dir != "." {
@@ -153,6 +155,11 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 		return err
 	}
 	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err

@@ -48,8 +48,12 @@ func (p *Progress) Update(s *Snapshot) {
 	if rate > 0 {
 		line += fmt.Sprintf("  %s refs/s", siCount(rate))
 	}
-	if planned > done && done > 0 {
-		perPoint := now.Sub(p.start) / time.Duration(done)
+	// The per-point average divides by points actually simulated this
+	// run: checkpoint-resumed points completed instantly and would
+	// drag the estimate (and the ETA) far below reality.
+	simulated := s.Counter(PointsCompleted) + s.Counter(PointsFailed)
+	if planned > done && simulated > 0 {
+		perPoint := now.Sub(p.start) / time.Duration(simulated)
 		eta := time.Duration(planned-done) * perPoint
 		line += fmt.Sprintf("  eta %s", eta.Round(time.Second))
 	}

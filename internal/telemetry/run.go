@@ -44,6 +44,12 @@ type Run struct {
 
 	opts Options
 
+	// emitMu makes seq stamping and the sink write one critical
+	// section, so events reach the sink in seq order (ValidateStream
+	// requires strictly increasing seq in file order).  The no-sink
+	// path skips it and uses the atomic alone.
+	emitMu sync.Mutex
+
 	hbStop chan struct{}
 	hbDone sync.WaitGroup
 	closed atomic.Bool
@@ -102,15 +108,22 @@ func (r *Run) ShardObserve(shard int, refs uint64, busy time.Duration) {
 }
 
 // Emit implements Recorder: stamps the event and writes it to the
-// sink.  A sink failure increments EventsDropped and is otherwise
-// swallowed -- telemetry never fails a simulation.
+// sink.  Stamping and the sink write share one critical section so
+// concurrent emitters (shard workers, the heartbeat goroutine) cannot
+// interleave out of seq order in the stream.  A sink failure
+// increments EventsDropped and is otherwise swallowed -- telemetry
+// never fails a simulation.
 func (r *Run) Emit(ev *Event) {
 	ev.V = SchemaVersion
-	ev.Seq = r.seq.Add(1) - 1
-	ev.ElapsedMS = time.Since(r.start).Milliseconds()
 	if r.opts.Sink == nil {
+		ev.Seq = r.seq.Add(1) - 1
+		ev.ElapsedMS = time.Since(r.start).Milliseconds()
 		return
 	}
+	r.emitMu.Lock()
+	defer r.emitMu.Unlock()
+	ev.Seq = r.seq.Add(1) - 1
+	ev.ElapsedMS = time.Since(r.start).Milliseconds()
 	if err := r.opts.Sink.Write(ev); err != nil {
 		r.counters[EventsDropped].Add(1)
 	}

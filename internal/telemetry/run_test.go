@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"bytes"
 	"errors"
 	"sync"
 	"testing"
@@ -213,6 +214,41 @@ func TestRunConcurrentUpdates(t *testing.T) {
 	}
 	if len(seen) != workers {
 		t.Errorf("emitted %d events, want %d", len(seen), workers)
+	}
+}
+
+// TestRunEmitOrderedInStream: concurrent emitters (simulating shard
+// workers plus the heartbeat goroutine) must produce a stream whose
+// file order matches seq order -- the contract ValidateStream enforces
+// when CI checks a live sweep's events.
+func TestRunEmitOrderedInStream(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	r := NewRun(Options{Sink: sink})
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if i%10 == 0 {
+					r.heartbeat()
+				}
+				r.Emit(&Event{Type: EventPointDone, PointDone: &PointDone{Workload: "W", Point: "64:4,2"}})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := r.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	st, err := ValidateStream(&buf)
+	if err != nil {
+		t.Fatalf("stream invalid: %v", err)
+	}
+	if want := workers * perWorker * 11 / 10; st.Events != want {
+		t.Errorf("stream has %d events, want %d", st.Events, want)
 	}
 }
 
