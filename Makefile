@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet test-faults test-telemetry bench bench-kernel bench-sweep experiments traces cover fmt clean
+.PHONY: all build test test-race vet test-faults test-telemetry test-stackdist bench bench-kernel bench-sweep experiments traces cover fmt clean
 
 all: build test
 
@@ -22,7 +22,7 @@ vet:
 # Deterministic fault-injection campaign plus the checkpoint, panic
 # isolation and corrupt-trace suites, under the race detector.
 test-faults:
-	$(GO) test -race -run 'Fault|Panic|Campaign|ContinueOnError|Journal|Checkpoint|Corrupt|Truncated|Latched|Cancel' ./internal/faultinject/... ./internal/sweep/... ./internal/trace/... .
+	$(GO) test -race -run 'Fault|Panic|Campaign|ContinueOnError|Journal|Checkpoint|Corrupt|Truncated|Latched|Cancel|StackDist' ./internal/faultinject/... ./internal/sweep/... ./internal/trace/... .
 
 # Telemetry contracts under the race detector: schema round-trips,
 # counter exactness, bit-identical results with a recorder attached,
@@ -30,6 +30,12 @@ test-faults:
 # docs/OBSERVABILITY.md).
 test-telemetry:
 	$(GO) test -race -run 'Telemetry|Event|Stream|Sink|Manifest|Fingerprint|Snapshot|Run(Emit|Close|Concurrent)|Nop|Mirrored|WriteFileAtomic' ./internal/telemetry/... ./internal/sweep/... ./internal/faultinject/...
+
+# Stack-distance engine gate under the race detector: differential
+# equivalence, inclusion/conservation property tests, partition
+# invariance, and the sweep-level three-engine identity checks.
+test-stackdist:
+	$(GO) test -race -run 'StackDist|Diff|Property|Partition|Supported|Engine' ./internal/stackdist/... ./internal/sweep/...
 
 # One reduced-size benchmark per paper table/figure plus ablations.
 bench:
@@ -40,7 +46,7 @@ bench:
 bench-kernel:
 	$(GO) test -run='^$$' -bench='BenchmarkAccessHit|BenchmarkAccessMiss|BenchmarkFillLoadForward' -benchmem ./internal/cache
 
-# Time both sweep engines on the Table 7 grid and refresh BENCH_sweep.json.
+# Time the three sweep engines on the Table 7 grid and refresh BENCH_sweep.json.
 bench-sweep:
 	$(GO) run ./cmd/benchsweep
 

@@ -12,14 +12,18 @@
 //	           [-events FILE] [-manifest FILE] [-progress]
 //
 // The engine comparison times the materialised per-point Reference
-// engine against the default MultiPass engine.  The shard curve then
+// engine against the single-pass MultiPass and StackDist engines,
+// recording per-engine ns_per_ref and passes_per_workload so the
+// one-pass stack-distance kernel's win over the family kernel is
+// tracked alongside the headline pass reduction.  The shard curve then
 // times the MultiPass sweep at each shard count in -shards (default
 // "1,2,4,...,NumCPU") with Parallelism pinned to the shard count, so
 // point s of the curve uses exactly s cores and the curve isolates
-// intra-workload scaling.  -verify additionally cross-checks that
-// shards=1, shards=NumCPU and the materialised baseline produce
-// identical results, exiting non-zero on any mismatch (the CI smoke
-// step runs this).
+// intra-workload scaling.  -verify additionally cross-checks that both
+// single-pass engines at shards=-1, 1 and NumCPU reproduce the
+// materialised MultiPass baseline bit for bit -- with StackDist making
+// exactly one trace pass per workload -- exiting non-zero on any
+// mismatch (the CI smoke step runs this).
 //
 // Alongside wall-clock figures the record carries two kernel-level
 // numbers for the MultiPass engine: ns_per_ref (engine seconds over the
@@ -60,6 +64,14 @@ type engineResult struct {
 	Engine      string  `json:"engine"`
 	Seconds     float64 `json:"seconds"`
 	TracePasses int     `json:"trace_passes"`
+	// PassesPerWorkload is TracePasses over the total workload count:
+	// the grid size for Reference, exactly 1 for the single-pass
+	// engines.
+	PassesPerWorkload float64 `json:"passes_per_workload"`
+	// NsPerRef is this engine's wall-clock nanoseconds per word
+	// reference of the full-grid sweep (same denominator for every
+	// engine, so the column is directly comparable).
+	NsPerRef float64 `json:"ns_per_ref"`
 }
 
 type shardResult struct {
@@ -81,7 +93,11 @@ type record struct {
 	Engines       []engineResult `json:"engines"`
 	Speedup       float64        `json:"wall_clock_speedup"`
 	PassReduction float64        `json:"pass_reduction"`
-	ShardCurve    []shardResult  `json:"shard_curve"`
+	// StackSpeedup is MultiPass wall-clock over StackDist wall-clock on
+	// the same grid: the one-pass stack-distance engine's measured win
+	// over the already-single-pass family engine.
+	StackSpeedup float64       `json:"stackdist_speedup_vs_multipass"`
+	ShardCurve   []shardResult `json:"shard_curve"`
 	// ShardSpeedup is the best point of the curve: wall-clock at
 	// shards=1 over wall-clock at the largest measured shard count.
 	ShardSpeedup float64 `json:"shard_speedup"`
@@ -168,7 +184,8 @@ func main() {
 
 	var mpSecs float64
 	var mpAllocs uint64
-	for _, eng := range []sweep.Engine{sweep.Reference, sweep.MultiPass} {
+	var rawSecs []float64
+	for _, eng := range []sweep.Engine{sweep.Reference, sweep.MultiPass, sweep.StackDist} {
 		var before runtime.MemStats
 		runtime.ReadMemStats(&before)
 		secs, passes, err := timeSweep(netSizes, *refs, sweep.Request{Engine: eng, Recorder: sess.Recorder()})
@@ -180,30 +197,43 @@ func main() {
 			runtime.ReadMemStats(&after)
 			mpSecs, mpAllocs = secs, after.Mallocs-before.Mallocs
 		}
+		rawSecs = append(rawSecs, secs)
 		er := engineResult{Engine: eng.String(), Seconds: round3(secs), TracePasses: passes}
 		rec.Engines = append(rec.Engines, er)
 		fmt.Printf("%-10s %8.3fs  %5d passes\n", er.Engine, er.Seconds, er.TracePasses)
 	}
-	ref, mp := rec.Engines[0], rec.Engines[1]
+	ref, mp, sd := rec.Engines[0], rec.Engines[1], rec.Engines[2]
 	if mp.Seconds > 0 {
 		rec.Speedup = round3(ref.Seconds / mp.Seconds)
 	}
 	if mp.TracePasses > 0 {
 		rec.PassReduction = round3(float64(ref.TracePasses) / float64(mp.TracePasses))
 	}
-	fmt.Printf("engine speedup %.2fx wall clock, %.0fx fewer trace passes\n", rec.Speedup, rec.PassReduction)
+	if sd.Seconds > 0 {
+		rec.StackSpeedup = round3(mp.Seconds / sd.Seconds)
+	}
+	fmt.Printf("engine speedup %.2fx wall clock, %.0fx fewer trace passes; stackdist %.2fx vs multipass\n",
+		rec.Speedup, rec.PassReduction, rec.StackSpeedup)
 
 	wordRefs, err := countWordRefs(*refs)
 	if err != nil {
 		die("benchsweep: counting word refs:", err)
 	}
 	rec.WordRefs = wordRefs
+	for i := range rec.Engines {
+		if wordRefs > 0 {
+			rec.Engines[i].NsPerRef = round3(rawSecs[i] * 1e9 / float64(wordRefs))
+		}
+		if rec.Workloads > 0 {
+			rec.Engines[i].PassesPerWorkload = round3(float64(rec.Engines[i].TracePasses) / float64(rec.Workloads))
+		}
+	}
 	if wordRefs > 0 {
 		rec.NsPerRef = round3(mpSecs * 1e9 / float64(wordRefs))
 		rec.AllocsPerRef = round3(float64(mpAllocs) / float64(wordRefs))
 	}
-	fmt.Printf("multipass kernel: %.1f ns/ref, %.3f allocs/ref over %d word refs\n",
-		rec.NsPerRef, rec.AllocsPerRef, rec.WordRefs)
+	fmt.Printf("multipass kernel: %.1f ns/ref, %.3f allocs/ref over %d word refs; stackdist %.1f ns/ref\n",
+		rec.NsPerRef, rec.AllocsPerRef, rec.WordRefs, rec.Engines[2].NsPerRef)
 
 	var base float64
 	for _, s := range curve {
@@ -291,10 +321,11 @@ func timeSweep(netSizes []int, refs int, base sweep.Request) (float64, int, erro
 	return time.Since(start).Seconds(), passes, nil
 }
 
-// verifyShardIdentity proves the sharded executor exact on the full
-// grid: for every architecture, shards=1 and shards=NumCPU must equal
-// the materialised single-pass baseline (Shards: -1) on every run and
-// summary.
+// verifyShardIdentity proves the single-pass engines exact on the full
+// grid: for every architecture, the materialised MultiPass baseline
+// (Shards: -1) must be matched bit-for-bit by MultiPass and StackDist
+// at shards=-1, 1 and NumCPU -- every run and summary identical, and
+// the StackDist sweeps making exactly one trace pass per workload.
 func verifyShardIdentity(netSizes []int, refs int) error {
 	for _, a := range synth.AllArchs() {
 		base := sweep.Request{
@@ -307,16 +338,28 @@ func verifyShardIdentity(netSizes []int, refs int) error {
 		if err != nil {
 			return fmt.Errorf("%s baseline: %w", a, err)
 		}
-		for _, s := range []int{1, runtime.NumCPU()} {
-			req := base
-			req.Shards = s
-			res, err := sweep.Run(req)
-			if err != nil {
-				return fmt.Errorf("%s shards=%d: %w", a, s, err)
-			}
-			if !reflect.DeepEqual(res.Runs, wantRes.Runs) ||
-				!reflect.DeepEqual(res.Summaries, wantRes.Summaries) {
-				return fmt.Errorf("%s: shards=%d results differ from the materialised baseline", a, s)
+		for _, eng := range []sweep.Engine{sweep.MultiPass, sweep.StackDist} {
+			for _, s := range []int{-1, 1, runtime.NumCPU()} {
+				if eng == sweep.MultiPass && s == -1 {
+					continue // the baseline itself
+				}
+				req := base
+				req.Engine = eng
+				req.Shards = s
+				res, err := sweep.Run(req)
+				if err != nil {
+					return fmt.Errorf("%s %s shards=%d: %w", a, eng, s, err)
+				}
+				if !reflect.DeepEqual(res.Runs, wantRes.Runs) ||
+					!reflect.DeepEqual(res.Summaries, wantRes.Summaries) {
+					return fmt.Errorf("%s: %s shards=%d results differ from the materialised multipass baseline", a, eng, s)
+				}
+				if eng == sweep.StackDist {
+					if workloads := len(synth.Workloads(a)); res.TracePasses != workloads {
+						return fmt.Errorf("%s: stackdist shards=%d made %d trace passes, want %d (one per workload)",
+							a, s, res.TracePasses, workloads)
+					}
+				}
 			}
 		}
 	}

@@ -134,6 +134,8 @@ func TestCampaignAttributedOrSurvived(t *testing.T) {
 		{"reference-sharded", sweep.Reference, 2},
 		{"multipass-materialised", sweep.MultiPass, -1},
 		{"multipass-sharded", sweep.MultiPass, 2},
+		{"stackdist-materialised", sweep.StackDist, -1},
+		{"stackdist-sharded", sweep.StackDist, 2},
 	}
 	injections := Plan(campaignSeed, 10, workloads, testRefs, len(points), 2)
 

@@ -44,58 +44,60 @@ func TestCampaignErrorsMirroredInEvents(t *testing.T) {
 	}
 	injections := Plan(campaignSeed, 10, workloads, testRefs, len(points), 2)
 
-	for _, in := range injections {
-		in := in
-		t.Run(in.String(), func(t *testing.T) {
-			r := sweep.Request{
-				Arch: synth.PDP11, Points: points, Refs: testRefs,
-				Engine: sweep.MultiPass, Shards: 2, ContinueOnError: true,
-			}
-			sink := &captureSink{}
-			rec := telemetry.NewRun(telemetry.Options{Sink: sink})
-			r.Recorder = rec
-			ctx := Apply(&r, in)
-			res, err := sweep.RunContext(ctx, r)
-			if cerr := rec.Close(); cerr != nil {
-				t.Fatalf("recorder close: %v", cerr)
-			}
-			if err != nil {
-				// The cancellation fault aborts the sweep; there is no
-				// result whose errors could be mirrored.
-				return
-			}
-
-			var attributed []*telemetry.ErrorAttributed
-			for _, ev := range sink.all() {
-				if ev.Type == telemetry.EventErrorAttributed {
-					attributed = append(attributed, ev.Error)
+	for _, eng := range []sweep.Engine{sweep.MultiPass, sweep.StackDist} {
+		for _, in := range injections {
+			in := in
+			t.Run(eng.String()+"/"+in.String(), func(t *testing.T) {
+				r := sweep.Request{
+					Arch: synth.PDP11, Points: points, Refs: testRefs,
+					Engine: eng, Shards: 2, ContinueOnError: true,
 				}
-			}
-			if len(attributed) != len(res.Errors) {
-				t.Fatalf("%d error-attributed events for %d PointErrors", len(attributed), len(res.Errors))
-			}
-			if got := rec.Snapshot().Counter(telemetry.PointsFailed); got != uint64(len(res.Errors)) {
-				t.Errorf("points_failed = %d, want %d", got, len(res.Errors))
-			}
-
-			for _, pe := range res.Errors {
-				point := ""
-				if !pe.WorkloadScope() {
-					point = pe.Point.String()
+				sink := &captureSink{}
+				rec := telemetry.NewRun(telemetry.Options{Sink: sink})
+				r.Recorder = rec
+				ctx := Apply(&r, in)
+				res, err := sweep.RunContext(ctx, r)
+				if cerr := rec.Close(); cerr != nil {
+					t.Fatalf("recorder close: %v", cerr)
 				}
-				var panicErr *sweep.PanicError
-				isPanic := errors.As(pe.Cause, &panicErr)
-				matches := 0
-				for _, ea := range attributed {
-					if ea.Workload == pe.Workload && ea.Point == point &&
-						ea.Shard == pe.Shard && ea.Cause == pe.Cause.Error() && ea.Panic == isPanic {
-						matches++
+				if err != nil {
+					// The cancellation fault aborts the sweep; there is no
+					// result whose errors could be mirrored.
+					return
+				}
+
+				var attributed []*telemetry.ErrorAttributed
+				for _, ev := range sink.all() {
+					if ev.Type == telemetry.EventErrorAttributed {
+						attributed = append(attributed, ev.Error)
 					}
 				}
-				if matches != 1 {
-					t.Errorf("PointError %v: %d matching events, want 1", pe, matches)
+				if len(attributed) != len(res.Errors) {
+					t.Fatalf("%d error-attributed events for %d PointErrors", len(attributed), len(res.Errors))
 				}
-			}
-		})
+				if got := rec.Snapshot().Counter(telemetry.PointsFailed); got != uint64(len(res.Errors)) {
+					t.Errorf("points_failed = %d, want %d", got, len(res.Errors))
+				}
+
+				for _, pe := range res.Errors {
+					point := ""
+					if !pe.WorkloadScope() {
+						point = pe.Point.String()
+					}
+					var panicErr *sweep.PanicError
+					isPanic := errors.As(pe.Cause, &panicErr)
+					matches := 0
+					for _, ea := range attributed {
+						if ea.Workload == pe.Workload && ea.Point == point &&
+							ea.Shard == pe.Shard && ea.Cause == pe.Cause.Error() && ea.Panic == isPanic {
+							matches++
+						}
+					}
+					if matches != 1 {
+						t.Errorf("PointError %v: %d matching events, want 1", pe, matches)
+					}
+				}
+			})
+		}
 	}
 }

@@ -1,0 +1,357 @@
+// Differential tests: the one-pass stack engine must be counter-exact
+// against the reference simulator.  Every test drives the same seeded
+// stream through one Engine (whole-stream and set-partitioned) and
+// through one cache.Cache per configuration, then requires the full
+// cache.Stats -- every counter and the bus-transaction histogram, not
+// just the ratios -- to be identical.
+package stackdist_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"subcache/internal/addr"
+	"subcache/internal/cache"
+	"subcache/internal/rng"
+	"subcache/internal/stackdist"
+	"subcache/internal/trace"
+)
+
+// makeTrace builds a seeded word trace mixing uniform, temporal,
+// sequential and spatial patterns, so hits, sub-block misses, block
+// misses, evictions and warm-up transitions all occur.
+func makeTrace(seed uint64, n int, addrMask uint64, wordSize int) []trace.Ref {
+	r := rng.New(seed)
+	hot := make([]addr.Addr, 16)
+	for i := range hot {
+		hot[i] = addr.Addr(r.Uint64() & addrMask)
+	}
+	refs := make([]trace.Ref, 0, n)
+	var seq addr.Addr
+	for i := 0; i < n; i++ {
+		var a addr.Addr
+		switch r.Intn(4) {
+		case 0:
+			a = addr.Addr(r.Uint64() & addrMask)
+		case 1:
+			a = hot[r.Intn(len(hot))]
+		case 2:
+			seq += addr.Addr(wordSize)
+			a = seq & addr.Addr(addrMask)
+		default:
+			a = (hot[r.Intn(len(hot))] + addr.Addr(r.Intn(64))) & addr.Addr(addrMask)
+		}
+		refs = append(refs, trace.Ref{
+			Addr: addr.AlignDown(a, uint64(wordSize)),
+			Kind: trace.Kind(r.Intn(3)),
+			Size: uint8(wordSize),
+		})
+	}
+	return refs
+}
+
+// runReference replays refs through a fresh reference cache.
+func runReference(t *testing.T, cfg cache.Config, refs []trace.Ref) *cache.Stats {
+	t.Helper()
+	c, err := cache.New(cfg)
+	if err != nil {
+		t.Fatalf("cache.New(%v): %v", cfg, err)
+	}
+	for _, r := range refs {
+		c.Access(r)
+	}
+	c.FlushUsage()
+	return c.Stats()
+}
+
+// runStack replays refs through one engine per set partition and merges
+// the partial statistics, returning per-configuration Stats aligned
+// with cfgs.  parts == 1 exercises the plain whole-stream engine.
+func runStack(t *testing.T, cfgs []cache.Config, refs []trace.Ref, parts uint64) []*cache.Stats {
+	t.Helper()
+	out := make([]*cache.Stats, len(cfgs))
+	for i := range out {
+		out[i] = &cache.Stats{}
+	}
+	for part := uint64(0); part < parts; part++ {
+		e, err := stackdist.NewEngine(cfgs, parts, part)
+		if err != nil {
+			t.Fatalf("NewEngine(parts=%d, part=%d): %v", parts, part, err)
+		}
+		e.AccessBatch(refs)
+		e.FlushUsage()
+		for i := range cfgs {
+			out[i].Add(e.Stats(i))
+		}
+	}
+	return out
+}
+
+// diffGroup checks one stack group against the reference simulator,
+// whole-stream and (when legal) split into 2 and 4 set partitions.
+func diffGroup(t *testing.T, cfgs []cache.Config, refs []trace.Ref) {
+	t.Helper()
+	want := make([]*cache.Stats, len(cfgs))
+	for i, cfg := range cfgs {
+		want[i] = runReference(t, cfg, refs)
+	}
+	partitionable := true
+	minSets := 1 << 62
+	for _, cfg := range cfgs {
+		if cfg.WarmStart {
+			partitionable = false
+		}
+		if s := cfg.NumSets(); s < minSets {
+			minSets = s
+		}
+	}
+	partsList := []uint64{1}
+	if partitionable {
+		for _, p := range []uint64{2, 4} {
+			if int(p) <= minSets {
+				partsList = append(partsList, p)
+			}
+		}
+	}
+	for _, parts := range partsList {
+		got := runStack(t, cfgs, refs, parts)
+		for i, cfg := range cfgs {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("%v (parts=%d): stackdist diverges from reference\n got:  %+v\n want: %+v",
+					cfg, parts, got[i], want[i])
+			}
+		}
+	}
+}
+
+// groupLanes expands one base configuration into a full stack group:
+// every (net, assoc) geometry crossed with sub-block sizes and fetch
+// policies.  All results share a stackdist.Key with base.
+func groupLanes(base cache.Config, nets []int, assocs []int, subs []int) []cache.Config {
+	var cfgs []cache.Config
+	for _, net := range nets {
+		for _, assoc := range assocs {
+			for _, sub := range subs {
+				c := base
+				c.NetSize = net
+				c.Assoc = assoc
+				c.SubBlockSize = sub
+				if c.Assoc > c.NumFrames() {
+					continue
+				}
+				cfgs = append(cfgs, c)
+				if sub < base.BlockSize {
+					for _, f := range []cache.Fetch{cache.LoadForward, cache.LoadForwardOptimized, cache.WholeBlock} {
+						cf := c
+						cf.Fetch = f
+						cfgs = append(cfgs, cf)
+					}
+				}
+			}
+		}
+	}
+	return cfgs
+}
+
+// TestDiffStackGroups: the engine's headline capability -- one recency
+// list simulating every net size and associativity of a block size at
+// once -- differentially against the reference, for both word sizes.
+func TestDiffStackGroups(t *testing.T) {
+	cases := []struct {
+		name               string
+		base               cache.Config
+		nets, assocs, subs []int
+	}{
+		{"word2/block16", cache.Config{BlockSize: 16, WordSize: 2},
+			[]int{64, 256, 1024}, []int{1, 2, 4}, []int{2, 8, 16}},
+		{"word4/block32", cache.Config{BlockSize: 32, WordSize: 4},
+			[]int{128, 512}, []int{1, 4, 8}, []int{4, 16, 32}},
+		{"word2/block8", cache.Config{BlockSize: 8, WordSize: 2},
+			[]int{64, 128, 256, 512}, []int{2}, []int{2, 4, 8}},
+	}
+	for i, tc := range cases {
+		tc, i := tc, i
+		t.Run(tc.name, func(t *testing.T) {
+			refs := makeTrace(0x57ac+uint64(i), 6000, 0xffff, tc.base.WordSize)
+			cfgs := groupLanes(tc.base, tc.nets, tc.assocs, tc.subs)
+			diffGroup(t, cfgs, refs)
+		})
+	}
+}
+
+// TestDiffPolicyMatrix differentially tests one group geometry under
+// every Supported combination of write policy, memory-update mode and
+// warm-start accounting, with fetch lanes mixed in.  Warm start and
+// copy-back vary *within* the group as well as across subtests.
+func TestDiffPolicyMatrix(t *testing.T) {
+	var seed uint64 = 1984
+	for _, write := range []cache.WritePolicy{cache.WriteAllocate, cache.WriteIgnore} {
+		for _, copyBack := range []bool{false, true} {
+			for _, warm := range []bool{false, true} {
+				write, copyBack, warm := write, copyBack, warm
+				seed++
+				traceSeed := seed
+				name := fmt.Sprintf("%v/copyback=%v/warm=%v", write, copyBack, warm)
+				t.Run(name, func(t *testing.T) {
+					b := cache.Config{BlockSize: 32, WordSize: 2, Write: write,
+						CopyBack: copyBack, WarmStart: warm}
+					cfgs := groupLanes(b, []int{128, 256}, []int{1, 4}, []int{4, 32})
+					// Mixed-mode members: flip warm/copy-back on a couple
+					// of lanes so one engine carries both settings.
+					mixed := cfgs[0]
+					mixed.WarmStart = !mixed.WarmStart
+					mixed2 := cfgs[len(cfgs)/2]
+					mixed2.CopyBack = !mixed2.CopyBack
+					cfgs = append(cfgs, mixed, mixed2)
+					refs := makeTrace(traceSeed, 4000, 0x3fff, 2)
+					diffGroup(t, cfgs, refs)
+				})
+			}
+		}
+	}
+}
+
+// TestDiffGeometryExtremes covers the corners: direct-mapped,
+// fully-associative (every block in one set, the classic Mattson
+// stack), and single-set small caches where every access contends.
+func TestDiffGeometryExtremes(t *testing.T) {
+	cases := []struct {
+		name string
+		cfgs []cache.Config
+	}{
+		{"direct-mapped", groupLanes(cache.Config{BlockSize: 16, WordSize: 2},
+			[]int{64, 128, 256}, []int{1}, []int{2, 4, 16})},
+		{"fully-assoc", []cache.Config{
+			{NetSize: 128, BlockSize: 64, SubBlockSize: 8, Assoc: 2, WordSize: 4},
+			{NetSize: 256, BlockSize: 64, SubBlockSize: 8, Assoc: 4, WordSize: 4},
+			{NetSize: 512, BlockSize: 64, SubBlockSize: 64, Assoc: 8, WordSize: 4},
+			{NetSize: 512, BlockSize: 64, SubBlockSize: 16, Assoc: 8, WordSize: 4, Fetch: cache.LoadForward},
+		}},
+		{"single-set", []cache.Config{
+			{NetSize: 64, BlockSize: 32, SubBlockSize: 8, Assoc: 2, WordSize: 2},
+			{NetSize: 128, BlockSize: 32, SubBlockSize: 32, Assoc: 4, WordSize: 2},
+		}},
+	}
+	for i, tc := range cases {
+		tc, i := tc, i
+		t.Run(tc.name, func(t *testing.T) {
+			refs := makeTrace(0xe0+uint64(i), 5000, 0x1fff, tc.cfgs[0].WordSize)
+			diffGroup(t, tc.cfgs, refs)
+		})
+	}
+}
+
+// TestRunDrivesSource: Engine.Run consumes a Source to EOF and flushes,
+// matching a reference cache driven the same way.
+func TestRunDrivesSource(t *testing.T) {
+	cfg := cache.Config{NetSize: 128, BlockSize: 16, SubBlockSize: 4, Assoc: 2, WordSize: 2}
+	refs := makeTrace(33, 3000, 0xfff, 2)
+	e, err := stackdist.NewEngine([]cache.Config{cfg}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(trace.NewSliceSource(refs)); err != nil {
+		t.Fatal(err)
+	}
+	want := runReference(t, cfg, refs)
+	if !reflect.DeepEqual(e.Stats(0), want) {
+		t.Errorf("Run diverges:\n got:  %+v\n want: %+v", e.Stats(0), want)
+	}
+}
+
+// TestSupportedRefusals: the engine must refuse, with a descriptive
+// error, every configuration whose exact simulation stack analysis
+// cannot deliver -- never approximate.
+func TestSupportedRefusals(t *testing.T) {
+	ok := cache.Config{NetSize: 256, BlockSize: 16, SubBlockSize: 8, Assoc: 4, WordSize: 2}
+	if err := stackdist.Supported(ok); err != nil {
+		t.Fatalf("eligible config refused: %v", err)
+	}
+	fifo := ok
+	fifo.Replacement = cache.FIFO
+	if err := stackdist.Supported(fifo); err == nil {
+		t.Error("FIFO accepted; inclusion fails for non-LRU replacement")
+	}
+	random := ok
+	random.Replacement = cache.Random
+	if err := stackdist.Supported(random); err == nil {
+		t.Error("Random accepted; inclusion fails for non-LRU replacement")
+	}
+	prefetch := ok
+	prefetch.PrefetchOBL = true
+	if err := stackdist.Supported(prefetch); err == nil {
+		t.Error("prefetch accepted; tag dynamics depend on sub-block validity")
+	}
+	noAlloc := ok
+	noAlloc.Write = cache.WriteNoAllocate
+	if err := stackdist.Supported(noAlloc); err == nil {
+		t.Error("write-no-allocate accepted; recency depends on sub-block validity")
+	}
+	invalid := ok
+	invalid.SubBlockSize = 3
+	if err := stackdist.Supported(invalid); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+}
+
+// TestNewEngineRejections: construction-time refusals -- mixed groups,
+// empty input, and illegal partitions.
+func TestNewEngineRejections(t *testing.T) {
+	ok := cache.Config{NetSize: 256, BlockSize: 16, SubBlockSize: 8, Assoc: 4, WordSize: 2}
+	if _, err := stackdist.NewEngine(nil, 1, 0); err == nil {
+		t.Error("empty group accepted")
+	}
+	otherBlock := ok
+	otherBlock.BlockSize = 32
+	otherBlock.SubBlockSize = 32
+	if _, err := stackdist.NewEngine([]cache.Config{ok, otherBlock}, 1, 0); err == nil {
+		t.Error("mixed block sizes accepted in one stack group")
+	}
+	fifo := ok
+	fifo.Replacement = cache.FIFO
+	if _, err := stackdist.NewEngine([]cache.Config{fifo}, 1, 0); err == nil {
+		t.Error("unsupported replacement accepted")
+	}
+	if _, err := stackdist.NewEngine([]cache.Config{ok}, 3, 0); err == nil {
+		t.Error("non-power-of-two partition count accepted")
+	}
+	if _, err := stackdist.NewEngine([]cache.Config{ok}, 2, 2); err == nil {
+		t.Error("out-of-range partition accepted")
+	}
+	warm := ok
+	warm.WarmStart = true
+	if _, err := stackdist.NewEngine([]cache.Config{warm}, 2, 0); err == nil {
+		t.Error("warm-start config accepted with set partitioning")
+	}
+	tiny := ok
+	tiny.NetSize = 16
+	tiny.Assoc = 1
+	if _, err := stackdist.NewEngine([]cache.Config{tiny}, 2, 0); err == nil {
+		t.Error("partition count exceeding the set count accepted")
+	}
+}
+
+// TestLaneAccessors: lanes preserve input order and expose their
+// configurations and footprint.
+func TestLaneAccessors(t *testing.T) {
+	cfgs := groupLanes(cache.Config{BlockSize: 16, WordSize: 2},
+		[]int{128, 256}, []int{2}, []int{4, 16})
+	e, err := stackdist.NewEngine(cfgs, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Lanes() != len(cfgs) {
+		t.Fatalf("Lanes() = %d, want %d", e.Lanes(), len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		if e.Config(i) != cfg {
+			t.Errorf("Config(%d) = %v, want %v", i, e.Config(i), cfg)
+		}
+	}
+	refs := makeTrace(7, 2000, 0xfff, 2)
+	e.AccessBatch(refs)
+	if e.Footprint() == 0 {
+		t.Error("Footprint() = 0 after a 2000-reference trace")
+	}
+}

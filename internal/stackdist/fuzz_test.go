@@ -1,0 +1,132 @@
+package stackdist_test
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"subcache/internal/addr"
+	"subcache/internal/cache"
+	"subcache/internal/stackdist"
+	"subcache/internal/trace"
+)
+
+// decodeRefs interprets raw fuzzer bytes as a reference stream: each
+// 6-byte record is a little-endian 32-bit address (bounded to an 18-bit
+// space so small caches see real contention), a kind byte and an
+// ignored pad byte.
+func decodeRefs(data []byte, wordSize int) []trace.Ref {
+	const maxRefs = 2048
+	refs := make([]trace.Ref, 0, len(data)/6)
+	for len(data) >= 6 && len(refs) < maxRefs {
+		a := addr.Addr(binary.LittleEndian.Uint32(data) & 0x3ffff)
+		refs = append(refs, trace.Ref{
+			Addr: addr.AlignDown(a, uint64(wordSize)),
+			Kind: trace.Kind(data[4] % 3),
+			Size: uint8(wordSize),
+		})
+		data = data[6:]
+	}
+	return refs
+}
+
+// decodeGroup derives a random-but-valid stack group from a shape byte:
+// the fuzzer steers geometry (block size, word size, write policy,
+// copy-back, warm start) as well as the trace, so equivalence is
+// checked over random traces x random configuration grids.
+func decodeGroup(shape byte) []cache.Config {
+	base := cache.Config{
+		BlockSize: 8 << (shape & 3), // 8..64
+		WordSize:  2 << ((shape >> 2) & 1),
+	}
+	if base.WordSize > base.BlockSize {
+		base.WordSize = base.BlockSize
+	}
+	if shape&8 != 0 {
+		base.Write = cache.WriteIgnore
+	}
+	base.CopyBack = shape&16 != 0
+	base.WarmStart = shape&32 != 0
+	nets := []int{16 * base.BlockSize, 64 * base.BlockSize}
+	assocs := []int{1, 4}
+	if shape&64 != 0 {
+		assocs = []int{2, 8}
+	}
+	subs := []int{base.WordSize, base.BlockSize}
+	if base.BlockSize/2 >= base.WordSize {
+		subs = append(subs, base.BlockSize/2)
+	}
+	return groupLanes(base, nets, assocs, subs)
+}
+
+// FuzzStackDistEquivalence: for arbitrary reference streams and
+// fuzzer-chosen configuration grids, every counter of every lane must
+// match a reference simulation, whole-stream and set-partitioned.
+func FuzzStackDistEquivalence(f *testing.F) {
+	// Seeds shared with internal/trace's fuzzers plus structured
+	// streams that exercise eviction, write and warm-up paths.
+	f.Add([]byte("0 100 2\n"))
+	f.Add([]byte("2 dead 4\n1 beef 1\n"))
+	f.Add([]byte("SBCT"))
+	for _, shape := range []byte{0, 0x2a, 0x55, 0x7f} {
+		var seq []byte
+		seq = append(seq, shape)
+		for i := 0; i < 96; i++ {
+			var rec [6]byte
+			binary.LittleEndian.PutUint32(rec[:4], uint32(i*56%4096))
+			rec[4] = byte(i % 3)
+			seq = append(seq, rec[:]...)
+		}
+		f.Add(seq)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 7 {
+			return
+		}
+		cfgs := decodeGroup(data[0])
+		refs := decodeRefs(data[1:], cfgs[0].WordSize)
+		if len(refs) == 0 {
+			return
+		}
+		want := make([]*cache.Stats, len(cfgs))
+		for i, cfg := range cfgs {
+			c, err := cache.New(cfg)
+			if err != nil {
+				t.Fatalf("cache.New(%v): %v", cfg, err)
+			}
+			for _, r := range refs {
+				c.Access(r)
+			}
+			c.FlushUsage()
+			want[i] = c.Stats()
+		}
+		partsList := []uint64{1}
+		if !cfgs[0].WarmStart {
+			partsList = append(partsList, 2)
+		}
+		for _, parts := range partsList {
+			got := make([]*cache.Stats, len(cfgs))
+			for i := range got {
+				got[i] = &cache.Stats{}
+			}
+			for part := uint64(0); part < parts; part++ {
+				e, err := stackdist.NewEngine(cfgs, parts, part)
+				if err != nil {
+					t.Fatalf("NewEngine(parts=%d): %v", parts, err)
+				}
+				e.AccessBatch(refs)
+				e.FlushUsage()
+				for i := range cfgs {
+					got[i].Add(e.Stats(i))
+				}
+			}
+			for i, cfg := range cfgs {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("%v (parts=%d): counter divergence on %d refs\n got:  %+v\n want: %+v",
+						cfg, parts, len(refs), got[i], want[i])
+				}
+			}
+		}
+	})
+}

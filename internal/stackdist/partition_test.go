@@ -1,0 +1,138 @@
+package stackdist_test
+
+import (
+	"reflect"
+	"testing"
+
+	"subcache/internal/cache"
+	"subcache/internal/stackdist"
+)
+
+// planConfigs is a mixed grid: two stack groups (block 16 and block 32)
+// plus configurations stack analysis must refuse.
+func planConfigs() []cache.Config {
+	cfgs := groupLanes(cache.Config{BlockSize: 16, WordSize: 2},
+		[]int{256, 1024}, []int{2, 4}, []int{4, 16})
+	cfgs = append(cfgs, groupLanes(cache.Config{BlockSize: 32, WordSize: 2},
+		[]int{512}, []int{4}, []int{8, 32})...)
+	fifo := cfgs[0]
+	fifo.Replacement = cache.FIFO
+	prefetch := cfgs[1]
+	prefetch.PrefetchOBL = true
+	return append(cfgs, fifo, prefetch)
+}
+
+// TestPartitionCoverage: every Supported index appears in exactly one
+// unit per partition of its group, every partition 0..Parts-1 appears
+// exactly once, and the unsupported indexes are all returned as rest.
+func TestPartitionCoverage(t *testing.T) {
+	cfgs := planConfigs()
+	for _, shards := range []int{1, 2, 3, 8, 64} {
+		plans, rest := stackdist.Partition(cfgs, shards)
+		if len(plans) > shards {
+			t.Errorf("shards=%d: %d plans", shards, len(plans))
+		}
+		type gp struct {
+			gid  int
+			part uint64
+		}
+		seen := map[gp]bool{}
+		covered := map[int]uint64{} // config index -> partition fan-out
+		for _, p := range plans {
+			if len(p.Units) == 0 {
+				t.Errorf("shards=%d: empty plan", shards)
+			}
+			if p.Cost() <= 0 {
+				t.Errorf("shards=%d: non-positive plan cost", shards)
+			}
+			for _, u := range p.Units {
+				k := gp{u.Gid, u.Part}
+				if seen[k] {
+					t.Errorf("shards=%d: duplicate unit gid=%d part=%d", shards, u.Gid, u.Part)
+				}
+				seen[k] = true
+				if u.Part >= u.Parts {
+					t.Errorf("shards=%d: part %d >= parts %d", shards, u.Part, u.Parts)
+				}
+				for _, k := range u.Idxs {
+					if have, ok := covered[k]; ok && have != u.Parts {
+						t.Errorf("shards=%d: index %d in groups with different fan-outs", shards, k)
+					}
+					covered[k] = u.Parts
+					if err := stackdist.Supported(cfgs[k]); err != nil {
+						t.Errorf("shards=%d: unsupported config %d planned: %v", shards, k, err)
+					}
+					if u.Parts > uint64(cfgs[k].NumSets()) {
+						t.Errorf("shards=%d: fan-out %d exceeds %d sets of config %d",
+							shards, u.Parts, cfgs[k].NumSets(), k)
+					}
+				}
+			}
+		}
+		for i, cfg := range cfgs {
+			supported := stackdist.Supported(cfg) == nil
+			if _, ok := covered[i]; ok != supported {
+				t.Errorf("shards=%d: index %d covered=%v supported=%v", shards, i, ok, supported)
+			}
+		}
+		inRest := map[int]bool{}
+		for _, k := range rest {
+			inRest[k] = true
+			if stackdist.Supported(cfgs[k]) == nil {
+				t.Errorf("shards=%d: supported config %d in rest", shards, k)
+			}
+		}
+		for i, cfg := range cfgs {
+			if stackdist.Supported(cfg) != nil && !inRest[i] {
+				t.Errorf("shards=%d: unsupported config %d missing from rest", shards, i)
+			}
+		}
+	}
+}
+
+// TestPartitionDeterministic: the plan is a pure function of its
+// inputs.
+func TestPartitionDeterministic(t *testing.T) {
+	cfgs := planConfigs()
+	a, restA := stackdist.Partition(cfgs, 8)
+	b, restB := stackdist.Partition(cfgs, 8)
+	if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(restA, restB) {
+		t.Error("Partition is not deterministic")
+	}
+}
+
+// TestPartitionWarmStartPinned: a group containing a warm-start member
+// must never fan out, however many shards ask for work.
+func TestPartitionWarmStartPinned(t *testing.T) {
+	warm := groupLanes(cache.Config{BlockSize: 16, WordSize: 2, WarmStart: true},
+		[]int{256, 1024}, []int{2, 4}, []int{4, 16})
+	plans, rest := stackdist.Partition(warm, 16)
+	if len(rest) != 0 {
+		t.Fatalf("warm-start configs rejected outright: %v", rest)
+	}
+	for _, p := range plans {
+		for _, u := range p.Units {
+			if u.Parts != 1 {
+				t.Errorf("warm-start group fanned out to %d partitions", u.Parts)
+			}
+		}
+	}
+}
+
+// TestPartitionFansOutForIdleShards: with one big splittable group and
+// many shards, the planner must produce more than one unit.
+func TestPartitionFansOutForIdleShards(t *testing.T) {
+	cfgs := groupLanes(cache.Config{BlockSize: 16, WordSize: 2},
+		[]int{1024}, []int{2}, []int{4, 16}) // 32 sets: plenty of fan-out room
+	plans, _ := stackdist.Partition(cfgs, 8)
+	units := 0
+	for _, p := range plans {
+		units += len(p.Units)
+	}
+	if units < 2 {
+		t.Errorf("8 idle shards left the group unsplit (%d units)", units)
+	}
+	if len(plans) < 2 {
+		t.Errorf("fan-out did not reach multiple shards (%d plans)", len(plans))
+	}
+}

@@ -1,0 +1,161 @@
+// Property tests for the stack-distance invariants the one-pass engine
+// relies on: inclusion (miss counts monotone in associativity and in
+// set count), conservation (histogram total + cold == total
+// references; hits + misses == accesses), and agreement between the
+// new engine and the original Profiler oracle.
+package stackdist_test
+
+import (
+	"reflect"
+	"testing"
+
+	"subcache/internal/cache"
+	"subcache/internal/stackdist"
+)
+
+// demandConfig builds a demand-fetch configuration; monotonicity is a
+// theorem for demand fetch (forward-fill policies can refill a small
+// cache's sub-blocks on a big cache's tag hits, so only the tag-level
+// inclusion survives there).
+func demandConfig(net, block, sub, assoc, word int) cache.Config {
+	return cache.Config{NetSize: net, BlockSize: block, SubBlockSize: sub,
+		Assoc: assoc, WordSize: word}
+}
+
+// TestPropertyMonotoneInAssociativity: at a fixed set count, growing
+// associativity can only lose misses -- LRU inclusion.  Set count is
+// held at NetSize/(BlockSize*Assoc) = 16 by scaling NetSize with Assoc.
+func TestPropertyMonotoneInAssociativity(t *testing.T) {
+	const block, word, sets = 16, 2, 16
+	for _, sub := range []int{2, 8, 16} {
+		for seed := uint64(0); seed < 5; seed++ {
+			refs := makeTrace(0xa550+seed, 5000, 0xffff, word)
+			var cfgs []cache.Config
+			for _, assoc := range []int{1, 2, 4, 8} {
+				cfgs = append(cfgs, demandConfig(sets*block*assoc, block, sub, assoc, word))
+			}
+			stats := runStack(t, cfgs, refs, 1)
+			for i := 1; i < len(stats); i++ {
+				if stats[i].Misses > stats[i-1].Misses {
+					t.Errorf("seed %d sub %d: misses grew with associativity: assoc %d -> %d: %d -> %d",
+						seed, sub, cfgs[i-1].Assoc, cfgs[i].Assoc, stats[i-1].Misses, stats[i].Misses)
+				}
+				if stats[i].MissRatio() > stats[i-1].MissRatio() {
+					t.Errorf("seed %d sub %d: miss ratio grew with associativity", seed, sub)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyMonotoneInSets: at a fixed associativity, doubling the
+// set count refines every set -- set-mates at 2S are a subset of
+// set-mates at S, so per-set depth only shrinks and misses can only
+// fall.  This is capacity monotonicity for a direct scaled grid.
+func TestPropertyMonotoneInSets(t *testing.T) {
+	const block, word, assoc = 16, 2, 2
+	for _, sub := range []int{2, 16} {
+		for seed := uint64(0); seed < 5; seed++ {
+			refs := makeTrace(0x5e75+seed, 5000, 0xffff, word)
+			var cfgs []cache.Config
+			for _, net := range []int{64, 128, 256, 512, 1024} {
+				cfgs = append(cfgs, demandConfig(net, block, sub, assoc, word))
+			}
+			stats := runStack(t, cfgs, refs, 1)
+			for i := 1; i < len(stats); i++ {
+				if stats[i].Misses > stats[i-1].Misses {
+					t.Errorf("seed %d sub %d: misses grew with capacity: net %d -> %d: %d -> %d",
+						seed, sub, cfgs[i-1].NetSize, cfgs[i].NetSize, stats[i-1].Misses, stats[i].Misses)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyConservation: for every configuration the engine
+// simulates, hits + misses == accesses, block + sub-block misses ==
+// misses, and accesses == ifetches + reads; and for the Profiler, the
+// histogram total plus cold misses equals the counted references.
+func TestPropertyConservation(t *testing.T) {
+	refs := makeTrace(0xc0b5, 6000, 0xffff, 2)
+	cfgs := groupLanes(cache.Config{BlockSize: 16, WordSize: 2},
+		[]int{64, 256}, []int{1, 4}, []int{4, 16})
+	for _, st := range runStack(t, cfgs, refs, 1) {
+		if st.Hits+st.Misses != st.Accesses {
+			t.Errorf("hits %d + misses %d != accesses %d", st.Hits, st.Misses, st.Accesses)
+		}
+		if st.BlockMisses+st.SubBlockMisses != st.Misses {
+			t.Errorf("block %d + sub %d != misses %d", st.BlockMisses, st.SubBlockMisses, st.Misses)
+		}
+		if st.IFetches+st.Reads != st.Accesses {
+			t.Errorf("ifetches %d + reads %d != accesses %d", st.IFetches, st.Reads, st.Accesses)
+		}
+	}
+
+	p, err := stackdist.New(16, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range refs {
+		p.Touch(r)
+	}
+	sum := p.Cold()
+	for _, n := range p.Histogram() {
+		sum += n
+	}
+	if sum != p.Total() {
+		t.Errorf("histogram sum + cold = %d, want total %d", sum, p.Total())
+	}
+}
+
+// TestPropertyEngineMatchesProfiler ties the new engine to the original
+// oracle: with whole-block lanes and writes ignored, the engine's block
+// misses at (S sets, assoc A) must equal the Profiler's Misses(A) over
+// the same stream at the same set mapping.
+func TestPropertyEngineMatchesProfiler(t *testing.T) {
+	const block, word = 16, 2
+	refs := makeTrace(0x0b5e, 6000, 0xffff, word)
+	for _, sets := range []int{1, 4, 16} {
+		for _, assoc := range []int{1, 2, 4} {
+			cfg := demandConfig(sets*block*assoc, block, block, assoc, word)
+			cfg.Write = cache.WriteIgnore
+			e, err := stackdist.NewEngine([]cache.Config{cfg}, 1, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.AccessBatch(refs)
+			e.FlushUsage()
+
+			p, err := stackdist.New(block, sets, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range refs {
+				p.Touch(r)
+			}
+			if got, want := e.Stats(0).BlockMisses, p.Misses(assoc); got != want {
+				t.Errorf("sets %d assoc %d: engine block misses %d != profiler misses %d",
+					sets, assoc, got, want)
+			}
+		}
+	}
+}
+
+// TestPropertyPartitionInvariance: merged partition statistics must be
+// identical across every legal fan-out -- the engine-level half of the
+// sweep's shard perturbation-freeness guarantee.
+func TestPropertyPartitionInvariance(t *testing.T) {
+	refs := makeTrace(0x9a47, 6000, 0xffff, 2)
+	cfgs := groupLanes(cache.Config{BlockSize: 16, WordSize: 2},
+		[]int{256, 1024}, []int{2, 4}, []int{4, 16})
+	base := runStack(t, cfgs, refs, 1)
+	// The smallest member (net 256, assoc 4) has 4 sets, the fan-out cap.
+	for _, parts := range []uint64{2, 4} {
+		got := runStack(t, cfgs, refs, parts)
+		for i := range cfgs {
+			if !reflect.DeepEqual(got[i], base[i]) {
+				t.Errorf("%v: parts=%d perturbs results", cfgs[i], parts)
+			}
+		}
+	}
+}

@@ -147,7 +147,7 @@ func TestMultiPassParallelismInvariance(t *testing.T) {
 }
 
 func TestEngineNames(t *testing.T) {
-	for _, e := range []Engine{Reference, MultiPass} {
+	for _, e := range []Engine{Reference, MultiPass, StackDist} {
 		back, err := ParseEngine(e.String())
 		if err != nil || back != e {
 			t.Errorf("ParseEngine(%q) = %v, %v", e.String(), back, err)

@@ -24,6 +24,7 @@ import (
 	"subcache/internal/cache"
 	"subcache/internal/metrics"
 	"subcache/internal/multipass"
+	"subcache/internal/stackdist"
 	"subcache/internal/telemetry"
 	"subcache/internal/trace"
 )
@@ -138,15 +139,23 @@ func (h *Hooks) wrapSource(workload string, src trace.Source) trace.Source {
 }
 
 // simUnit is one independently failable simulation unit: a multipass
-// family or a single reference cache, plus the grid points it carries.
-// Exactly one goroutine drives a unit, so no locking is needed; dead
-// units stop simulating but their stream keeps flowing to the rest.
+// family, a stack-distance engine (one set partition of a stack
+// group), or a single reference cache, plus the grid points it
+// carries.  Exactly one goroutine drives a unit, so no locking is
+// needed; dead units stop simulating but their stream keeps flowing to
+// the rest.
 type simUnit struct {
 	fam   *multipass.Family
+	stack *stackdist.Engine
 	cache *cache.Cache
 	idxs  []int   // config indexes into the request's cfgs/points
 	pts   []Point // attributed points, aligned with idxs (nil for RunConfigs)
-	dead  bool
+	// gid is the stack group id plus one (zero for non-stack units).
+	// Sibling set partitions of one group share a gid and an idxs
+	// slice: their statistics merge at collect time, and one dead
+	// sibling poisons the whole group.
+	gid  int
+	dead bool
 }
 
 // accessBatch feeds one chunk to the unit inside a recovery boundary,
@@ -160,9 +169,12 @@ func (u *simUnit) accessBatch(refs []trace.Ref, hooks *Hooks, workload string, s
 	if hooks != nil && hooks.BeforeUnit != nil {
 		hooks.BeforeUnit(workload, shard, u.pts, chunk)
 	}
-	if u.fam != nil {
+	switch {
+	case u.fam != nil:
 		u.fam.AccessBatch(refs)
-	} else {
+	case u.stack != nil:
+		u.stack.AccessBatch(refs)
+	default:
 		u.cache.AccessBatch(refs)
 	}
 	return nil
@@ -177,12 +189,20 @@ func (u *simUnit) collect(traceName string, runs []metrics.Run) (err error) {
 			err = &PanicError{Value: v, Stack: debug.Stack()}
 		}
 	}()
-	if u.fam != nil {
+	switch {
+	case u.fam != nil:
 		u.fam.FlushUsage()
 		for j, k := range u.idxs {
 			runs[k] = metrics.NewRun(traceName, u.fam.Config(j), u.fam.Stats(j))
 		}
-	} else {
+	case u.stack != nil:
+		// Only whole-stream stack units collect directly; the sharded
+		// executor merges sibling set partitions itself.
+		u.stack.FlushUsage()
+		for j, k := range u.idxs {
+			runs[k] = metrics.NewRun(traceName, u.stack.Config(j), u.stack.Stats(j))
+		}
+	default:
 		u.cache.FlushUsage()
 		runs[u.idxs[0]] = metrics.NewRun(traceName, u.cache.Config(), u.cache.Stats())
 	}
@@ -190,10 +210,14 @@ func (u *simUnit) collect(traceName string, runs []metrics.Run) (err error) {
 }
 
 // unitFailure records one dead unit inside a single-workload executor,
-// before translation into per-point PointErrors.
+// before translation into per-point PointErrors.  gid carries the
+// stack group id plus one (zero otherwise) so failures of sibling set
+// partitions, which share an index list, can be deduplicated to one
+// attribution per lost point.
 type unitFailure struct {
 	idxs  []int
 	shard int
+	gid   int
 	cause error
 }
 

@@ -95,7 +95,7 @@ func RunConfigs(ctx context.Context, prof synth.Profile, cfgs []cache.Config, re
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
-	runs, ok, failed, err := runConfigsSharded(ctx, prof, cfgs, nil, refs, ws, shards, true, false, nil, telemetry.Nop)
+	runs, ok, failed, err := runConfigsSharded(ctx, prof, cfgs, nil, refs, ws, shards, MultiPass, false, nil, telemetry.Nop)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return nil, err
@@ -131,10 +131,12 @@ func referencePlans(n, shards int) []multipass.ShardPlan {
 	return plans
 }
 
-// runConfigsSharded is the chunk-broadcast executor.  group selects
-// family construction (the MultiPass engine) versus one reference cache
-// per configuration (the Reference engine); points (optional, aligned
-// with cfgs) gives failures their grid-point attribution.
+// runConfigsSharded is the chunk-broadcast executor.  eng selects how
+// configurations are planned into units: stack-distance engines plus
+// fallbacks (StackDist), multipass families plus fallbacks (MultiPass),
+// or one reference cache per configuration (Reference); points
+// (optional, aligned with cfgs) gives failures their grid-point
+// attribution.
 //
 // The return contract implements the sweep's failure granularity:
 //
@@ -145,30 +147,26 @@ func referencePlans(n, shards int) []multipass.ShardPlan {
 //     from the unit, its hooks, or its whole shard).  Under fail-fast
 //     (continueOnError false) the first failure stops the pass and runs
 //     is nil; under continueOnError survivors complete the full stream
-//     and ok[i] marks which runs are valid.
-func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Config, points []Point, refs, wordSize, shards int, group, continueOnError bool, hooks *Hooks, rec telemetry.Recorder) (runs []metrics.Run, ok []bool, failed []unitFailure, err error) {
+//     and ok[i] marks which runs are valid.  A dead stack unit poisons
+//     its whole group -- sibling set partitions cover disjoint set
+//     spaces, so a group with a lost partition has no complete point --
+//     and the group's points are attributed exactly once.
+func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Config, points []Point, refs, wordSize, shards int, eng Engine, continueOnError bool, hooks *Hooks, rec telemetry.Recorder) (runs []metrics.Run, ok []bool, failed []unitFailure, err error) {
 	enabled := rec.Enabled()
-	var plans []multipass.ShardPlan
-	if group {
-		plans = multipass.PartitionShards(cfgs, shards)
-	} else {
-		plans = referencePlans(len(cfgs), shards)
+	lists, costs, failed := shardUnitLists(eng, cfgs, points, shards, false)
+	if len(failed) > 0 && !continueOnError {
+		return nil, nil, failed[:1], nil
 	}
 
-	runners := make([]*shardRunner, len(plans))
-	nbuf := 2*len(plans) + 2
+	runners := make([]*shardRunner, len(lists))
+	nbuf := 2*len(lists) + 2
 	total := 0
-	for si, plan := range plans {
-		units, fs := planUnits(plan, cfgs, points, si)
-		failed = append(failed, fs...)
-		if len(fs) > 0 && !continueOnError {
-			return nil, nil, failed[:1], nil
-		}
-		runners[si] = &shardRunner{shard: si, units: units, live: len(units), in: make(chan *chunk, nbuf), estCost: plan.Cost()}
+	for si, units := range lists {
+		runners[si] = &shardRunner{shard: si, units: units, live: len(units), in: make(chan *chunk, nbuf), estCost: costs[si]}
 		total += len(units)
 	}
 	if total == 0 {
-		return make([]metrics.Run, len(cfgs)), make([]bool, len(cfgs)), failed, nil
+		return make([]metrics.Run, len(cfgs)), make([]bool, len(cfgs)), dedupGroupFailures(failed), nil
 	}
 
 	src, err := synth.NewWordSource(prof, refs, wordSize)
@@ -350,12 +348,12 @@ func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Con
 	if enabled {
 		flushStart = time.Now()
 	}
-	var families uint64
+	var families, stackUnits uint64
 	runs = make([]metrics.Run, len(cfgs))
 	ok = make([]bool, len(cfgs))
 	for _, rn := range runners {
 		for _, u := range rn.units {
-			if u.dead {
+			if u.dead || u.stack != nil {
 				continue
 			}
 			if uerr := u.collect(prof.Name, runs); uerr != nil {
@@ -373,11 +371,82 @@ func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Con
 			}
 		}
 	}
+
+	// Stack units merge by group: sibling set partitions hold disjoint
+	// slices of each configuration's counters (every flushed counter is
+	// a per-partition linear sum), so adding them reconstructs the
+	// whole-stream statistics exactly.  A group with any dead sibling is
+	// poisoned -- a partial merge would silently undercount -- and its
+	// points are attributed through the recorded failure instead.
+	deadG := make(map[int]bool)
+	for _, f := range failed {
+		if f.gid > 0 {
+			deadG[f.gid] = true
+		}
+	}
+	type stackGroup struct {
+		first *simUnit
+		stats []cache.Stats
+	}
+	groups := make(map[int]*stackGroup)
+	for _, rn := range runners {
+		for _, u := range rn.units {
+			if u.stack == nil || u.dead || deadG[u.gid] {
+				continue
+			}
+			if uerr := safeCall(u.stack.FlushUsage); uerr != nil {
+				failed = append(failed, unitFailure{idxs: u.idxs, shard: rn.shard, gid: u.gid, cause: uerr})
+				deadG[u.gid] = true
+				if !continueOnError {
+					return nil, nil, failed[len(failed)-1:], nil
+				}
+				continue
+			}
+			stackUnits++
+			g := groups[u.gid]
+			if g == nil {
+				g = &stackGroup{first: u, stats: make([]cache.Stats, len(u.idxs))}
+				groups[u.gid] = g
+			}
+			for j := range u.idxs {
+				g.stats[j].Add(u.stack.Stats(j))
+			}
+		}
+	}
+	for gid, g := range groups {
+		if deadG[gid] {
+			continue
+		}
+		for j, k := range g.first.idxs {
+			runs[k] = metrics.NewRun(prof.Name, g.first.stack.Config(j), &g.stats[j])
+			ok[k] = true
+		}
+	}
+
 	if enabled {
 		rec.Observe(telemetry.StageFlush, time.Since(flushStart))
 		rec.Add(telemetry.FamiliesFlushed, families)
+		rec.Add(telemetry.StackUnitsFlushed, stackUnits)
 	}
-	return runs, ok, failed, nil
+	return runs, ok, dedupGroupFailures(failed), nil
+}
+
+// dedupGroupFailures collapses sibling stack-partition failures, which
+// share one index list, to the first per group, so pointErrors reports
+// each lost point exactly once.
+func dedupGroupFailures(failed []unitFailure) []unitFailure {
+	seen := make(map[int]bool)
+	kept := failed[:0]
+	for _, f := range failed {
+		if f.gid > 0 {
+			if seen[f.gid] {
+				continue
+			}
+			seen[f.gid] = true
+		}
+		kept = append(kept, f)
+	}
+	return kept
 }
 
 // processChunk feeds one broadcast chunk to every live unit the shard
@@ -394,7 +463,7 @@ func (rn *shardRunner) processChunk(refs []trace.Ref, workload string, hooks *Ho
 				}
 				u.dead = true
 				rn.live--
-				fail(unitFailure{idxs: u.idxs, shard: rn.shard, cause: herr}, 1)
+				fail(unitFailure{idxs: u.idxs, shard: rn.shard, gid: u.gid, cause: herr}, 1)
 			}
 			rn.chunk++
 			return
@@ -407,7 +476,7 @@ func (rn *shardRunner) processChunk(refs []trace.Ref, workload string, hooks *Ho
 		if uerr := u.accessBatch(refs, hooks, workload, rn.shard, rn.chunk); uerr != nil {
 			u.dead = true
 			rn.live--
-			fail(unitFailure{idxs: u.idxs, shard: rn.shard, cause: uerr}, 1)
+			fail(unitFailure{idxs: u.idxs, shard: rn.shard, gid: u.gid, cause: uerr}, 1)
 			continue
 		}
 		rn.simRefs += uint64(len(refs))
@@ -419,13 +488,13 @@ func (rn *shardRunner) processChunk(refs []trace.Ref, workload string, hooks *Ho
 // the chunk-broadcast executor, for either engine, translating unit
 // failures into attributed PointErrors.  A workload aborted by the
 // caller's cancellation returns (nil, nil): a casualty, not a cause.
-func simulateSharded(ctx context.Context, prof synth.Profile, req Request, shards int, group bool) (map[Point]metrics.Run, []*PointError) {
+func simulateSharded(ctx context.Context, prof synth.Profile, req Request, shards int, eng Engine) (map[Point]metrics.Run, []*PointError) {
 	cfgs := make([]cache.Config, len(req.Points))
 	for i, p := range req.Points {
 		cfgs[i] = pointConfig(p, req)
 	}
 	runs, ok, failed, err := runConfigsSharded(ctx, prof, cfgs, req.Points, req.Refs,
-		req.Arch.WordSize(), shards, group, req.ContinueOnError, req.Hooks,
+		req.Arch.WordSize(), shards, eng, req.ContinueOnError, req.Hooks,
 		telemetry.OrNop(req.Recorder))
 	if err != nil {
 		if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {

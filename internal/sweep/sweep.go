@@ -26,6 +26,7 @@ import (
 	"subcache/internal/cache"
 	"subcache/internal/metrics"
 	"subcache/internal/multipass"
+	"subcache/internal/stackdist"
 	"subcache/internal/synth"
 	"subcache/internal/telemetry"
 	"subcache/internal/trace"
@@ -46,6 +47,17 @@ const (
 	// caches.  Results are bit-identical to Reference; parallelism moves
 	// from points to workloads.
 	MultiPass
+	// StackDist also makes a single pass per workload, but collapses
+	// further: every LRU point of one block size -- all net sizes,
+	// associativities, sub-block sizes and fetch policies at once --
+	// shares a single stack-distance recency list (stackdist.Engine),
+	// deriving each point's counters from per-set LRU depths.  Points
+	// stack analysis cannot compute exactly (non-LRU replacement,
+	// write-no-allocate, prefetch; see stackdist.Supported) fall back
+	// to multipass families or reference caches on the same pass.
+	// Results are bit-identical to Reference; sharding partitions sets
+	// rather than configurations.
+	StackDist
 )
 
 // String returns the engine name used by the -engine CLI flag.
@@ -55,6 +67,8 @@ func (e Engine) String() string {
 		return "reference"
 	case MultiPass:
 		return "multipass"
+	case StackDist:
+		return "stackdist"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -67,8 +81,10 @@ func ParseEngine(s string) (Engine, error) {
 		return Reference, nil
 	case "multipass":
 		return MultiPass, nil
+	case "stackdist":
+		return StackDist, nil
 	default:
-		return 0, fmt.Errorf("sweep: unknown engine %q (want reference or multipass)", s)
+		return 0, fmt.Errorf("sweep: unknown engine %q (want reference, multipass or stackdist)", s)
 	}
 }
 
@@ -344,7 +360,7 @@ func RunContext(ctx context.Context, req Request) (*Result, error) {
 		passesPerWorkload = len(req.Points)
 		if req.Shards >= 1 {
 			// Sharded streaming executor, one reference cache per point.
-			outer, fn = shardedExecutor(req, profiles, par, false)
+			outer, fn = shardedExecutor(req, profiles, par, Reference)
 		} else {
 			// Materialised per-point path: workloads sequential, points
 			// parallel within each (the legacy baseline scheduling).
@@ -357,16 +373,17 @@ func RunContext(ctx context.Context, req Request) (*Result, error) {
 				return simulatePoints(ctx, prof.Name, accesses, req, par)
 			}
 		}
-	case MultiPass:
+	case MultiPass, StackDist:
+		eng := req.Engine
 		if req.Shards < 0 {
 			if outer > len(profiles) {
 				outer = len(profiles)
 			}
 			fn = func(ctx context.Context, prof synth.Profile) (map[Point]metrics.Run, []*PointError) {
-				return simulateOnePass(ctx, prof, req)
+				return simulateOnePass(ctx, prof, req, eng)
 			}
 		} else {
-			outer, fn = shardedExecutor(req, profiles, par, true)
+			outer, fn = shardedExecutor(req, profiles, par, eng)
 		}
 	default:
 		return nil, fmt.Errorf("sweep: unknown engine %v", req.Engine)
@@ -401,9 +418,9 @@ func RunContext(ctx context.Context, req Request) (*Result, error) {
 }
 
 // shardedExecutor returns the outer (cross-workload) parallelism and
-// the per-workload function for the chunk-broadcast executor, for
-// either engine (group selects multipass family construction).
-func shardedExecutor(req Request, profiles []synth.Profile, par int, group bool) (int, func(context.Context, synth.Profile) (map[Point]metrics.Run, []*PointError)) {
+// the per-workload function for the chunk-broadcast executor, for any
+// engine (eng selects how configurations are planned into units).
+func shardedExecutor(req Request, profiles []synth.Profile, par int, eng Engine) (int, func(context.Context, synth.Profile) (map[Point]metrics.Run, []*PointError)) {
 	shards := req.Shards
 	if shards == 0 {
 		// Auto: spread the cores over the suite's concurrent workloads,
@@ -422,7 +439,7 @@ func shardedExecutor(req Request, profiles []synth.Profile, par int, group bool)
 		outer = len(profiles)
 	}
 	fn := func(ctx context.Context, prof synth.Profile) (map[Point]metrics.Run, []*PointError) {
-		return simulateSharded(ctx, prof, req, shards, group)
+		return simulateSharded(ctx, prof, req, shards, eng)
 	}
 	return outer, fn
 }
@@ -564,26 +581,118 @@ func pointConfig(p Point, req Request) cache.Config {
 	return cfg
 }
 
-// buildUnits groups the request's points into simulation units --
-// multipass families where group is set and the config qualifies,
-// individual reference caches otherwise.  A unit whose construction
-// fails is returned as a failure instead of a unit; under fail-fast
-// the caller aborts on the first one.
-func buildUnits(req Request, group bool) (units []*simUnit, failed []unitFailure) {
+// buildUnits groups the request's points into simulation units for the
+// materialised single-pass path.  A unit whose construction fails is
+// returned as a failure instead of a unit; under fail-fast the caller
+// aborts on the first one.
+func buildUnits(req Request, eng Engine) (units []*simUnit, failed []unitFailure) {
 	cfgs := make([]cache.Config, len(req.Points))
 	for i, p := range req.Points {
 		cfgs[i] = pointConfig(p, req)
 	}
-	var plans []multipass.ShardPlan
-	if group {
-		plans = multipass.PartitionShards(cfgs, 1)
-	} else {
-		plans = referencePlans(len(cfgs), 1)
-	}
-	for _, plan := range plans {
-		us, fs := planUnits(plan, cfgs, req.Points, -1)
+	lists, _, failed := shardUnitLists(eng, cfgs, req.Points, 1, true)
+	for _, us := range lists {
 		units = append(units, us...)
-		failed = append(failed, fs...)
+	}
+	return units, failed
+}
+
+// shardUnitLists realises an engine's plan over cfgs as per-shard unit
+// lists plus the planner's per-shard cost estimates.  materialised
+// attributes construction failures to shard -1 (the unsharded paths);
+// otherwise to the owning shard index.  Lists may number fewer than
+// shards when the planner cannot fill them all.
+func shardUnitLists(eng Engine, cfgs []cache.Config, points []Point, shards int, materialised bool) (lists [][]*simUnit, costs []int, failed []unitFailure) {
+	shardAt := func(si int) int {
+		if materialised {
+			return -1
+		}
+		return si
+	}
+	switch eng {
+	case StackDist:
+		// Stack groups fan out across shards by set partitioning;
+		// configurations stack analysis refuses (stackdist.Supported)
+		// ride the same pass on multipass families or reference caches,
+		// planned over the leftover indexes and remapped back.
+		splans, rest := stackdist.Partition(cfgs, shards)
+		var mplans []multipass.ShardPlan
+		if len(rest) > 0 {
+			restCfgs := make([]cache.Config, len(rest))
+			for i, k := range rest {
+				restCfgs[i] = cfgs[k]
+			}
+			mplans = multipass.PartitionShards(restCfgs, shards)
+			for pi := range mplans {
+				for _, idxs := range mplans[pi].Families {
+					for j, k := range idxs {
+						idxs[j] = rest[k]
+					}
+				}
+				for j, k := range mplans[pi].Rest {
+					mplans[pi].Rest[j] = rest[k]
+				}
+			}
+		}
+		n := len(splans)
+		if len(mplans) > n {
+			n = len(mplans)
+		}
+		lists = make([][]*simUnit, n)
+		costs = make([]int, n)
+		for si := 0; si < n; si++ {
+			if si < len(splans) {
+				us, fs := planStackUnits(splans[si], cfgs, points, shardAt(si))
+				lists[si] = append(lists[si], us...)
+				failed = append(failed, fs...)
+				costs[si] += splans[si].Cost()
+			}
+			if si < len(mplans) {
+				us, fs := planUnits(mplans[si], cfgs, points, shardAt(si))
+				lists[si] = append(lists[si], us...)
+				failed = append(failed, fs...)
+				costs[si] += mplans[si].Cost()
+			}
+		}
+	case MultiPass:
+		plans := multipass.PartitionShards(cfgs, shards)
+		lists = make([][]*simUnit, len(plans))
+		costs = make([]int, len(plans))
+		for si, plan := range plans {
+			us, fs := planUnits(plan, cfgs, points, shardAt(si))
+			lists[si] = us
+			failed = append(failed, fs...)
+			costs[si] = plan.Cost()
+		}
+	default: // Reference
+		plans := referencePlans(len(cfgs), shards)
+		lists = make([][]*simUnit, len(plans))
+		costs = make([]int, len(plans))
+		for si, plan := range plans {
+			us, fs := planUnits(plan, cfgs, points, shardAt(si))
+			lists[si] = us
+			failed = append(failed, fs...)
+			costs[si] = plan.Cost()
+		}
+	}
+	return lists, costs, failed
+}
+
+// planStackUnits realises one shard's stack units -- each a set
+// partition of one stack group -- attributing construction failures to
+// the given shard.
+func planStackUnits(plan stackdist.Plan, cfgs []cache.Config, points []Point, shard int) (units []*simUnit, failed []unitFailure) {
+	for _, u := range plan.Units {
+		ucfgs := make([]cache.Config, len(u.Idxs))
+		for j, k := range u.Idxs {
+			ucfgs[j] = cfgs[k]
+		}
+		e, err := stackdist.NewEngine(ucfgs, u.Parts, u.Part)
+		if err != nil {
+			failed = append(failed, unitFailure{idxs: u.Idxs, shard: shard, gid: u.Gid + 1, cause: err})
+			continue
+		}
+		units = append(units, &simUnit{stack: e, idxs: u.Idxs, pts: unitPoints(points, u.Idxs), gid: u.Gid + 1})
 	}
 	return units, failed
 }
@@ -628,18 +737,19 @@ func unitPoints(points []Point, idxs []int) []Point {
 }
 
 // simulateOnePass evaluates every requested point over one workload in
-// a single iteration of its materialised word trace.  MultiPassSafe
-// points are grouped into shared-tag-engine families; the rest are
-// simulated by individual reference caches fed from the same loop.  A
-// panicking unit is retired with its points attributed; surviving
+// a single iteration of its materialised word trace, planned by eng:
+// stack-distance engines (StackDist), shared-tag-engine families
+// (MultiPass, and StackDist's fallback for refused configurations), and
+// individual reference caches for the rest, all fed from the same loop.
+// A panicking unit is retired with its points attributed; surviving
 // units consume the complete trace and stay bit-identical.
-func simulateOnePass(ctx context.Context, prof synth.Profile, req Request) (map[Point]metrics.Run, []*PointError) {
+func simulateOnePass(ctx context.Context, prof synth.Profile, req Request, eng Engine) (map[Point]metrics.Run, []*PointError) {
 	accesses, err := wordTrace(prof, req)
 	if err != nil {
 		return nil, workloadError(prof.Name, -1, err)
 	}
 
-	units, failed := buildUnits(req, true)
+	units, failed := buildUnits(req, eng)
 	if len(failed) > 0 && !req.ContinueOnError {
 		return nil, pointErrors(prof.Name, req.Points, failed[:1])
 	}
@@ -673,7 +783,7 @@ func simulateOnePass(ctx context.Context, prof synth.Profile, req Request) (map[
 			if uerr := u.accessBatch(batch, req.Hooks, prof.Name, -1, chunk); uerr != nil {
 				u.dead = true
 				live--
-				failed = append(failed, unitFailure{idxs: u.idxs, shard: -1, cause: uerr})
+				failed = append(failed, unitFailure{idxs: u.idxs, shard: -1, gid: u.gid, cause: uerr})
 				if !req.ContinueOnError {
 					return nil, pointErrors(prof.Name, req.Points, failed[len(failed)-1:])
 				}
@@ -689,7 +799,7 @@ func simulateOnePass(ctx context.Context, prof synth.Profile, req Request) (map[
 	}
 
 	var flushStart time.Time
-	var families uint64
+	var families, stacks uint64
 	if enabled {
 		flushStart = time.Now()
 	}
@@ -700,14 +810,17 @@ func simulateOnePass(ctx context.Context, prof synth.Profile, req Request) (map[
 			continue
 		}
 		if uerr := u.collect(prof.Name, runs); uerr != nil {
-			failed = append(failed, unitFailure{idxs: u.idxs, shard: -1, cause: uerr})
+			failed = append(failed, unitFailure{idxs: u.idxs, shard: -1, gid: u.gid, cause: uerr})
 			if !req.ContinueOnError {
 				return nil, pointErrors(prof.Name, req.Points, failed[len(failed)-1:])
 			}
 			continue
 		}
-		if u.fam != nil {
+		switch {
+		case u.fam != nil:
 			families++
+		case u.stack != nil:
+			stacks++
 		}
 		for _, k := range u.idxs {
 			out[req.Points[k]] = runs[k]
@@ -716,6 +829,7 @@ func simulateOnePass(ctx context.Context, prof synth.Profile, req Request) (map[
 	if enabled {
 		rec.Observe(telemetry.StageFlush, time.Since(flushStart))
 		rec.Add(telemetry.FamiliesFlushed, families)
+		rec.Add(telemetry.StackUnitsFlushed, stacks)
 	}
 	return out, pointErrors(prof.Name, req.Points, failed)
 }

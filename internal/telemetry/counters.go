@@ -51,6 +51,11 @@ const (
 	// EventsDropped counts events the sink failed to write (disk
 	// errors); the only self-referential counter.
 	EventsDropped
+	// StackUnitsFlushed counts stack-distance engine units (one per
+	// set partition of a stack group) finalised by FlushUsage at the
+	// end of a pass, the stackdist engine's analogue of
+	// FamiliesFlushed.
+	StackUnitsFlushed
 	numCounters
 )
 
@@ -68,6 +73,7 @@ var counterNames = [numCounters]string{
 	PointsFailed:         "points_failed",
 	PointsResumed:        "points_resumed",
 	EventsDropped:        "events_dropped",
+	StackUnitsFlushed:    "stack_units_flushed",
 }
 
 // String returns the counter's wire name.
