@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet test-faults test-telemetry test-stackdist bench bench-kernel bench-sweep experiments traces cover fmt clean
+.PHONY: all build test test-race vet test-faults test-telemetry test-stackdist test-service bench bench-kernel bench-sweep experiments traces cover fmt clean
 
 all: build test
 
@@ -30,6 +30,13 @@ test-faults:
 # docs/OBSERVABILITY.md).
 test-telemetry:
 	$(GO) test -race -run 'Telemetry|Event|Stream|Sink|Manifest|Fingerprint|Snapshot|Run(Emit|Close|Concurrent)|Nop|Mirrored|WriteFileAtomic' ./internal/telemetry/... ./internal/sweep/... ./internal/faultinject/...
+
+# Sweep service contracts under the race detector: admission control,
+# singleflight dedup, tenant quotas, graceful drain with bit-identical
+# checkpoint resume, clean terminal run-end events, and the goroutine
+# leak regressions (see docs/SERVICE.md).
+test-service:
+	$(GO) test -race -run 'Service|Submit|Admission|Quota|Dedup|Drain|Fingerprint|RunEnd|Leak|RunClose' ./internal/service/... ./internal/telemetry/...
 
 # Stack-distance engine gate under the race detector: differential
 # equivalence, inclusion/conservation property tests, partition

@@ -17,9 +17,17 @@
 // one-pass stack-distance kernel's win over the family kernel is
 // tracked alongside the headline pass reduction.  The shard curve then
 // times the MultiPass sweep at each shard count in -shards (default
-// "1,2,4,...,NumCPU") with Parallelism pinned to the shard count, so
-// point s of the curve uses exactly s cores and the curve isolates
-// intra-workload scaling.  -verify additionally cross-checks that both
+// "1,2,4,...,NumCPU", always at least 1,2,4 so the curve is never a
+// single point) with Parallelism pinned to the shard count, so point s
+// of the curve uses exactly s cores and the curve isolates
+// intra-workload scaling.  An explicit -shards list is honored exactly
+// as given; when it (or the padded default on a small machine) asks
+// for more shards than CPUs, those points run oversubscribed and the
+// record carries shard_curve_truncated: true so downstream consumers
+// know the tail of the curve measured contention, not scaling.
+// SIGINT/SIGTERM cancel the run at the next chunk boundary: the event
+// stream is flushed and closed, RUN.json records interrupted: true,
+// and benchsweep exits non-zero.  -verify additionally cross-checks that both
 // single-pass engines at shards=-1, 1 and NumCPU reproduce the
 // materialised MultiPass baseline bit for bit -- with StackDist making
 // exactly one trace pass per workload -- exiting non-zero on any
@@ -43,15 +51,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"reflect"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"subcache/internal/sweep"
@@ -101,6 +112,10 @@ type record struct {
 	// ShardSpeedup is the best point of the curve: wall-clock at
 	// shards=1 over wall-clock at the largest measured shard count.
 	ShardSpeedup float64 `json:"shard_speedup"`
+	// ShardCurveTruncated is set when the curve asks for more shards
+	// than the machine has CPUs: those points ran oversubscribed, so
+	// the tail of the curve measures contention, not scaling.
+	ShardCurveTruncated bool `json:"shard_curve_truncated"`
 	// WordRefs is the total word references replayed per full-grid
 	// sweep: the denominator of the two per-reference kernel figures.
 	WordRefs uint64 `json:"word_refs_total"`
@@ -131,6 +146,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchsweep: bad -nets: %v\n", err)
 		os.Exit(2)
 	}
+	// An explicit -shards list is honored exactly as given, no NumCPU
+	// clamp; the default curve is padded to at least three points so a
+	// small machine never silently produces a degenerate one-entry
+	// curve.
 	curve := defaultCurve(runtime.NumCPU())
 	if *shards != "" {
 		if curve, err = parseInts(*shards); err != nil {
@@ -138,6 +157,17 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	curveTruncated := false
+	for _, s := range curve {
+		if s > runtime.NumCPU() {
+			curveTruncated = true
+			fmt.Fprintf(os.Stderr, "benchsweep: note: shards=%d exceeds the %d available CPUs; that point of the curve runs oversubscribed (shard_curve_truncated: true)\n",
+				s, runtime.NumCPU())
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	sess, err := tf.Start("benchsweep", telemetry.Fingerprint(
 		"bench=sweep_table7", fmt.Sprint("refs=", *refs),
@@ -150,17 +180,23 @@ func main() {
 	sess.Manifest.Shards = runtime.NumCPU()
 	// die finalises observability (profiles, manifest, event sink)
 	// before a failure exit, so even a failed bench leaves evidence.
+	// A signal-cancelled run is recorded as interrupted in RUN.json and
+	// stamped on the stream's terminal run-end event.
 	die := func(v ...any) {
 		fmt.Fprintln(os.Stderr, v...)
+		if ctx.Err() != nil {
+			sess.Manifest.Interrupted = true
+		}
 		sess.Close()
 		os.Exit(1)
 	}
 
 	rec := record{
-		Bench:  "sweep_table7",
-		Refs:   *refs,
-		Nets:   netSizes,
-		NumCPU: runtime.NumCPU(),
+		Bench:               "sweep_table7",
+		Refs:                *refs,
+		Nets:                netSizes,
+		NumCPU:              runtime.NumCPU(),
+		ShardCurveTruncated: curveTruncated,
 	}
 	for _, a := range synth.AllArchs() {
 		rec.Archs = append(rec.Archs, a.String())
@@ -169,14 +205,14 @@ func main() {
 	}
 
 	if *verify {
-		if err := verifyShardIdentity(netSizes, *refs); err != nil {
+		if err := verifyShardIdentity(ctx, netSizes, *refs); err != nil {
 			die("benchsweep: verify:", err)
 		}
 		fmt.Printf("verify ok: shards=1, shards=%d and the materialised baseline agree on every counter\n", runtime.NumCPU())
 	}
 
 	if *checkpoint != "" {
-		if err := verifyCheckpointResume(netSizes, *refs, *checkpoint); err != nil {
+		if err := verifyCheckpointResume(ctx, netSizes, *refs, *checkpoint); err != nil {
 			die("benchsweep: checkpoint:", err)
 		}
 		fmt.Println("checkpoint ok: interrupted-then-resumed sweeps reproduce the uninterrupted results exactly, across engines")
@@ -188,7 +224,7 @@ func main() {
 	for _, eng := range []sweep.Engine{sweep.Reference, sweep.MultiPass, sweep.StackDist} {
 		var before runtime.MemStats
 		runtime.ReadMemStats(&before)
-		secs, passes, err := timeSweep(netSizes, *refs, sweep.Request{Engine: eng, Recorder: sess.Recorder()})
+		secs, passes, err := timeSweep(ctx, netSizes, *refs, sweep.Request{Engine: eng, Recorder: sess.Recorder()})
 		if err != nil {
 			die("benchsweep:", err)
 		}
@@ -237,7 +273,7 @@ func main() {
 
 	var base float64
 	for _, s := range curve {
-		secs, _, err := timeSweep(netSizes, *refs, sweep.Request{
+		secs, _, err := timeSweep(ctx, netSizes, *refs, sweep.Request{
 			Engine: sweep.MultiPass, Shards: s, Parallelism: s,
 			Recorder: sess.Recorder(),
 		})
@@ -304,7 +340,7 @@ func countWordRefs(refs int) (uint64, error) {
 // timeSweep runs the full Table 7 grid across every architecture with
 // the given engine settings, returning wall-clock seconds and summed
 // trace passes.
-func timeSweep(netSizes []int, refs int, base sweep.Request) (float64, int, error) {
+func timeSweep(ctx context.Context, netSizes []int, refs int, base sweep.Request) (float64, int, error) {
 	start := time.Now()
 	passes := 0
 	for _, a := range synth.AllArchs() {
@@ -312,7 +348,7 @@ func timeSweep(netSizes []int, refs int, base sweep.Request) (float64, int, erro
 		req.Arch = a
 		req.Points = sweep.Grid(netSizes, a.WordSize())
 		req.Refs = refs
-		res, err := sweep.Run(req)
+		res, err := sweep.RunContext(ctx, req)
 		if err != nil {
 			return 0, 0, fmt.Errorf("%s/%s: %w", req.Engine, a, err)
 		}
@@ -326,7 +362,7 @@ func timeSweep(netSizes []int, refs int, base sweep.Request) (float64, int, erro
 // (Shards: -1) must be matched bit-for-bit by MultiPass and StackDist
 // at shards=-1, 1 and NumCPU -- every run and summary identical, and
 // the StackDist sweeps making exactly one trace pass per workload.
-func verifyShardIdentity(netSizes []int, refs int) error {
+func verifyShardIdentity(ctx context.Context, netSizes []int, refs int) error {
 	for _, a := range synth.AllArchs() {
 		base := sweep.Request{
 			Arch: a, Points: sweep.Grid(netSizes, a.WordSize()),
@@ -334,7 +370,7 @@ func verifyShardIdentity(netSizes []int, refs int) error {
 		}
 		want := base
 		want.Shards = -1
-		wantRes, err := sweep.Run(want)
+		wantRes, err := sweep.RunContext(ctx, want)
 		if err != nil {
 			return fmt.Errorf("%s baseline: %w", a, err)
 		}
@@ -346,7 +382,7 @@ func verifyShardIdentity(netSizes []int, refs int) error {
 				req := base
 				req.Engine = eng
 				req.Shards = s
-				res, err := sweep.Run(req)
+				res, err := sweep.RunContext(ctx, req)
 				if err != nil {
 					return fmt.Errorf("%s %s shards=%d: %w", a, eng, s, err)
 				}
@@ -371,13 +407,13 @@ func verifyShardIdentity(netSizes []int, refs int) error {
 // followed by a full-suite resume (under a different engine and shard
 // strategy -- the journal is keyed only by what determines results)
 // must reproduce an uninterrupted sweep's runs and summaries exactly.
-func verifyCheckpointResume(netSizes []int, refs int, path string) error {
+func verifyCheckpointResume(ctx context.Context, netSizes []int, refs int, path string) error {
 	for _, a := range synth.AllArchs() {
 		base := sweep.Request{
 			Arch: a, Points: sweep.Grid(netSizes, a.WordSize()),
 			Refs: refs, Engine: sweep.MultiPass,
 		}
-		want, err := sweep.Run(base)
+		want, err := sweep.RunContext(ctx, base)
 		if err != nil {
 			return fmt.Errorf("%s baseline: %w", a, err)
 		}
@@ -392,7 +428,7 @@ func verifyCheckpointResume(netSizes []int, refs int, path string) error {
 		for _, p := range suite[:half] {
 			partial.Workloads = append(partial.Workloads, p.Name)
 		}
-		if _, err := sweep.Run(partial); err != nil {
+		if _, err := sweep.RunContext(ctx, partial); err != nil {
 			return fmt.Errorf("%s interrupted phase: %w", a, err)
 		}
 
@@ -400,7 +436,7 @@ func verifyCheckpointResume(netSizes []int, refs int, path string) error {
 		resumed.Checkpoint = path
 		resumed.Engine = sweep.Reference
 		resumed.Shards = runtime.NumCPU()
-		res, err := sweep.Run(resumed)
+		res, err := sweep.RunContext(ctx, resumed)
 		if err != nil {
 			return fmt.Errorf("%s resume: %w", a, err)
 		}
@@ -415,13 +451,21 @@ func verifyCheckpointResume(netSizes []int, refs int, path string) error {
 	return nil
 }
 
-// defaultCurve is 1, 2, 4, ... up to and including NumCPU.
+// defaultCurve is 1, 2, 4, ... up to and including NumCPU, padded with
+// the next powers of two until it has at least three points: a one- or
+// two-CPU machine measures 1,2,4 (oversubscribed, and flagged so via
+// shard_curve_truncated) rather than silently producing a degenerate
+// single-entry curve.
 func defaultCurve(ncpu int) []int {
 	var out []int
 	for s := 1; s < ncpu; s *= 2 {
 		out = append(out, s)
 	}
-	return append(out, ncpu)
+	out = append(out, ncpu)
+	for len(out) < 3 {
+		out = append(out, out[len(out)-1]*2)
+	}
+	return out
 }
 
 func parseInts(list string) ([]int, error) {

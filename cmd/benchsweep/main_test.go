@@ -1,0 +1,33 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDefaultCurveNeverDegenerate: the default shard curve must have at
+// least three points on any machine -- a 1- or 2-CPU runner gets 1,2,4
+// (flagged oversubscribed), never a silent single-entry curve.
+func TestDefaultCurveNeverDegenerate(t *testing.T) {
+	cases := []struct {
+		ncpu int
+		want []int
+	}{
+		{1, []int{1, 2, 4}},
+		{2, []int{1, 2, 4}},
+		{3, []int{1, 2, 3}},
+		{4, []int{1, 2, 4}},
+		{6, []int{1, 2, 4, 6}},
+		{8, []int{1, 2, 4, 8}},
+		{16, []int{1, 2, 4, 8, 16}},
+	}
+	for _, c := range cases {
+		got := defaultCurve(c.ncpu)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("defaultCurve(%d) = %v, want %v", c.ncpu, got, c.want)
+		}
+		if len(got) < 3 {
+			t.Errorf("defaultCurve(%d) has %d points, want >= 3", c.ncpu, len(got))
+		}
+	}
+}

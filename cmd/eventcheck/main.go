@@ -53,7 +53,8 @@ func main() {
 		}
 		fmt.Printf("%s: %d events ok", path, st.Events)
 		for _, typ := range []string{telemetry.EventRunStart, telemetry.EventPointDone,
-			telemetry.EventShardStat, telemetry.EventErrorAttributed, telemetry.EventHeartbeat} {
+			telemetry.EventShardStat, telemetry.EventErrorAttributed, telemetry.EventHeartbeat,
+			telemetry.EventRunEnd} {
 			if n := st.ByType[typ]; n > 0 {
 				fmt.Printf("  %s=%d", typ, n)
 			}

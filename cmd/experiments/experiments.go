@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -14,6 +15,10 @@ import (
 // figures that share its grid simulate each (architecture, net-size set)
 // only once.
 type runCtx struct {
+	// ctx cancels every sweep at its next chunk boundary; main wires
+	// it to SIGINT/SIGTERM so an interrupted run leaves flushed event
+	// streams and a clean checkpoint journal, not torn artifacts.
+	ctx        context.Context
 	refs       int
 	engine     sweep.Engine
 	shards     int
@@ -26,8 +31,8 @@ type runCtx struct {
 	sweeps map[string]*sweep.Result
 }
 
-func newRunCtx(refs int, engine sweep.Engine, shards int, checkpoint string) *runCtx {
-	return &runCtx{refs: refs, engine: engine, shards: shards, checkpoint: checkpoint,
+func newRunCtx(ctx context.Context, refs int, engine sweep.Engine, shards int, checkpoint string) *runCtx {
+	return &runCtx{ctx: ctx, refs: refs, engine: engine, shards: shards, checkpoint: checkpoint,
 		sweeps: make(map[string]*sweep.Result)}
 }
 
@@ -39,7 +44,7 @@ func (c *runCtx) run(req sweep.Request) (*sweep.Result, error) {
 		req.Checkpoint = c.checkpoint
 	}
 	req.Recorder = c.recorder
-	return sweep.Run(req)
+	return sweep.RunContext(c.ctx, req)
 }
 
 // gridSweep runs (or returns the memoised) full Table 1 grid for an

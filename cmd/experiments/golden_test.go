@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -28,7 +29,7 @@ func TestEngineGoldenArtifacts(t *testing.T) {
 	for _, eng := range []sweep.Engine{sweep.Reference, sweep.MultiPass, sweep.StackDist} {
 		dir := t.TempDir()
 		dirs[eng] = dir
-		ctx := newRunCtx(refs, eng, 0, "")
+		ctx := newRunCtx(context.Background(), refs, eng, 0, "")
 		for _, id := range ids {
 			var ran bool
 			for _, e := range experiments {

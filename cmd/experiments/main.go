@@ -26,14 +26,23 @@
 // (-events), a RUN.json run manifest (-manifest) and a live progress
 // line (-progress).  All are off by default and none changes the
 // artifacts; see docs/OBSERVABILITY.md.
+//
+// SIGINT/SIGTERM interrupt cleanly: in-flight sweeps stop at their
+// next chunk boundary, the event stream is flushed and closed (ending
+// on the terminal run-end event), RUN.json records interrupted: true,
+// the checkpoint journal keeps every completed workload for a resumed
+// rerun, and the process exits non-zero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"subcache/internal/sweep"
@@ -88,13 +97,25 @@ func main() {
 		want[strings.TrimSpace(id)] = true
 	}
 
-	ctx := newRunCtx(*refs, eng, *shards, *ckpt)
+	// SIGINT/SIGTERM cancel the shared context: every sweep stops at
+	// its next chunk boundary, the event sink is flushed and closed on
+	// the way out, RUN.json records interrupted: true, and the process
+	// exits non-zero.  The checkpoint journal already ends on a clean
+	// fsynced record (each workload is journalled as it finishes), so a
+	// rerun resumes past the completed sweeps.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ctx := newRunCtx(sigCtx, *refs, eng, *shards, *ckpt)
 	ctx.recorder = sess.Recorder()
 	failed := false
 	var ran []experiment
 	for _, e := range experiments {
 		if !all && !want[e.id] {
 			continue
+		}
+		if sigCtx.Err() != nil {
+			break
 		}
 		start := time.Now()
 		fmt.Printf("== %s: %s\n", e.id, e.title)
@@ -117,6 +138,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: index: %v\n", err)
 			failed = true
 		}
+	}
+	if sigCtx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "experiments: interrupted; completed artifacts and the checkpoint journal are intact")
+		sess.Manifest.Interrupted = true
+		failed = true
 	}
 	if err := sess.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments: telemetry:", err)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -30,7 +31,7 @@ func TestRegistryIdsUnique(t *testing.T) {
 }
 
 func TestGridSweepMemoized(t *testing.T) {
-	ctx := newRunCtx(2000, sweep.Reference, 0, "")
+	ctx := newRunCtx(context.Background(), 2000, sweep.Reference, 0, "")
 	a, err := ctx.gridSweep(synth.PDP11, []int{64})
 	if err != nil {
 		t.Fatal(err)
@@ -77,7 +78,7 @@ func TestExperimentsRunAtTinyScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs several simulations")
 	}
-	ctx := newRunCtx(3000, sweep.Reference, 0, "")
+	ctx := newRunCtx(context.Background(), 3000, sweep.Reference, 0, "")
 	for _, id := range []string{"table6", "table8", "fig9", "optsub", "compare",
 		"ablate-lf", "ibuf", "riscii", "split", "writepol"} {
 		var found bool

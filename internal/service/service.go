@@ -1,0 +1,379 @@
+// Package service is the long-running sweep daemon behind cmd/sweepd:
+// an HTTP/JSON front end that schedules sweep requests on a bounded
+// worker pool and serves results from a fingerprint-keyed cache.
+//
+// The unit of identity is the checkpoint request fingerprint
+// (sweep.RequestFingerprint): two requests that would simulate the
+// same thing -- whatever their engine or shard strategy -- share one
+// simulation, one result-cache entry, and one checkpoint journal.
+// Concurrent identical requests are deduplicated singleflight-style
+// (they join the in-flight job and all observe its one result), and a
+// completed fingerprint is never re-simulated: results are cached in
+// memory and on disk (<dir>/cache/<fp>.json, written atomically).
+//
+// Admission control bounds the damage any client can do: a full queue
+// or an over-quota tenant is refused with 429 before any work is
+// spent, and a draining server refuses with 503.  Graceful drain
+// (Shutdown) stops admission, cancels still-queued jobs (nothing
+// simulated, nothing lost), gives in-flight sweeps a grace period to
+// finish, and past it cancels them at a chunk boundary -- their
+// checkpoint journals retain every completed workload, so a
+// resubmission after restart resumes bit-identically instead of
+// starting over.
+//
+// Every job writes the PR 5 telemetry event stream to its own JSONL
+// file (<dir>/jobs/<fp>/events.jsonl), flushed on each heartbeat so
+// GET /v1/sweeps/{id}/events can tail a live run; the stream ends with
+// the terminal run-end event (interrupted=true when drain cancelled
+// it).  Service-level counters (requests admitted/rejected/deduped,
+// cache hits, queue depth) ride the same telemetry vocabulary; see
+// docs/SERVICE.md and docs/OBSERVABILITY.md.
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"subcache/internal/sweep"
+	"subcache/internal/telemetry"
+)
+
+// Options configures a Server.  The zero value of each field selects
+// the documented default.
+type Options struct {
+	// Dir is the service's data directory: cache/ holds result and
+	// checkpoint files, jobs/ the per-job event streams.
+	Dir string
+	// Workers bounds concurrent sweep executions (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds admitted-but-not-running jobs; a submit beyond
+	// it is refused with 429 (default 64).
+	QueueDepth int
+	// TenantQuota bounds one tenant's live (queued + running) jobs;
+	// beyond it the tenant's submits are refused with 429 (default 8).
+	TenantQuota int
+	// MaxRefs bounds the per-workload trace length a request may ask
+	// for (default 2,000,000).
+	MaxRefs int
+	// Heartbeat is the per-job event heartbeat (and event-stream flush)
+	// interval (default 500ms).
+	Heartbeat time.Duration
+	// JobHook, if non-nil, runs at the start of every job execution,
+	// before the sweep; tests use it to hold jobs in the running state.
+	// nil in production.
+	JobHook func(ctx context.Context, fp string)
+}
+
+// jobStatus is a job's lifecycle state.
+type jobStatus string
+
+const (
+	// StatusQueued: admitted, waiting for a worker.
+	StatusQueued jobStatus = "queued"
+	// StatusRunning: a worker is simulating it.
+	StatusRunning jobStatus = "running"
+	// StatusDone: completed; its result is cached and served.
+	StatusDone jobStatus = "done"
+	// StatusFailed: the sweep returned an error; resubmitting retries.
+	StatusFailed jobStatus = "failed"
+	// StatusCanceled: cut short by drain before or during simulation;
+	// completed workloads remain in the checkpoint journal and a
+	// resubmission resumes from them.
+	StatusCanceled jobStatus = "canceled"
+)
+
+// job is one admitted sweep: identity, request, lifecycle and result.
+// Status fields are guarded by the server mutex; done closes when the
+// job reaches a terminal state.
+type job struct {
+	fp     string
+	tenant string
+	req    sweep.Request
+
+	status  jobStatus
+	errText string
+	result  []byte // encoded Result, set iff status == StatusDone
+	done    chan struct{}
+	cancel  context.CancelFunc // set while running
+}
+
+// Server schedules, deduplicates, caches and serves sweeps.  Create
+// with New, serve with ServeHTTP, stop with Shutdown.
+type Server struct {
+	opts Options
+	rec  *telemetry.Run // service-level counters (no sink)
+
+	mu       sync.Mutex
+	jobs     map[string]*job // fingerprint -> latest job
+	tenants  map[string]int  // tenant -> live jobs
+	memCache map[string][]byte
+	queued   int
+	draining bool
+
+	queue      chan *job
+	wg         sync.WaitGroup
+	runCtx     context.Context // cancelled to abort in-flight sweeps
+	cancelRuns context.CancelFunc
+
+	muxOnce sync.Once
+	mux     *http.ServeMux
+}
+
+// New creates the data directories and starts the worker pool.
+func New(opts Options) (*Server, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.TenantQuota <= 0 {
+		opts.TenantQuota = 8
+	}
+	if opts.MaxRefs <= 0 {
+		opts.MaxRefs = 2_000_000
+	}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = 500 * time.Millisecond
+	}
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("service: Options.Dir is required")
+	}
+	for _, d := range []string{opts.Dir, filepath.Join(opts.Dir, "cache"), filepath.Join(opts.Dir, "jobs")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       opts,
+		rec:        telemetry.NewRun(telemetry.Options{}),
+		jobs:       make(map[string]*job),
+		tenants:    make(map[string]int),
+		memCache:   make(map[string][]byte),
+		queue:      make(chan *job, opts.QueueDepth),
+		runCtx:     ctx,
+		cancelRuns: cancel,
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Stats returns the service's counter snapshot.
+func (s *Server) Stats() *telemetry.Snapshot { return s.rec.Snapshot() }
+
+// submitOutcome is one admission decision, for the HTTP layer to
+// render.
+type submitOutcome struct {
+	job     *job
+	status  jobStatus
+	result  []byte // non-nil on a cache hit
+	cached  bool
+	deduped bool
+}
+
+// submit applies cache lookup, singleflight dedup and admission
+// control to one resolved request.  It returns an outcome, or an
+// admission error (errRejected / errDraining).
+func (s *Server) submit(req sweep.Request, fp, tenant string) (submitOutcome, error) {
+	if tenant == "" {
+		tenant = defaultTenant
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Result cache, memory then disk: a completed fingerprint is never
+	// simulated again.
+	if b := s.cachedLocked(fp); b != nil {
+		s.rec.Add(telemetry.CacheHits, 1)
+		return submitOutcome{status: StatusDone, result: b, cached: true}, nil
+	}
+	// Singleflight: join an identical in-flight job instead of queuing
+	// a second simulation.
+	if j, ok := s.jobs[fp]; ok && (j.status == StatusQueued || j.status == StatusRunning) {
+		s.rec.Add(telemetry.RequestsDeduped, 1)
+		return submitOutcome{job: j, status: j.status, deduped: true}, nil
+	}
+	// Admission control.
+	if s.draining {
+		s.rec.Add(telemetry.RequestsRejected, 1)
+		return submitOutcome{}, errDraining
+	}
+	if s.queued >= s.opts.QueueDepth {
+		s.rec.Add(telemetry.RequestsRejected, 1)
+		return submitOutcome{}, fmt.Errorf("%w: queue full (%d queued)", errRejected, s.queued)
+	}
+	if s.tenants[tenant] >= s.opts.TenantQuota {
+		s.rec.Add(telemetry.RequestsRejected, 1)
+		return submitOutcome{}, fmt.Errorf("%w: tenant %q over quota (%d live jobs)", errRejected, tenant, s.tenants[tenant])
+	}
+
+	j := &job{fp: fp, tenant: tenant, req: req, status: StatusQueued, done: make(chan struct{})}
+	s.jobs[fp] = j
+	s.tenants[tenant]++
+	s.queued++
+	s.rec.SetGauge(telemetry.QueueDepth, int64(s.queued))
+	s.rec.Add(telemetry.RequestsAdmitted, 1)
+	s.queue <- j // buffered to QueueDepth; the bound above keeps this non-blocking
+	return submitOutcome{job: j, status: StatusQueued}, nil
+}
+
+// cachedLocked returns the encoded result for fp from the memory
+// cache, falling back to (and refilling from) the on-disk cache.
+// Caller holds mu.
+func (s *Server) cachedLocked(fp string) []byte {
+	if b, ok := s.memCache[fp]; ok {
+		return b
+	}
+	b, err := os.ReadFile(s.cachePath(fp))
+	if err != nil {
+		return nil
+	}
+	s.memCache[fp] = b
+	return b
+}
+
+func (s *Server) cachePath(fp string) string {
+	return filepath.Join(s.opts.Dir, "cache", fp+".json")
+}
+
+func (s *Server) checkpointPath(fp string) string {
+	return filepath.Join(s.opts.Dir, "cache", fp+".ckpt.jsonl")
+}
+
+func (s *Server) eventsPath(fp string) string {
+	return filepath.Join(s.opts.Dir, "jobs", fp, "events.jsonl")
+}
+
+// worker executes queued jobs until the queue closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.mu.Lock()
+		s.queued--
+		s.rec.SetGauge(telemetry.QueueDepth, int64(s.queued))
+		if s.draining {
+			// Drained before starting: nothing was simulated, nothing
+			// is lost; the client resubmits after restart.
+			s.finishLocked(j, StatusCanceled, nil, "server draining")
+			s.mu.Unlock()
+			continue
+		}
+		ctx, cancel := context.WithCancel(s.runCtx)
+		j.status = StatusRunning
+		j.cancel = cancel
+		s.mu.Unlock()
+
+		status, result, errText := s.runJob(ctx, j)
+		cancel()
+
+		s.mu.Lock()
+		s.finishLocked(j, status, result, errText)
+		s.mu.Unlock()
+	}
+}
+
+// finishLocked moves a job to a terminal state and releases its quota.
+// Caller holds mu.
+func (s *Server) finishLocked(j *job, status jobStatus, result []byte, errText string) {
+	j.status = status
+	j.errText = errText
+	j.result = result
+	if status == StatusDone {
+		s.memCache[j.fp] = result
+	}
+	if s.tenants[j.tenant]--; s.tenants[j.tenant] <= 0 {
+		delete(s.tenants, j.tenant)
+	}
+	close(j.done)
+}
+
+// runJob executes one sweep with its own telemetry stream and
+// checkpoint journal.
+func (s *Server) runJob(ctx context.Context, j *job) (jobStatus, []byte, string) {
+	sink, err := telemetry.CreateJSONLSink(s.eventsPath(j.fp))
+	if err != nil {
+		return StatusFailed, nil, err.Error()
+	}
+	rec := telemetry.NewRun(telemetry.Options{
+		Sink:      sink,
+		Heartbeat: s.opts.Heartbeat,
+		// Flush on every beat so tailing the stream mid-run works.
+		OnHeartbeat: func(*telemetry.Snapshot) { sink.Flush() },
+	})
+	if s.opts.JobHook != nil {
+		s.opts.JobHook(ctx, j.fp)
+	}
+	req := j.req
+	req.Recorder = rec
+	req.Checkpoint = s.checkpointPath(j.fp)
+	res, runErr := sweep.RunContext(ctx, req)
+	interrupted := ctx.Err() != nil
+	if cerr := rec.CloseInterrupted(interrupted); cerr != nil && runErr == nil {
+		runErr = cerr
+	}
+	switch {
+	case interrupted:
+		// Drain cancelled the sweep at a chunk boundary.  Every
+		// workload that completed is in the checkpoint journal (each
+		// record fsynced whole), so a resubmission resumes exactly.
+		return StatusCanceled, nil, "interrupted by drain; completed workloads checkpointed"
+	case runErr != nil:
+		return StatusFailed, nil, runErr.Error()
+	}
+	b, err := encodeResult(buildResult(j.fp, j.req, res))
+	if err != nil {
+		return StatusFailed, nil, err.Error()
+	}
+	if err := telemetry.WriteFileAtomic(s.cachePath(j.fp), b, 0o644); err != nil {
+		return StatusFailed, nil, err.Error()
+	}
+	return StatusDone, b, ""
+}
+
+// BeginDrain stops admission (new submits get 503) without touching
+// running work; Shutdown calls it first.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+}
+
+// Shutdown drains the pool: stop admitting, let queued jobs cancel
+// cleanly (workers mark them canceled without simulating), and wait
+// for in-flight sweeps.  If ctx expires first, in-flight sweeps are
+// cancelled at their next chunk boundary -- their checkpoint journals
+// keep every completed workload -- and Shutdown waits for the workers
+// to exit.  Safe to call once; returns ctx's error if the grace
+// period expired.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancelRuns()
+		<-done
+	}
+	s.cancelRuns()
+	s.rec.Close()
+	return err
+}

@@ -185,6 +185,16 @@ func (j *Journal) Record(fp, workload string, points []Point, runs map[Point]met
 // Close releases the journal file.
 func (j *Journal) Close() error { return j.f.Close() }
 
+// RequestFingerprint exposes a request's checkpoint fingerprint: the
+// short stable hash of exactly what determines its results (see
+// requestFingerprint).  The sweep service keys its result cache and
+// singleflight dedup on it, so two requests that would simulate the
+// same thing -- whatever their engine, shard count or parallelism --
+// share one simulation and one cache entry.
+func RequestFingerprint(req Request) (string, error) {
+	return requestFingerprint(req)
+}
+
 // requestFingerprint hashes exactly what determines a sweep's results
 // per workload: the architecture (and its word size), the trace
 // length, and the requested point set.  Engine, shard count,

@@ -38,6 +38,17 @@ func (a Arch) String() string {
 	}
 }
 
+// ParseArch converts an architecture name (as String renders it) into
+// an Arch; the service API and CLI flags share this vocabulary.
+func ParseArch(s string) (Arch, error) {
+	for _, a := range AllArchs() {
+		if s == a.String() {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("synth: unknown architecture %q (want PDP-11, Z8000, VAX-11 or System/370)", s)
+}
+
 // WordSize returns the memory data-path width the paper assumed when
 // creating each architecture's traces: 2 bytes for the 16-bit machines,
 // 4 bytes for the 32-bit machines.

@@ -56,6 +56,18 @@ const (
 	// end of a pass, the stackdist engine's analogue of
 	// FamiliesFlushed.
 	StackUnitsFlushed
+	// RequestsAdmitted counts sweep requests the service accepted onto
+	// its worker queue (cache hits and dedup joins are not admissions).
+	RequestsAdmitted
+	// RequestsRejected counts sweep requests refused by admission
+	// control: queue full, tenant over quota, or a draining server.
+	RequestsRejected
+	// RequestsDeduped counts requests that joined an identical
+	// in-flight sweep (same fingerprint) instead of simulating again.
+	RequestsDeduped
+	// CacheHits counts requests served from the fingerprint-keyed
+	// result cache (memory or disk) without any simulation.
+	CacheHits
 	numCounters
 )
 
@@ -74,6 +86,10 @@ var counterNames = [numCounters]string{
 	PointsResumed:        "points_resumed",
 	EventsDropped:        "events_dropped",
 	StackUnitsFlushed:    "stack_units_flushed",
+	RequestsAdmitted:     "requests_admitted",
+	RequestsRejected:     "requests_rejected",
+	RequestsDeduped:      "requests_deduped",
+	CacheHits:            "cache_hits",
 }
 
 // String returns the counter's wire name.
@@ -96,12 +112,16 @@ const (
 	// ActiveWorkloads is the number of workload executors currently
 	// simulating.
 	ActiveWorkloads
+	// QueueDepth is the number of sweep requests waiting on the
+	// service's worker queue (admitted but not yet running).
+	QueueDepth
 	numGauges
 )
 
 var gaugeNames = [numGauges]string{
 	FreeRingOccupancy: "free_ring_occupancy",
 	ActiveWorkloads:   "active_workloads",
+	QueueDepth:        "queue_depth",
 }
 
 // String returns the gauge's wire name.

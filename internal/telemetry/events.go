@@ -36,6 +36,12 @@ const (
 	EventErrorAttributed = "error-attributed"
 	// EventHeartbeat carries a periodic counter snapshot.
 	EventHeartbeat = "heartbeat"
+	// EventRunEnd terminates one recorder's stream: the final counter
+	// snapshot plus whether the run was interrupted.  Run.Close emits
+	// it after the heartbeat goroutine has fully stopped, so it is
+	// always the last event -- ValidateStream rejects anything after
+	// it, which is how consumers detect a torn shutdown.
+	EventRunEnd = "run-end"
 )
 
 // Event is the envelope every telemetry event shares.  Exactly one
@@ -56,6 +62,7 @@ type Event struct {
 	ShardStat *ShardStat       `json:"shard_stat,omitempty"`
 	Error     *ErrorAttributed `json:"error,omitempty"`
 	Heartbeat *Heartbeat       `json:"heartbeat,omitempty"`
+	RunEnd    *RunEnd          `json:"run_end,omitempty"`
 }
 
 // RunStart is the EventRunStart payload.
@@ -127,6 +134,15 @@ type Heartbeat struct {
 	Snapshot *Snapshot `json:"snapshot"`
 }
 
+// RunEnd is the EventRunEnd payload: the stream's terminal record.
+type RunEnd struct {
+	// Interrupted marks a run cut short (signal, cancellation, drain)
+	// rather than completed; its counters describe the partial run.
+	Interrupted bool `json:"interrupted,omitempty"`
+	// Snapshot is the recorder's final, quiesced counter state.
+	Snapshot *Snapshot `json:"snapshot"`
+}
+
 // Validate checks an event against the schema: known version and
 // type, exactly one payload, and the payload matching the type with
 // its required fields set.
@@ -138,7 +154,7 @@ func (ev *Event) Validate() error {
 		return fmt.Errorf("telemetry: event seq %d: negative elapsed_ms %d", ev.Seq, ev.ElapsedMS)
 	}
 	payloads := 0
-	for _, p := range []bool{ev.RunStart != nil, ev.PointDone != nil, ev.ShardStat != nil, ev.Error != nil, ev.Heartbeat != nil} {
+	for _, p := range []bool{ev.RunStart != nil, ev.PointDone != nil, ev.ShardStat != nil, ev.Error != nil, ev.Heartbeat != nil, ev.RunEnd != nil} {
 		if p {
 			payloads++
 		}
@@ -178,6 +194,12 @@ func (ev *Event) Validate() error {
 			return payloadMismatch(ev)
 		} else if p.Snapshot == nil {
 			return fmt.Errorf("telemetry: heartbeat seq %d: nil snapshot", ev.Seq)
+		}
+	case EventRunEnd:
+		if p := ev.RunEnd; p == nil {
+			return payloadMismatch(ev)
+		} else if p.Snapshot == nil {
+			return fmt.Errorf("telemetry: run-end seq %d: nil snapshot", ev.Seq)
 		}
 	default:
 		return fmt.Errorf("telemetry: event seq %d: unknown type %q", ev.Seq, ev.Type)
@@ -284,14 +306,17 @@ type StreamStats struct {
 }
 
 // ValidateStream reads a JSONL event stream and validates every line:
-// schema-valid events with strictly increasing sequence numbers.  It
-// returns the summary and the first error (with its line number).
+// schema-valid events with strictly increasing sequence numbers, and
+// nothing after a run-end event (the stream's terminal record -- a
+// heartbeat landing after it would mean a torn shutdown).  It returns
+// the summary and the first error (with its line number).
 func ValidateStream(r io.Reader) (StreamStats, error) {
 	st := StreamStats{ByType: make(map[string]int)}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<26)
 	line := 0
 	var lastSeq uint64
+	ended := false
 	for sc.Scan() {
 		line++
 		raw := bytes.TrimSpace(sc.Bytes())
@@ -308,6 +333,10 @@ func ValidateStream(r io.Reader) (StreamStats, error) {
 		if st.Events > 0 && ev.Seq <= lastSeq {
 			return st, fmt.Errorf("line %d: seq %d not after %d", line, ev.Seq, lastSeq)
 		}
+		if ended {
+			return st, fmt.Errorf("line %d: %s event after run-end (torn shutdown)", line, ev.Type)
+		}
+		ended = ev.Type == EventRunEnd
 		lastSeq = ev.Seq
 		st.Events++
 		st.ByType[ev.Type]++

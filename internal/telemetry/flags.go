@@ -146,7 +146,7 @@ func (s *Session) Close() error {
 		}
 	}
 	if s.run != nil {
-		keep(s.run.Close())
+		keep(s.run.CloseInterrupted(s.Manifest.Interrupted))
 		if s.progress != nil {
 			s.progress.Done(s.run.Snapshot())
 		}

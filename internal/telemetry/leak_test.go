@@ -1,0 +1,47 @@
+package telemetry
+
+import (
+	"context"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestRunNoGoroutineLeak is the CLI-path half of the torn-shutdown
+// regression: many short-lived recorders with fast heartbeats, each
+// started and closed (some "interrupted" mid-run, as a signal handler
+// would), must leave no heartbeat goroutines or tickers behind, and
+// every stream must still end on its terminal run-end event.
+func TestRunNoGoroutineLeak(t *testing.T) {
+	dir := t.TempDir()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		sink, err := CreateJSONLSink(filepath.Join(dir, "events.jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := NewRun(Options{Sink: sink, Heartbeat: time.Millisecond})
+		ctx, cancel := context.WithCancel(context.Background())
+		run.Add(PointsCompleted, 1)
+		if i%3 == 0 {
+			// Simulate a SIGINT arriving mid-run.
+			cancel()
+		}
+		if err := run.CloseInterrupted(ctx.Err() != nil); err != nil {
+			t.Fatal(err)
+		}
+		cancel()
+		// Closing again is a no-op, not a double-close panic.
+		if err := run.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -43,6 +43,10 @@ type Manifest struct {
 	// 0 where the platform cannot report it).
 	WallSeconds float64 `json:"wall_seconds"`
 	CPUSeconds  float64 `json:"cpu_seconds"`
+	// Interrupted marks a run cut short by SIGINT/SIGTERM or a drain:
+	// the manifest and counters describe the partial run that actually
+	// happened, not the one that was requested.
+	Interrupted bool `json:"interrupted,omitempty"`
 	// EventsFile points at the JSONL event stream, when one was written.
 	EventsFile string `json:"events_file,omitempty"`
 	// Telemetry is the final counter snapshot.

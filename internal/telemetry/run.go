@@ -188,10 +188,18 @@ func (r *Run) heartbeat() {
 	}
 }
 
-// Close stops the heartbeat (emitting one final beat so the stream
-// always ends with a complete snapshot) and closes the sink.  Safe to
-// call once; the recorder's counters remain readable afterwards.
-func (r *Run) Close() error {
+// Close finalises the recorder for a completed run; see CloseInterrupted.
+func (r *Run) Close() error { return r.CloseInterrupted(false) }
+
+// CloseInterrupted stops the heartbeat, emits one final beat (when a
+// heartbeat consumer is configured) followed by the terminal run-end
+// event, and closes the sink.  The heartbeat goroutine is fully joined
+// before the run-end event is stamped, and Emit serialises the sink, so
+// no heartbeat can ever land after the terminal event -- ValidateStream
+// enforces exactly that ordering on the written stream.  interrupted
+// marks a run cut short by a signal, cancellation or drain.  Safe to
+// call twice; the recorder's counters remain readable afterwards.
+func (r *Run) CloseInterrupted(interrupted bool) error {
 	if !r.closed.CompareAndSwap(false, true) {
 		return nil
 	}
@@ -201,6 +209,7 @@ func (r *Run) Close() error {
 		r.heartbeat()
 	}
 	if r.opts.Sink != nil {
+		r.Emit(&Event{Type: EventRunEnd, RunEnd: &RunEnd{Interrupted: interrupted, Snapshot: r.Snapshot()}})
 		return r.opts.Sink.Close()
 	}
 	return nil

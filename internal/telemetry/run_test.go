@@ -156,11 +156,17 @@ func TestRunCloseFinalHeartbeat(t *testing.T) {
 		t.Errorf("heartbeat callbacks = %d, want 1", beats)
 	}
 	evs := sink.all()
-	if len(evs) != 1 || evs[0].Type != EventHeartbeat {
-		t.Fatalf("sink events = %+v, want one heartbeat", evs)
+	if len(evs) != 2 || evs[0].Type != EventHeartbeat || evs[1].Type != EventRunEnd {
+		t.Fatalf("sink events = %+v, want heartbeat then run-end", evs)
 	}
 	if got := evs[0].Heartbeat.Snapshot.Counter(RefsRead); got != 5 {
 		t.Errorf("final heartbeat refs_read = %d, want 5", got)
+	}
+	if evs[1].RunEnd.Interrupted {
+		t.Error("run-end marked interrupted on a clean close")
+	}
+	if got := evs[1].RunEnd.Snapshot.Counter(RefsRead); got != 5 {
+		t.Errorf("run-end snapshot refs_read = %d, want 5", got)
 	}
 	if !sink.closed {
 		t.Error("sink not closed")
@@ -247,8 +253,12 @@ func TestRunEmitOrderedInStream(t *testing.T) {
 	if err != nil {
 		t.Fatalf("stream invalid: %v", err)
 	}
-	if want := workers * perWorker * 11 / 10; st.Events != want {
+	// Every worker emission plus the terminal run-end event.
+	if want := workers*perWorker*11/10 + 1; st.Events != want {
 		t.Errorf("stream has %d events, want %d", st.Events, want)
+	}
+	if st.ByType[EventRunEnd] != 1 {
+		t.Errorf("run-end events = %d, want exactly 1", st.ByType[EventRunEnd])
 	}
 }
 
