@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet test-faults test-telemetry test-stackdist test-service bench bench-kernel bench-sweep experiments traces cover fmt clean
+.PHONY: all build test test-race vet test-faults test-telemetry test-stackdist test-service bench bench-kernel bench-sweep bench-check experiments traces cover fmt clean
 
 all: build test
 
@@ -56,6 +56,14 @@ bench-kernel:
 # Time the three sweep engines on the Table 7 grid and refresh BENCH_sweep.json.
 bench-sweep:
 	$(GO) run ./cmd/benchsweep
+
+# Gate the engine kernels against BENCH_baseline.json, failing on a >25%
+# ns/op regression after rescaling by a core-frequency calibration (so a
+# throttled CI machine does not fail spuriously).  Override the band with
+# `make bench-check TOLERANCE=0.40`; after an intentional kernel change,
+# refresh the baseline with `go run ./cmd/benchcheck -update`.
+bench-check:
+	$(GO) run ./cmd/benchcheck $(if $(TOLERANCE),-tolerance $(TOLERANCE))
 
 # Regenerate every table and figure at the paper's 1M-reference scale.
 experiments:

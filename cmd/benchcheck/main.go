@@ -1,0 +1,199 @@
+// Command benchcheck gates the engine kernels against the committed
+// performance baseline.
+//
+// It re-times the hit and miss kernel microbenchmarks for all three
+// sweep engines (the same internal/kernelbench harness cmd/benchsweep
+// uses), compares each figure against BENCH_baseline.json, and exits
+// non-zero if any regresses by more than the tolerance -- 25% by
+// default, overridable with -tolerance or the make variable TOLERANCE.
+//
+// Shared CI machines do not run at a fixed clock: this repository's own
+// history shows the same binary timing 2x apart hours apart on one
+// container.  Raw ns comparisons would fail on every slow day, so both
+// the baseline and each fresh run record a core-frequency calibration
+// (a fixed dependent-multiply chain, see kernelbench.Calibrate), and
+// the fresh figures are judged against baseline * (fresh_cal/base_cal)
+// * (1+tolerance): a kernel is flagged only when it got slower relative
+// to the machine itself.
+//
+// Refresh the baseline after an intentional perf change with:
+//
+//	go run ./cmd/benchcheck -update
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"subcache/internal/kernelbench"
+	"subcache/internal/sweep"
+)
+
+// engineBaseline is one engine's committed kernel figures.
+type engineBaseline struct {
+	Engine       string  `json:"engine"`
+	KernelHitNs  float64 `json:"kernel_hit_ns"`
+	KernelMissNs float64 `json:"kernel_miss_ns"`
+}
+
+// baseline is the BENCH_baseline.json schema.
+type baseline struct {
+	Description string           `json:"description"`
+	Tolerance   float64          `json:"tolerance"`
+	CalNs       float64          `json:"cal_ns"`
+	Engines     []engineBaseline `json:"engines"`
+}
+
+// measure collects `repeat` kernel timings per engine and reduces them
+// with pick (min for checking, median for the baseline: comparing a
+// fresh minimum against a stored median leaves headroom for the co-
+// tenant jitter that frequency calibration cannot see).
+func measure(repeat int, pick func([]float64) float64) ([]engineBaseline, error) {
+	engines := []sweep.Engine{sweep.Reference, sweep.MultiPass, sweep.StackDist}
+	out := make([]engineBaseline, len(engines))
+	for i, eng := range engines {
+		hits := make([]float64, 0, repeat)
+		misses := make([]float64, 0, repeat)
+		for r := 0; r < repeat; r++ {
+			hit, miss, err := kernelbench.Bench(eng)
+			if err != nil {
+				return nil, err
+			}
+			hits = append(hits, hit)
+			misses = append(misses, miss)
+		}
+		out[i] = engineBaseline{Engine: eng.String(), KernelHitNs: pick(hits), KernelMissNs: pick(misses)}
+	}
+	return out, nil
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func medianOf(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }
+
+func main() {
+	path := flag.String("baseline", "BENCH_baseline.json", "baseline file to compare against (or write with -update)")
+	tol := flag.Float64("tolerance", -1, "allowed fractional regression (default: the baseline's own tolerance field, 0.25 as committed)")
+	repeat := flag.Int("repeat", 3, "timings per engine; checking compares the minimum, -update stores the median")
+	update := flag.Bool("update", false, "rewrite the baseline from this machine instead of checking")
+	flag.Parse()
+
+	pick := minOf
+	if *update {
+		pick = medianOf
+		if *repeat < 5 {
+			*repeat = 5 // a stable median needs more samples than a minimum
+		}
+	}
+	cal := kernelbench.Calibrate()
+	fresh, err := measure(*repeat, pick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+
+	if *update {
+		t := *tol
+		if t < 0 {
+			t = 0.25
+		}
+		b := baseline{
+			Description: "Kernel microbench baseline for `make bench-check`: median-of-N hit/miss ns per engine plus the core-frequency calibration they were captured at. Fresh best-of-N runs are compared after rescaling by the calibration ratio; regenerate with `go run ./cmd/benchcheck -update` after intentional kernel changes.",
+			Tolerance:   t,
+			CalNs:       round2(cal),
+			Engines:     fresh,
+		}
+		for i := range b.Engines {
+			b.Engines[i].KernelHitNs = round2(b.Engines[i].KernelHitNs)
+			b.Engines[i].KernelMissNs = round2(b.Engines[i].KernelMissNs)
+		}
+		buf, err := json.MarshalIndent(&b, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*path, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchcheck: wrote %s (cal %.2f ns)\n", *path, cal)
+		return
+	}
+
+	buf, err := os.ReadFile(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	var base baseline
+	if err := json.Unmarshal(buf, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: parsing %s: %v\n", *path, err)
+		os.Exit(2)
+	}
+	t := base.Tolerance
+	if *tol >= 0 {
+		t = *tol
+	}
+	scale := 1.0
+	if base.CalNs > 0 && cal > 0 {
+		scale = cal / base.CalNs
+	}
+	fmt.Printf("benchcheck: cal %.2f ns vs baseline %.2f ns (machine scale %.2fx), tolerance %.0f%%\n",
+		cal, base.CalNs, scale, t*100)
+
+	byName := map[string]engineBaseline{}
+	for _, e := range fresh {
+		byName[e.Engine] = e
+	}
+	failed := false
+	for _, b := range base.Engines {
+		f, ok := byName[b.Engine]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchcheck: engine %s in baseline but not measured\n", b.Engine)
+			failed = true
+			continue
+		}
+		for _, m := range []struct {
+			name        string
+			base, fresh float64
+		}{
+			{"hit", b.KernelHitNs, f.KernelHitNs},
+			{"miss", b.KernelMissNs, f.KernelMissNs},
+		} {
+			allowed := m.base * scale * (1 + t)
+			status := "ok"
+			if m.fresh > allowed {
+				status = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("  %-10s %-4s %7.1f ns  (baseline %.1f, allowed %.1f)  %s\n",
+				b.Engine, m.name, m.fresh, m.base, allowed, status)
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchcheck: kernel regression beyond tolerance; if intentional, refresh with `go run ./cmd/benchcheck -update`")
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: all kernels within tolerance")
+}

@@ -10,34 +10,64 @@ import (
 	"subcache/internal/trace"
 )
 
-// frame is one block's worth of cache state: an address tag, per
-// sub-block valid bits, per sub-block "touched" bits (for the paper's
-// sub-block utilisation measurement, §4.1) and the recency bookkeeping
-// for the replacement policies.
-type frame struct {
-	tag      addr.Addr
-	tagValid bool
-	valid    uint64 // bit i set: sub-block i resident
-	touched  uint64 // bit i set: sub-block i referenced while resident
-	dirty    uint64 // bit i set: sub-block i modified (copy-back mode)
-	// prefetched marks a frame allocated by OBL prefetch and not yet
-	// demand-referenced, for the pollution accounting.
-	prefetched bool
-
-	lastUse  uint64 // LRU tick
-	loadedAt uint64 // FIFO tick
-}
+// Frame storage is struct-of-arrays: one parallel dense slice per field,
+// indexed by frame index fi = set*Assoc + way.  A set probe is then a
+// contiguous scan over a handful of adjacent tag words -- one or two L1
+// lines -- instead of a stride over 64-byte frame structs, and the
+// replacement scans (lastUse/loadedAt) enjoy the same locality.
+//
+// Within a set, frames are filled strictly in way order (the victim
+// search always prefers the lowest unused way, and a tag, once set, is
+// never invalidated), so "which ways hold a valid tag" is just the
+// prefix [0, setFill[set]).  That prefix count replaces the old per-frame
+// tagValid flag: probes scan only filled ways, and an unfilled way is
+// never read.
+//
+// The slices are, per frame:
+//
+//	tags     address tag (the block number; valid for ways < setFill)
+//	valid    bit i set: sub-block i resident
+//	touched  bit i set: sub-block i referenced while resident
+//	dirty    bit i set: sub-block i modified (copy-back mode)
+//	lastUse  LRU tick
+//	loadedAt FIFO tick
+//	prefOBL  frame allocated by OBL prefetch, not yet demand-referenced
+//	         (pollution accounting); allocated only when PrefetchOBL is on
 
 // Cache is a running sub-block cache simulation.  It consumes
 // word-sized accesses (normally produced by trace.Splitter) and
 // accumulates Stats.  Not safe for concurrent use.
 type Cache struct {
-	cfg    Config
-	sets   [][]frame
+	cfg   Config
+	assoc int
+
+	tags     []addr.Addr
+	valid    []uint64
+	touched  []uint64
+	dirty    []uint64
+	lastUse  []uint64
+	loadedAt []uint64
+	prefOBL  []bool
+	setFill  []int32 // valid ways per set: tags[set*assoc : +setFill] hold blocks
+
 	tick   uint64
 	rand   *rng.Stream
 	filled int  // frames filled at least once, for warm-start gating
 	warm   bool // counting enabled: warm-start satisfied or disabled
+
+	// memoI/memoD are per-stream same-block memos: the frame index the
+	// last instruction-fetch (respectively data) access touched, or -1.
+	// A reference to the same block classifies with one tag compare,
+	// bypassing the probe loop entirely; two memos because split traces
+	// interleave the instruction and data streams, which would thrash a
+	// single memo.  Staleness is impossible: a frame's tag changes only
+	// at allocation, which re-points the allocating stream's memo, and
+	// a block is resident in at most one frame, so tags[m] == blockAddr
+	// is exactly "the memoized frame still holds this block" -- a memo
+	// left stale by the other stream's allocation fails the compare and
+	// falls back to the probe.
+	memoI int32
+	memoD int32
 
 	// Geometry shifts/masks, precomputed so the per-access path never
 	// divides or re-derives configuration quantities.
@@ -45,6 +75,7 @@ type Cache struct {
 	setMask     addr.Addr
 	subShift    uint
 	subPerBlk   uint
+	subMask     uint64 // low subPerBlk bits set: the whole-block valid mask
 	wordsPerSub int
 
 	stats Stats
@@ -56,20 +87,30 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	numSets := cfg.NumSets()
-	sets := make([][]frame, numSets)
-	backing := make([]frame, numSets*cfg.Assoc)
-	for i := range sets {
-		sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
-	}
+	numFrames := numSets * cfg.Assoc
+	subPerBlk := uint(cfg.SubBlocksPerBlock())
 	c := &Cache{
 		cfg:         cfg,
-		sets:        sets,
+		assoc:       cfg.Assoc,
+		tags:        make([]addr.Addr, numFrames),
+		valid:       make([]uint64, numFrames),
+		touched:     make([]uint64, numFrames),
+		dirty:       make([]uint64, numFrames),
+		lastUse:     make([]uint64, numFrames),
+		loadedAt:    make([]uint64, numFrames),
+		setFill:     make([]int32, numSets),
 		warm:        !cfg.WarmStart,
+		memoI:       -1,
+		memoD:       -1,
 		blockShift:  addr.Log2(uint64(cfg.BlockSize)),
 		setMask:     addr.Addr(numSets - 1),
 		subShift:    addr.Log2(uint64(cfg.SubBlockSize)),
-		subPerBlk:   uint(cfg.SubBlocksPerBlock()),
+		subPerBlk:   subPerBlk,
+		subMask:     ^uint64(0) >> (64 - subPerBlk),
 		wordsPerSub: cfg.WordsPerSubBlock(),
+	}
+	if cfg.PrefetchOBL {
+		c.prefOBL = make([]bool, numFrames)
 	}
 	// Pre-size the transaction histogram to the longest possible
 	// transfer (a whole block) so fills record with a plain increment.
@@ -96,7 +137,7 @@ func (c *Cache) counting() bool { return c.warm }
 // once every frame has been filled.
 func (c *Cache) noteFill() {
 	c.filled++
-	if c.filled == len(c.sets)*c.cfg.Assoc {
+	if c.filled == len(c.tags) {
 		c.warm = true
 	}
 }
@@ -134,17 +175,17 @@ func (c *Cache) Access(r trace.Ref) Result {
 }
 
 // markWrite accounts for the memory-update side of a write access.
-// hit/installed tell whether the written sub-block is (now) resident in
-// frame f at sub-block subIdx.  Write traffic never touches the paper's
+// resident tells whether the written sub-block is (now) resident in
+// frame fi at sub-block subIdx.  Write traffic never touches the paper's
 // read-only ratios; it accumulates in its own Stats fields.
-func (c *Cache) markWrite(f *frame, subIdx uint, resident bool) {
+func (c *Cache) markWrite(fi int, subIdx uint, resident bool) {
 	if !c.cfg.CopyBack {
 		// Write-through: the store always moves one word to memory.
 		c.stats.WriteThroughWords++
 		return
 	}
 	if resident {
-		f.dirty |= 1 << subIdx
+		c.dirty[fi] |= 1 << subIdx
 		return
 	}
 	// Copy-back with the datum not cached (non-allocating miss): the
@@ -157,11 +198,11 @@ func (c *Cache) markWrite(f *frame, subIdx uint, resident bool) {
 // should fire.  The prefetch itself is issued by the caller *after* it
 // has finished with the frame, because the prefetch may allocate in the
 // same set.
-func (c *Cache) markPrefetchUsed(f *frame) bool {
-	if !f.prefetched {
+func (c *Cache) markPrefetchUsed(fi int) bool {
+	if !c.prefOBL[fi] {
 		return false
 	}
-	f.prefetched = false
+	c.prefOBL[fi] = false
 	c.stats.PrefetchUsed++
 	return true
 }
@@ -176,46 +217,47 @@ func (c *Cache) markPrefetchUsed(f *frame) bool {
 // frame the prefetch is dropped instead (as real hardware loses the
 // arbitration).  Without this, FIFO or Random replacement in a
 // small or fully-associative set could evict the frame mid-access.
-func (c *Cache) prefetch(blockAddr addr.Addr, counted bool, exclude *frame) {
-	set := c.sets[blockAddr&c.setMask]
-	for i := range set {
-		if set[i].tagValid && set[i].tag == blockAddr {
-			if set[i].valid&1 != 0 {
+func (c *Cache) prefetch(blockAddr addr.Addr, counted bool, exclude int) {
+	setIdx := int(blockAddr & c.setMask)
+	base := setIdx * c.assoc
+	n := base + int(c.setFill[setIdx])
+	for fi := base; fi < n; fi++ {
+		if c.tags[fi] == blockAddr {
+			if c.valid[fi]&1 != 0 {
 				return // already resident: nothing to move
 			}
-			c.fillPrefetch(&set[i], counted)
+			c.fillPrefetch(fi, counted)
 			return
 		}
 	}
-	v := c.victim(set)
-	f := &set[v]
-	if f == exclude {
+	fi, fresh := c.victim(setIdx)
+	if fi == exclude {
 		return
 	}
-	if f.tagValid {
-		c.retire(f)
-	} else {
+	if fresh {
+		c.setFill[setIdx]++
 		c.noteFill()
+	} else {
+		c.retire(fi)
 	}
 	c.tick++
-	f.tag = blockAddr
-	f.tagValid = true
-	f.valid = 0
-	f.touched = 0
-	f.dirty = 0
-	f.prefetched = true
-	f.lastUse = c.tick
-	f.loadedAt = c.tick
-	c.fillPrefetch(f, counted)
+	c.tags[fi] = blockAddr
+	c.valid[fi] = 0
+	c.touched[fi] = 0
+	c.dirty[fi] = 0
+	c.prefOBL[fi] = true
+	c.lastUse[fi] = c.tick
+	c.loadedAt[fi] = c.tick
+	c.fillPrefetch(fi, counted)
 }
 
-// fillPrefetch loads sub-block 0 of f, accounting it as prefetch
+// fillPrefetch loads sub-block 0 of frame fi, accounting it as prefetch
 // traffic.  The PrefetchFills diagnostic counts every prefetch (so the
 // used/pollution fractions stay consistent with the flag lifecycle);
 // the paper's traffic metrics count only while counting is enabled, as
 // for demand fills.
-func (c *Cache) fillPrefetch(f *frame, counted bool) {
-	f.valid |= 1
+func (c *Cache) fillPrefetch(fi int, counted bool) {
+	c.valid[fi] |= 1
 	c.recordTransaction(1, counted)
 	c.stats.PrefetchFills++
 	if counted {
@@ -230,12 +272,10 @@ func (c *Cache) fillPrefetch(f *frame, counted bool) {
 func (c *Cache) access(r trace.Ref, allocate, count bool) Result {
 	c.tick++
 	blockAddr := r.Addr >> c.blockShift
-	setIdx := blockAddr & c.setMask
 	tag := blockAddr
 	subIdx := uint(addr.Offset(r.Addr, uint64(c.cfg.BlockSize))) >> c.subShift
-	set := c.sets[setIdx]
 
-	counted := count && c.counting()
+	counted := count && c.warm
 	if counted {
 		c.stats.Accesses++
 		if r.Kind == trace.IFetch {
@@ -245,67 +285,81 @@ func (c *Cache) access(r trace.Ref, allocate, count bool) Result {
 		}
 	} else if count {
 		c.stats.WarmupAccesses++
-	}
-	if !count {
+	} else {
 		c.stats.WriteAccesses++
 	}
 
-	// Tag probe.
-	way := -1
-	for i := range set {
-		if set[i].tagValid && set[i].tag == tag {
-			way = i
-			break
+	// Tag probe: the stream's same-block memoization first (one
+	// compare -- the dominant case in word-split traces, where a
+	// multi-word access or a sequential instruction run touches one
+	// block many times in a row), then the contiguous scan over the
+	// set's filled tags.
+	memo := &c.memoD
+	if r.Kind == trace.IFetch {
+		memo = &c.memoI
+	}
+	fi := -1
+	if m := *memo; m >= 0 && c.tags[m] == tag {
+		fi = int(m)
+	} else {
+		setIdx := int(blockAddr & c.setMask)
+		base := setIdx * c.assoc
+		n := base + int(c.setFill[setIdx])
+		for w := base; w < n; w++ {
+			if c.tags[w] == tag {
+				fi = w
+				*memo = int32(w)
+				break
+			}
 		}
 	}
 
 	var res Result
 	switch {
-	case way >= 0 && set[way].valid&(1<<subIdx) != 0:
+	case fi >= 0 && c.valid[fi]&(1<<subIdx) != 0:
 		// Full hit.
 		res.Hit = true
-		set[way].lastUse = c.tick
-		set[way].touched |= 1 << subIdx
+		c.lastUse[fi] = c.tick
+		c.touched[fi] |= 1 << subIdx
 		if counted {
 			c.stats.Hits++
 		}
 		if r.Kind == trace.Write {
-			c.markWrite(&set[way], subIdx, true)
+			c.markWrite(fi, subIdx, true)
 		}
-		if c.cfg.PrefetchOBL && c.markPrefetchUsed(&set[way]) {
+		if c.cfg.PrefetchOBL && c.markPrefetchUsed(fi) {
 			// Tagged prefetch, issued last: the frame's state is final.
-			c.prefetch(tag+1, counted, &set[way])
+			c.prefetch(tag+1, counted, fi)
 		}
 		return res
 
-	case way >= 0:
+	case fi >= 0:
 		// Tag hit, sub-block missing.
 		if counted {
 			c.stats.Misses++
 			c.stats.SubBlockMisses++
 		} else if count {
 			c.stats.WarmupMisses++
-		}
-		if !count {
+		} else {
 			c.stats.WriteMisses++
 		}
 		if !allocate {
 			if r.Kind == trace.Write {
-				c.markWrite(nil, subIdx, false)
+				c.markWrite(fi, subIdx, false)
 			}
 			return res
 		}
-		set[way].lastUse = c.tick
-		res.SubBlocksLoaded = c.fill(&set[way], subIdx, counted)
-		set[way].touched |= 1 << subIdx
+		c.lastUse[fi] = c.tick
+		res.SubBlocksLoaded = c.fill(fi, subIdx, counted)
+		c.touched[fi] |= 1 << subIdx
 		if r.Kind == trace.Write {
-			c.markWrite(&set[way], subIdx, true)
+			c.markWrite(fi, subIdx, true)
 		}
 		if c.cfg.PrefetchOBL {
 			// A miss and a first use of a prefetched block both target
 			// the same next block; one lookahead covers both.
-			c.markPrefetchUsed(&set[way])
-			c.prefetch(blockAddr+1, counted, &set[way])
+			c.markPrefetchUsed(fi)
+			c.prefetch(blockAddr+1, counted, fi)
 		}
 		return res
 
@@ -317,83 +371,86 @@ func (c *Cache) access(r trace.Ref, allocate, count bool) Result {
 			c.stats.BlockMisses++
 		} else if count {
 			c.stats.WarmupMisses++
-		}
-		if !count {
+		} else {
 			c.stats.WriteMisses++
 		}
 		if !allocate {
 			if r.Kind == trace.Write {
-				c.markWrite(nil, subIdx, false)
+				c.markWrite(-1, subIdx, false)
 			}
 			return res
 		}
-		v := c.victim(set)
-		f := &set[v]
-		if f.tagValid {
-			res.Evicted = true
-			c.retire(f)
-		} else {
+		setIdx := int(blockAddr & c.setMask)
+		v, fresh := c.victim(setIdx)
+		fi = v
+		if fresh {
+			c.setFill[setIdx]++
 			c.noteFill()
+		} else {
+			res.Evicted = true
+			c.retire(fi)
 		}
-		f.tag = tag
-		f.tagValid = true
-		f.valid = 0
-		f.touched = 0
-		f.dirty = 0
-		f.prefetched = false
-		f.lastUse = c.tick
-		f.loadedAt = c.tick
-		res.SubBlocksLoaded = c.fill(f, subIdx, counted)
-		f.touched |= 1 << subIdx
+		c.tags[fi] = tag
+		c.valid[fi] = 0
+		c.touched[fi] = 0
+		c.dirty[fi] = 0
+		if c.prefOBL != nil {
+			c.prefOBL[fi] = false
+		}
+		c.lastUse[fi] = c.tick
+		c.loadedAt[fi] = c.tick
+		*memo = int32(fi)
+		res.SubBlocksLoaded = c.fill(fi, subIdx, counted)
+		c.touched[fi] |= 1 << subIdx
 		if r.Kind == trace.Write {
-			c.markWrite(f, subIdx, true)
+			c.markWrite(fi, subIdx, true)
 		}
 		if c.cfg.PrefetchOBL {
-			c.prefetch(blockAddr+1, counted, f)
+			c.prefetch(blockAddr+1, counted, fi)
 		}
 		return res
 	}
 }
 
-// fill loads sub-blocks into f according to the fetch policy, starting
-// from the missing sub-block subIdx, and returns the number of
+// fill loads sub-blocks into frame fi according to the fetch policy,
+// starting from the missing sub-block subIdx, and returns the number of
 // sub-block transfers.  Each fill is one contiguous bus transaction; the
 // transaction's length in words is recorded for the nibble-mode cost
 // models.
-func (c *Cache) fill(f *frame, subIdx uint, counted bool) int {
+//
+// The valid-mask updates are branch-free: the fetch span is one OR of a
+// precomputed mask, and the redundant-transfer count is a popcount of
+// the already-valid bits under that mask, instead of a branchy per-bit
+// loop.
+func (c *Cache) fill(fi int, subIdx uint, counted bool) int {
 	var loaded, redundant int
 	switch c.cfg.Fetch {
 	case DemandSubBlock:
-		f.valid |= 1 << subIdx
+		c.valid[fi] |= 1 << subIdx
 		loaded = 1
 
 	case LoadForward:
 		// Fetch subIdx..end, refetching valid ones (redundant-load
 		// scheme: the memory system streams autonomously).
-		for i := subIdx; i < c.subPerBlk; i++ {
-			if f.valid&(1<<i) != 0 {
-				redundant++
-			}
-			f.valid |= 1 << i
-			loaded++
-		}
+		mask := c.subMask &^ (1<<subIdx - 1)
+		v := c.valid[fi]
+		redundant = bits.OnesCount64(v & mask)
+		loaded = int(c.subPerBlk - subIdx)
+		c.valid[fi] = v | mask
 
 	case LoadForwardOptimized:
 		// Fetch subIdx..end but skip resident sub-blocks.  Each
-		// contiguous group of missing sub-blocks is one transaction.
-		run := 0
-		for i := subIdx; i < c.subPerBlk; i++ {
-			if f.valid&(1<<i) == 0 {
-				f.valid |= 1 << i
-				loaded++
-				run++
-			} else if run > 0 {
-				c.recordTransaction(run, counted)
-				run = 0
-			}
-		}
-		if run > 0 {
+		// contiguous group of missing sub-blocks is one transaction,
+		// enumerated low to high by trailing-zero arithmetic.
+		mask := c.subMask &^ (1<<subIdx - 1)
+		missing := mask &^ c.valid[fi]
+		loaded = bits.OnesCount64(missing)
+		c.valid[fi] |= mask
+		for missing != 0 {
+			start := bits.TrailingZeros64(missing)
+			run := bits.TrailingZeros64(^(missing >> uint(start)))
 			c.recordTransaction(run, counted)
+			missing >>= uint(start + run)
 		}
 		if counted {
 			c.stats.SubBlockFills += uint64(loaded)
@@ -402,13 +459,10 @@ func (c *Cache) fill(f *frame, subIdx uint, counted bool) int {
 		return loaded
 
 	case WholeBlock:
-		for i := uint(0); i < c.subPerBlk; i++ {
-			if f.valid&(1<<i) != 0 {
-				redundant++
-			}
-			f.valid |= 1 << i
-			loaded++
-		}
+		v := c.valid[fi]
+		redundant = bits.OnesCount64(v)
+		loaded = int(c.subPerBlk)
+		c.valid[fi] = c.subMask
 	}
 	c.recordTransaction(loaded, counted)
 	if counted {
@@ -429,32 +483,35 @@ func (c *Cache) recordTransaction(n int, counted bool) {
 	c.stats.TxHist[n*c.wordsPerSub]++
 }
 
-// victim picks the way to replace in set, preferring an unused frame.
-func (c *Cache) victim(set []frame) int {
-	for i := range set {
-		if !set[i].tagValid {
-			return i
-		}
+// victim picks the frame to replace in the set, preferring an unused
+// way; fresh reports that the returned frame has never held a block
+// (the caller advances setFill and the warm-start count).  Because ways
+// fill in order, the replacement scans run over the set's contiguous
+// tick slices.
+func (c *Cache) victim(setIdx int) (fi int, fresh bool) {
+	base := setIdx * c.assoc
+	if n := int(c.setFill[setIdx]); n < c.assoc {
+		return base + n, true
 	}
 	switch c.cfg.Replacement {
 	case LRU:
-		best := 0
-		for i := 1; i < len(set); i++ {
-			if set[i].lastUse < set[best].lastUse {
+		best := base
+		for i := base + 1; i < base+c.assoc; i++ {
+			if c.lastUse[i] < c.lastUse[best] {
 				best = i
 			}
 		}
-		return best
+		return best, false
 	case FIFO:
-		best := 0
-		for i := 1; i < len(set); i++ {
-			if set[i].loadedAt < set[best].loadedAt {
+		best := base
+		for i := base + 1; i < base+c.assoc; i++ {
+			if c.loadedAt[i] < c.loadedAt[best] {
 				best = i
 			}
 		}
-		return best
+		return best, false
 	case Random:
-		return c.rand.Intn(len(set))
+		return base + c.rand.Intn(c.assoc), false
 	}
 	panic("cache: unreachable replacement policy")
 }
@@ -462,17 +519,17 @@ func (c *Cache) victim(set []frame) int {
 // retire accumulates the sub-block utilisation of an evicted frame
 // (the paper's "72 percent of the sub-blocks in a block are never
 // referenced in the period a block is resident" measurement).
-func (c *Cache) retire(f *frame) {
-	if f.prefetched {
+func (c *Cache) retire(fi int) {
+	if c.prefOBL != nil && c.prefOBL[fi] {
 		c.stats.PrefetchEvictedUnused++
-		f.prefetched = false
+		c.prefOBL[fi] = false
 	}
 	c.stats.Evictions++
 	c.stats.ResidencySubBlocks += uint64(c.subPerBlk)
-	c.stats.ResidencyTouched += uint64(bits.OnesCount64(f.touched))
-	if f.dirty != 0 {
-		c.stats.WriteBackWords += uint64(bits.OnesCount64(f.dirty) * c.wordsPerSub)
-		f.dirty = 0
+	c.stats.ResidencyTouched += uint64(bits.OnesCount64(c.touched[fi]))
+	if d := c.dirty[fi]; d != 0 {
+		c.stats.WriteBackWords += uint64(bits.OnesCount64(d) * c.wordsPerSub)
+		c.dirty[fi] = 0
 	}
 }
 
@@ -480,16 +537,14 @@ func (c *Cache) retire(f *frame) {
 // residency statistics.  Call once at end of trace before reading
 // SubBlockUtilization.
 func (c *Cache) FlushUsage() {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			f := &c.sets[s][w]
-			if f.tagValid {
-				c.stats.ResidencySubBlocks += uint64(c.subPerBlk)
-				c.stats.ResidencyTouched += uint64(bits.OnesCount64(f.touched))
-				if f.dirty != 0 {
-					c.stats.WriteBackWords += uint64(bits.OnesCount64(f.dirty) * c.wordsPerSub)
-					f.dirty = 0
-				}
+	for s := range c.setFill {
+		base := s * c.assoc
+		for fi := base; fi < base+int(c.setFill[s]); fi++ {
+			c.stats.ResidencySubBlocks += uint64(c.subPerBlk)
+			c.stats.ResidencyTouched += uint64(bits.OnesCount64(c.touched[fi]))
+			if d := c.dirty[fi]; d != 0 {
+				c.stats.WriteBackWords += uint64(bits.OnesCount64(d) * c.wordsPerSub)
+				c.dirty[fi] = 0
 			}
 		}
 	}
@@ -499,11 +554,12 @@ func (c *Cache) FlushUsage() {
 // resident.  Intended for tests and invariant checks.
 func (c *Cache) Contains(a addr.Addr) bool {
 	blockAddr := a >> c.blockShift
-	set := c.sets[blockAddr&c.setMask]
+	setIdx := int(blockAddr & c.setMask)
 	subIdx := uint(addr.Offset(a, uint64(c.cfg.BlockSize))) >> c.subShift
-	for i := range set {
-		if set[i].tagValid && set[i].tag == blockAddr {
-			return set[i].valid&(1<<subIdx) != 0
+	base := setIdx * c.assoc
+	for fi := base; fi < base+int(c.setFill[setIdx]); fi++ {
+		if c.tags[fi] == blockAddr {
+			return c.valid[fi]&(1<<subIdx) != 0
 		}
 	}
 	return false
@@ -513,11 +569,10 @@ func (c *Cache) Contains(a addr.Addr) bool {
 // an invariant-checking helper (never exceeds NetSize/SubBlockSize).
 func (c *Cache) ResidentSubBlocks() int {
 	n := 0
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			if c.sets[s][w].tagValid {
-				n += bits.OnesCount64(c.sets[s][w].valid)
-			}
+	for s := range c.setFill {
+		base := s * c.assoc
+		for fi := base; fi < base+int(c.setFill[s]); fi++ {
+			n += bits.OnesCount64(c.valid[fi])
 		}
 	}
 	return n
@@ -526,7 +581,9 @@ func (c *Cache) ResidentSubBlocks() int {
 // AccessBatch presents a chunk of word accesses to the cache.  It is
 // the batched equivalent of calling Access per reference: callers that
 // hold a materialised or chunk-buffered trace avoid one call (and, for
-// streamed traces, one interface dispatch) per reference.
+// streamed traces, one interface dispatch) per reference.  The
+// same-block memoization carries across the batch, so block-local runs
+// pay one tag compare per reference.
 func (c *Cache) AccessBatch(refs []trace.Ref) {
 	for i := range refs {
 		c.Access(refs[i])

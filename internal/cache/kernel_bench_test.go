@@ -95,6 +95,39 @@ func TestAccessNoAllocs(t *testing.T) {
 	}); n != 0 {
 		t.Errorf("miss path allocates %.1f per access, want 0", n)
 	}
+
+	// Every configuration axis the hot path branches on -- write
+	// policies (allocate/no-allocate/ignore, through and copy-back),
+	// OBL prefetch and the non-LRU replacements -- must stay 0-alloc
+	// too: each variant sees conflict misses, hits, and writes.
+	variants := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"copy-back", func(c *Config) { c.CopyBack = true }},
+		{"write-no-allocate", func(c *Config) { c.Write = WriteNoAllocate }},
+		{"write-ignore", func(c *Config) { c.Write = WriteIgnore }},
+		{"copy-back-no-allocate", func(c *Config) { c.CopyBack = true; c.Write = WriteNoAllocate }},
+		{"prefetch-obl", func(c *Config) { c.PrefetchOBL = true }},
+		{"random", func(c *Config) { c.Replacement = Random; c.RandomSeed = 99 }},
+		{"fifo", func(c *Config) { c.Replacement = FIFO }},
+	}
+	for _, v := range variants {
+		c := small(t, func(cfg *Config) { cfg.Assoc = 2; cfg.Fetch = LoadForward }, v.mutate)
+		pattern := [4]trace.Ref{
+			read(0x0000),
+			{Addr: 0x0000, Kind: trace.Write, Size: 2},
+			read(0x1000),
+			{Addr: 0x2000, Kind: trace.Write, Size: 2}, // conflicting write miss
+		}
+		j := 0
+		if n := testing.AllocsPerRun(1000, func() {
+			c.Access(pattern[j&3])
+			j++
+		}); n != 0 {
+			t.Errorf("%s path allocates %.1f per access, want 0", v.name, n)
+		}
+	}
 }
 
 // TestTxHistAddMatchesMapMerge: Stats.Add on dense histograms must be

@@ -1,0 +1,99 @@
+package cache
+
+// Differential fuzz for the same-block memoization: a memoized cache
+// and a probe-every-reference build of the same kernel (the memo
+// invalidated before every access, so the tag probe loop runs each
+// time) must produce identical statistics on identical traces.  The
+// memo is pure classification shortcut -- it must never change which
+// frame a reference resolves to, and hence no counter.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"subcache/internal/addr"
+	"subcache/internal/trace"
+)
+
+// fuzzTrace generates a word-aligned reference stream with block-level
+// locality: sequential runs (which the memo accelerates) interleaved
+// with jumps across a footprint a few times the cache size, and a mix
+// of instruction fetches, reads and writes.
+func fuzzTrace(r *rand.Rand, n, wordSize int, footprint addr.Addr) []trace.Ref {
+	refs := make([]trace.Ref, 0, n)
+	pos := addr.Addr(0)
+	for len(refs) < n {
+		if r.Intn(4) == 0 {
+			pos = addr.Addr(r.Int63n(int64(footprint))) &^ addr.Addr(wordSize-1)
+		}
+		run := 1 + r.Intn(8)
+		for i := 0; i < run && len(refs) < n; i++ {
+			kind := trace.Read
+			switch r.Intn(10) {
+			case 0, 1, 2:
+				kind = trace.IFetch
+			case 3, 4:
+				kind = trace.Write
+			}
+			refs = append(refs, trace.Ref{Addr: pos % footprint, Kind: kind, Size: uint8(wordSize)})
+			pos += addr.Addr(wordSize)
+		}
+	}
+	return refs
+}
+
+// fuzzConfig draws one configuration from a small grid covering every
+// replacement, fetch and write policy, both memory-update policies,
+// prefetch and warm start.
+func fuzzConfig(r *rand.Rand) Config {
+	blocks := []int{8, 32}
+	cfg := Config{
+		NetSize:     []int{256, 1024}[r.Intn(2)],
+		BlockSize:   blocks[r.Intn(len(blocks))],
+		Assoc:       []int{1, 2, 4}[r.Intn(3)],
+		WordSize:    2,
+		Replacement: []Replacement{LRU, FIFO, Random}[r.Intn(3)],
+		Fetch:       []Fetch{DemandSubBlock, LoadForward, LoadForwardOptimized, WholeBlock}[r.Intn(4)],
+		Write:       []WritePolicy{WriteAllocate, WriteNoAllocate, WriteIgnore}[r.Intn(3)],
+		CopyBack:    r.Intn(2) == 0,
+		WarmStart:   r.Intn(4) == 0,
+		PrefetchOBL: r.Intn(4) == 0,
+		RandomSeed:  uint64(r.Int63()) | 1,
+	}
+	subs := []int{2, 8}
+	cfg.SubBlockSize = subs[r.Intn(len(subs))]
+	if cfg.SubBlockSize > cfg.BlockSize {
+		cfg.SubBlockSize = cfg.BlockSize
+	}
+	return cfg
+}
+
+func TestMemoDifferentialFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(0x5eed))
+	for trial := 0; trial < 40; trial++ {
+		cfg := fuzzConfig(r)
+		memo, err := New(cfg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		probe, err := New(cfg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		refs := fuzzTrace(r, 4000, cfg.WordSize, addr.Addr(4*cfg.NetSize))
+		for _, ref := range refs {
+			memo.Access(ref)
+			// The probe build never sees a valid memo, so every
+			// reference takes the tag probe loop.
+			probe.memoI, probe.memoD = -1, -1
+			probe.Access(ref)
+		}
+		memo.FlushUsage()
+		probe.FlushUsage()
+		if !reflect.DeepEqual(memo.Stats(), probe.Stats()) {
+			t.Fatalf("trial %d (%v): memoized stats %+v != probe-every-reference stats %+v",
+				trial, cfg, *memo.Stats(), *probe.Stats())
+		}
+	}
+}

@@ -41,4 +41,38 @@ func TestFamilyAccessNoAllocs(t *testing.T) {
 	}); n != 0 {
 		t.Errorf("family access path allocates %.1f per round, want 0", n)
 	}
+
+	// The multipass-safe configuration axes -- write-through and
+	// copy-back, write-ignore, and the FIFO/Random allocate fallback of
+	// the batch loop -- must stay 0-alloc on both entry points, batch
+	// included (its packed scratch is preallocated).
+	variants := []struct {
+		name   string
+		mutate func(*cache.Config)
+	}{
+		{"copy-back", func(c *cache.Config) { c.CopyBack = true }},
+		{"write-ignore", func(c *cache.Config) { c.Write = cache.WriteIgnore }},
+		{"random", func(c *cache.Config) { c.Replacement = cache.Random; c.RandomSeed = 99 }},
+		{"fifo", func(c *cache.Config) { c.Replacement = cache.FIFO }},
+	}
+	for _, v := range variants {
+		vcfgs := make([]cache.Config, len(cfgs))
+		for j := range cfgs {
+			vcfgs[j] = cfgs[j]
+			v.mutate(&vcfgs[j])
+		}
+		vfam, err := multipass.New(vcfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := []trace.Ref{
+			{Addr: 0x0000, Kind: trace.Read, Size: 2},
+			{Addr: 0x0002, Kind: trace.Write, Size: 2},
+			{Addr: 0x1000, Kind: trace.Write, Size: 2}, // conflicting write miss
+			{Addr: 0x2000, Kind: trace.IFetch, Size: 2},
+		}
+		if n := testing.AllocsPerRun(1000, func() { vfam.AccessBatch(batch) }); n != 0 {
+			t.Errorf("%s batch path allocates %.1f per chunk, want 0", v.name, n)
+		}
+	}
 }

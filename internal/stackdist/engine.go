@@ -119,6 +119,7 @@ type lane struct {
 	cfg         cache.Config
 	subShift    uint
 	subPerBlk   uint
+	subMask     uint64 // low subPerBlk bits set (the lane's local field)
 	wordsPerSub int
 	stats       cache.Stats
 }
@@ -289,31 +290,73 @@ type Engine struct {
 	// to the internal one for the public accessors.  The hot per-lane
 	// scalars live in dense parallel arrays so the access loops touch
 	// one cache line for the whole group instead of one lane struct
-	// each: laneShift is the sub-block shift, laneCB the copy-back
-	// flag, wtWords the write-through word counter (folded into Stats
-	// by FlushUsage).
+	// each: laneCB is the copy-back flag, laneWarm the owning tagCfg's
+	// warm flag, cfgOfLane the owning tag geometry and
+	// laneOff/lanePlane the lane's bit-plane placement.
 	cfgs      []tagCfg
 	lanes     []lane
 	extLane   []int32
-	laneShift []uint8
 	laneCB    []bool
-	laneWarm  []bool // mirrors the owning tagCfg's warm flag
-	wtWords   []uint64
-	bstride   int // bits words per node: 3*len(lanes)
+	laneWarm  []bool
+	cfgOfLane []int32
+	laneOff   []uint8
+	lanePlane []int32
+
+	// Per-node lane bitmaps follow multipass.Family's struct-of-arrays
+	// bit-plane layout: every lane owns the field [laneOff,
+	// laneOff+subPerBlk) of plane word ni*nPlanes+plane, in three
+	// parallel arrays (valid, touched, dirty) instead of strided
+	// per-lane triples.  A reference that hits everywhere then updates
+	// nPlanes words, independent of the lane count.
+	nPlanes int
+	valid   []uint64
+	touched []uint64
+	dirty   []uint64
+
+	// Precomputed bit tables, all indexed by block word offset wo =
+	// (off >> wordShift):
+	//
+	//   refBits[wo*nPlanes+pj]: OR over plane pj's lanes of the bit for
+	//     the sub-block containing wo -- the all-hit path's one load.
+	//   refBitsC[(ci*blkWords+wo)*nPlanes+pj]: the same restricted to
+	//     tag geometry ci's lanes, for the split hit/miss paths.
+	//   missBitsC[(ci*blkWords+wo)*nPlanes+pj]: geometry ci's plane
+	//     valid word after a block-miss fill at wo (fills start from a
+	//     zeroed field, so the result is a pure function of wo).
+	//   missWords/missLoaded[li*blkWords+wo]: lane li's words-per-fill
+	//     transaction size and sub-blocks-loaded count for that fill.
+	//   laneOfBit[pj*64+b]: the lane owning bit b of plane pj.
+	//   cfgMask[ci*nPlanes+pj]: OR of geometry ci's lane fields.
+	//   cbMask[pj]: OR of the copy-back lanes' fields.
+	refBits    []uint64
+	refBitsC   []uint64
+	missBitsC  []uint64
+	missWords  []int32
+	missLoaded []int32
+	laneOfBit  []int32
+	cfgMask    []uint64
+	cbMask     []uint64
+	wordShift  uint
+	blkWords   int
+
+	// Same-block memo: the node of the last block looked up, or
+	// nilNode.  Trace locality makes consecutive references repeat
+	// blocks, so one compare usually replaces the hash-table probe.
+	// freeNode invalidates the memo when it retires the memoized node.
+	memoBlk uint64
+	memoNi  int32
 
 	// The recency structure: one doubly-linked list per (granularity,
 	// set), where the granularities are the group's distinct set
 	// counts, most recent at the head.  Nodes are arena entries
 	// addressed by index: blks holds each node's block number, resMask
 	// its residency mask (bit ci set iff configuration ci holds the
-	// block), links its (prev, next) pair per granularity -- node ni's
-	// pair for granularity g sits at links[ni*lstride + 2g] -- and bits
-	// its per-lane bitmap triple (valid, touched, dirty),
-	// 3*len(lanes) words per node: node i's lane j triple starts at
-	// (i*len(lanes)+j)*3.  Retired nodes (mask dropped to zero) chain
-	// off freeHead through their second link slot, first slot freeMark,
-	// so the arena size tracks the union of the resident sets, not the
-	// footprint.
+	// block), and links its (prev, next) pair per granularity -- node
+	// ni's pair for granularity g sits at links[ni*lstride + 2g]; the
+	// lane bitmaps live in the valid/touched/dirty plane arrays above.
+	// Retired nodes (mask dropped to zero) chain off freeHead through
+	// their second link slot, first slot freeMark, so the arena size
+	// tracks the union of the resident sets, not the footprint.
 	grans   []gran
 	lstride int
 	heads   []int32
@@ -321,7 +364,6 @@ type Engine struct {
 	resMask []uint64
 	allMask uint64
 	links   []int32
-	bits    []uint64
 
 	freeHead int32
 	nFree    int
@@ -379,7 +421,10 @@ func NewEngine(cfgs []cache.Config, parts, part uint64) (*Engine, error) {
 		write:      base.Write,
 		partMask:   parts - 1,
 		part:       part,
+		wordShift:  addr.Log2(uint64(base.WordSize)),
+		blkWords:   base.BlockSize / base.WordSize,
 		freeHead:   nilNode,
+		memoNi:     nilNode,
 		table:      newBlkTable(),
 	}
 	byFam := make(map[cache.Config]int)
@@ -412,11 +457,8 @@ func NewEngine(cfgs []cache.Config, parts, part uint64) (*Engine, error) {
 	}
 	e.lanes = make([]lane, len(cfgs))
 	e.extLane = make([]int32, len(cfgs))
-	e.laneShift = make([]uint8, len(cfgs))
 	e.laneCB = make([]bool, len(cfgs))
 	e.laneWarm = make([]bool, len(cfgs))
-	e.wtWords = make([]uint64, len(cfgs))
-	e.bstride = 3 * len(cfgs)
 	for i, cfg := range cfgs {
 		c := &e.cfgs[cfgOf[i]]
 		li := c.lane1
@@ -426,12 +468,12 @@ func NewEngine(cfgs []cache.Config, parts, part uint64) (*Engine, error) {
 			cfg:         cfg,
 			subShift:    addr.Log2(uint64(cfg.SubBlockSize)),
 			subPerBlk:   uint(cfg.SubBlocksPerBlock()),
+			subMask:     ^uint64(0) >> (64 - uint(cfg.SubBlocksPerBlock())),
 			wordsPerSub: cfg.WordsPerSubBlock(),
 		}
 		// Same pre-sizing as cache.New and multipass.New: fills record
 		// with one increment.
 		e.lanes[li].stats.TxHist = make([]uint64, cfg.BlockSize/cfg.WordSize+1)
-		e.laneShift[li] = uint8(e.lanes[li].subShift)
 		e.laneCB[li] = cfg.CopyBack
 		e.laneWarm[li] = !cfg.WarmStart
 	}
@@ -460,6 +502,85 @@ func NewEngine(cfgs []cache.Config, parts, part uint64) (*Engine, error) {
 		c.gran = int32(g)
 	}
 	e.lstride = 2 * len(e.grans)
+
+	// Bit-plane placement, first-fit in internal lane order: a lane's
+	// field occupies subPerBlk contiguous bits of one plane word and
+	// never straddles planes.  A block-size ladder sums to at most
+	// 2*subPerBlkMax-1 <= 63 bits per geometry, so real groups use one
+	// plane word per one or two geometries.
+	e.cfgOfLane = make([]int32, len(cfgs))
+	e.laneOff = make([]uint8, len(cfgs))
+	e.lanePlane = make([]int32, len(cfgs))
+	var planeUsed []int
+	for ci := range e.cfgs {
+		c := &e.cfgs[ci]
+		for li := c.lane0; li < c.lane1; li++ {
+			e.cfgOfLane[li] = int32(ci)
+			n := int(e.lanes[li].subPerBlk)
+			pj := -1
+			for j, used := range planeUsed {
+				if used+n <= 64 {
+					pj = j
+					break
+				}
+			}
+			if pj < 0 {
+				pj = len(planeUsed)
+				planeUsed = append(planeUsed, 0)
+			}
+			e.lanePlane[li] = int32(pj)
+			e.laneOff[li] = uint8(planeUsed[pj])
+			planeUsed[pj] += n
+		}
+	}
+	e.nPlanes = len(planeUsed)
+
+	np, words := e.nPlanes, e.blkWords
+	e.refBits = make([]uint64, words*np)
+	e.refBitsC = make([]uint64, len(e.cfgs)*words*np)
+	e.missBitsC = make([]uint64, len(e.cfgs)*words*np)
+	e.missWords = make([]int32, len(cfgs)*words)
+	e.missLoaded = make([]int32, len(cfgs)*words)
+	e.laneOfBit = make([]int32, np*64)
+	e.cfgMask = make([]uint64, len(e.cfgs)*np)
+	e.cbMask = make([]uint64, np)
+	for li := range e.lanes {
+		ln := &e.lanes[li]
+		ci := int(e.cfgOfLane[li])
+		pj := int(e.lanePlane[li])
+		offb := uint(e.laneOff[li])
+		for b := uint(0); b < ln.subPerBlk; b++ {
+			e.laneOfBit[pj*64+int(offb+b)] = int32(li)
+		}
+		e.cfgMask[ci*np+pj] |= ln.subMask << offb
+		if ln.cfg.CopyBack {
+			e.cbMask[pj] |= ln.subMask << offb
+		}
+		for wo := 0; wo < words; wo++ {
+			sub := uint(wo) >> (ln.subShift - e.wordShift)
+			e.refBits[wo*np+pj] |= 1 << (offb + sub)
+			e.refBitsC[(ci*words+wo)*np+pj] |= 1 << (offb + sub)
+			// Block-miss fills start from a zeroed field, so the
+			// resulting valid bits, transaction size and sub-blocks
+			// loaded are pure functions of the fetch policy and wo
+			// (LoadForwardOptimized degenerates to LoadForward's single
+			// run when nothing is valid).
+			var local uint64
+			var loaded int
+			switch ln.cfg.Fetch {
+			case cache.DemandSubBlock:
+				local, loaded = 1<<sub, 1
+			case cache.LoadForward, cache.LoadForwardOptimized:
+				local = ln.subMask &^ (1<<sub - 1)
+				loaded = int(ln.subPerBlk - sub)
+			case cache.WholeBlock:
+				local, loaded = ln.subMask, int(ln.subPerBlk)
+			}
+			e.missBitsC[(ci*words+wo)*np+pj] |= local << offb
+			e.missWords[li*words+wo] = int32(loaded * ln.wordsPerSub)
+			e.missLoaded[li*words+wo] = int32(loaded)
+		}
+	}
 	return e, nil
 }
 
@@ -486,8 +607,8 @@ func (e *Engine) newNode(blk uint64) int32 {
 	ni := e.freeHead
 	if ni != nilNode {
 		// A node is retired only once its residency mask dropped to
-		// zero, and each eviction zeroes that configuration's bitmap
-		// triples, so the slot's bits and mask are already zero.
+		// zero, and each eviction zeroes that configuration's plane
+		// fields, so the slot's planes and mask are already zero.
 		e.freeHead = e.links[int(ni)*e.lstride+1]
 		e.nFree--
 		e.blks[ni] = blk
@@ -498,12 +619,11 @@ func (e *Engine) newNode(blk uint64) int32 {
 		for i := 0; i < e.lstride; i++ {
 			e.links = append(e.links, nilNode)
 		}
-		if cap(e.bits) < len(e.bits)+e.bstride {
-			grown := make([]uint64, len(e.bits), 2*cap(e.bits)+e.bstride)
-			copy(grown, e.bits)
-			e.bits = grown
+		for i := 0; i < e.nPlanes; i++ {
+			e.valid = append(e.valid, 0)
+			e.touched = append(e.touched, 0)
+			e.dirty = append(e.dirty, 0)
 		}
-		e.bits = e.bits[:len(e.bits)+e.bstride]
 	}
 	e.table.put(blk, ni)
 	return ni
@@ -527,15 +647,13 @@ func (e *Engine) freeNode(ni int32) {
 		}
 	}
 	e.table.del(blk)
+	if ni == e.memoNi {
+		e.memoNi = nilNode
+	}
 	e.links[nb] = freeMark
 	e.links[nb+1] = e.freeHead
 	e.freeHead = ni
 	e.nFree++
-}
-
-// laneBits returns the index into e.bits of node ni's lane li triple.
-func (e *Engine) laneBits(ni, li int32) int {
-	return int(ni)*e.bstride + int(li)*3
 }
 
 // pushAll links a fresh node at the head of its set's list in every
@@ -617,16 +735,30 @@ func (e *Engine) Access(r trace.Ref) {
 	if blk&e.partMask != e.part {
 		return
 	}
+	e.access(blk, uint(uint64(r.Addr)&e.offMask), r.Kind)
+}
+
+// access processes one partition-accepted reference: blk is the block
+// number, off the byte offset within the block.
+func (e *Engine) access(blk uint64, off uint, kind trace.Kind) {
+	isWrite := kind == trace.Write
 	if isWrite {
 		e.writes++
-	} else if r.Kind == trace.IFetch {
+	} else if kind == trace.IFetch {
 		e.ifetches++
 	} else {
 		e.reads++
 	}
-	off := uint(uint64(r.Addr) & e.offMask)
 
-	ni, found := e.table.get(blk)
+	// Same-block memo first -- trace locality repeats blocks, so one
+	// compare usually replaces the hash probe -- then the table.
+	var ni int32
+	var found bool
+	if blk == e.memoBlk && e.memoNi != nilNode {
+		ni, found = e.memoNi, true
+	} else if ni, found = e.table.get(blk); found {
+		e.memoBlk, e.memoNi = blk, ni
+	}
 
 	// Classify every configuration at once from the node's residency
 	// mask: the block hits exactly where its bit is set (at fill),
@@ -638,31 +770,21 @@ func (e *Engine) Access(r trace.Ref) {
 	missing := e.allMask &^ resident
 
 	if missing == 0 {
-		// Hit everywhere -- the dominant case: one contiguous pass over
-		// every lane (the per-configuration split only matters on
-		// misses), then move the block to its list heads.
-		b := int(ni) * e.bstride
-		for li := 0; li < len(e.laneShift); li, b = li+1, b+3 {
-			bit := uint64(1) << (off >> e.laneShift[li])
-			if e.bits[b]&bit == 0 {
-				ln := &e.lanes[li]
-				counted := !isWrite && e.laneWarm[li]
-				if counted {
-					ln.stats.SubBlockMisses++
-				} else if !isWrite {
-					ln.stats.WarmupMisses++
-				} else {
-					ln.stats.WriteMisses++
-				}
-				e.fill(ln, b, off>>ln.subShift, counted)
+		// Hit everywhere -- the dominant case: one load-test-OR per
+		// plane word covers every lane at once, with the rare sub-block
+		// miss peeled out by bit, then the block moves to its list
+		// heads.
+		wo := int(off >> e.wordShift)
+		nb := int(ni) * e.nPlanes
+		ob := wo * e.nPlanes
+		for pj := 0; pj < e.nPlanes; pj++ {
+			need := e.refBits[ob+pj]
+			if sm := need &^ e.valid[nb+pj]; sm != 0 {
+				e.subMiss(pj, nb+pj, off, sm, isWrite)
 			}
-			e.bits[b+1] |= bit
+			e.touched[nb+pj] |= need
 			if isWrite {
-				if e.laneCB[li] {
-					e.bits[b+2] |= bit
-				} else {
-					e.wtWords[li]++
-				}
+				e.dirty[nb+pj] |= need & e.cbMask[pj]
 			}
 		}
 		e.moveToFront(ni, blk)
@@ -678,12 +800,13 @@ func (e *Engine) Access(r trace.Ref) {
 
 	if !found {
 		ni = e.newNode(blk)
+		e.memoBlk, e.memoNi = blk, ni
 	}
 	for ci := range e.cfgs {
 		if missing&(1<<uint(ci)) != 0 {
 			e.missCfg(ci, ni, off, isWrite)
 		} else {
-			e.hitCfg(&e.cfgs[ci], ni, off, isWrite)
+			e.hitCfg(ci, ni, off, isWrite)
 		}
 	}
 	if found {
@@ -704,32 +827,43 @@ func (e *Engine) Access(r trace.Ref) {
 	}
 }
 
-// hitCfg resolves a tag hit: each lane takes a full hit or a sub-block
-// miss against its valid word on the node, mirroring the tag-hit path
-// of multipass.Family.Access.
-func (e *Engine) hitCfg(c *tagCfg, ni int32, off uint, isWrite bool) {
-	counted := !isWrite && c.warm
-	b := e.laneBits(ni, c.lane0)
-	for li := c.lane0; li < c.lane1; li, b = li+1, b+3 {
-		bit := uint64(1) << (off >> e.laneShift[li])
-		if e.bits[b]&bit == 0 {
-			ln := &e.lanes[li]
-			if counted {
-				ln.stats.SubBlockMisses++
-			} else if !isWrite {
-				ln.stats.WarmupMisses++
-			} else {
-				ln.stats.WriteMisses++
-			}
-			e.fill(ln, b, off>>ln.subShift, counted)
+// subMiss resolves the sub-block misses in one plane word: sm holds
+// the referenced bits absent from valid[wi], one bit per missing lane
+// (a reference touches exactly one bit per lane).
+func (e *Engine) subMiss(pj, wi int, off uint, sm uint64, isWrite bool) {
+	for m := sm; m != 0; m &= m - 1 {
+		li := e.laneOfBit[pj*64+bits.TrailingZeros64(m)]
+		ln := &e.lanes[li]
+		counted := !isWrite && e.laneWarm[li]
+		if counted {
+			ln.stats.SubBlockMisses++
+		} else if !isWrite {
+			ln.stats.WarmupMisses++
+		} else {
+			ln.stats.WriteMisses++
 		}
-		e.bits[b+1] |= bit
+		e.fillLane(ln, uint(e.laneOff[li]), wi, off>>ln.subShift, counted)
+	}
+}
+
+// hitCfg resolves a tag hit for geometry ci: the per-plane walk of the
+// all-hit path, restricted to the geometry's own bit fields, mirroring
+// the tag-hit path of multipass.Family.Access.
+func (e *Engine) hitCfg(ci int, ni int32, off uint, isWrite bool) {
+	wo := int(off >> e.wordShift)
+	nb := int(ni) * e.nPlanes
+	cb := (ci*e.blkWords + wo) * e.nPlanes
+	for pj := 0; pj < e.nPlanes; pj++ {
+		need := e.refBitsC[cb+pj]
+		if need == 0 {
+			continue
+		}
+		if sm := need &^ e.valid[nb+pj]; sm != 0 {
+			e.subMiss(pj, nb+pj, off, sm, isWrite)
+		}
+		e.touched[nb+pj] |= need
 		if isWrite {
-			if e.laneCB[li] {
-				e.bits[b+2] |= bit
-			} else {
-				e.wtWords[li]++
-			}
+			e.dirty[nb+pj] |= need & e.cbMask[pj]
 		}
 	}
 }
@@ -751,14 +885,31 @@ func (e *Engine) missCfg(ci int, ni int32, off uint, isWrite bool) {
 	if c.victim != nilNode {
 		c.evictions++
 		e.resMask[c.victim] &^= 1 << uint(ci)
-		b := e.laneBits(c.victim, c.lane0)
-		for li := c.lane0; li < c.lane1; li, b = li+1, b+3 {
-			ln := &e.lanes[li]
-			ln.stats.ResidencyTouched += uint64(bits.OnesCount64(e.bits[b+1]))
-			if e.bits[b+2] != 0 {
-				ln.stats.WriteBackWords += uint64(bits.OnesCount64(e.bits[b+2]) * ln.wordsPerSub)
+		vb := int(c.victim) * e.nPlanes
+		mb := ci * e.nPlanes
+		for pj := 0; pj < e.nPlanes; pj++ {
+			cm := e.cfgMask[mb+pj]
+			if cm == 0 {
+				continue
 			}
-			e.bits[b], e.bits[b+1], e.bits[b+2] = 0, 0, 0
+			t := e.touched[vb+pj] & cm
+			d := e.dirty[vb+pj] & cm
+			if t|d != 0 {
+				for li := c.lane0; li < c.lane1; li++ {
+					if e.lanePlane[li] != int32(pj) {
+						continue
+					}
+					ln := &e.lanes[li]
+					offb := uint(e.laneOff[li])
+					ln.stats.ResidencyTouched += uint64(bits.OnesCount64(t >> offb & ln.subMask))
+					if dd := d >> offb & ln.subMask; dd != 0 {
+						ln.stats.WriteBackWords += uint64(bits.OnesCount64(dd) * ln.wordsPerSub)
+					}
+				}
+			}
+			e.valid[vb+pj] &^= cm
+			e.touched[vb+pj] &^= cm
+			e.dirty[vb+pj] &^= cm
 		}
 	} else {
 		c.filled++
@@ -773,60 +924,70 @@ func (e *Engine) missCfg(ci int, ni int32, off uint, isWrite bool) {
 			c.warmReads = e.reads
 		}
 	}
+	// Fill: the geometry's plane fields take their precomputed
+	// block-miss state (valid from missBitsC, touched from the
+	// referenced bits), and the per-lane transaction accounting reads
+	// the matching precomputed sizes.
 	e.resMask[ni] |= 1 << uint(ci)
-	b := e.laneBits(ni, c.lane0)
-	for li := c.lane0; li < c.lane1; li, b = li+1, b+3 {
-		ln := &e.lanes[li]
-		e.bits[b], e.bits[b+1], e.bits[b+2] = 0, 0, 0
-		subIdx := off >> ln.subShift
-		e.fill(ln, b, subIdx, counted)
-		e.bits[b+1] |= 1 << subIdx
+	wo := int(off >> e.wordShift)
+	nb := int(ni) * e.nPlanes
+	cb := (ci*e.blkWords + wo) * e.nPlanes
+	mb := ci * e.nPlanes
+	for pj := 0; pj < e.nPlanes; pj++ {
+		cm := e.cfgMask[mb+pj]
+		if cm == 0 {
+			continue
+		}
+		rb := e.refBitsC[cb+pj]
+		e.valid[nb+pj] = e.valid[nb+pj]&^cm | e.missBitsC[cb+pj]
+		e.touched[nb+pj] = e.touched[nb+pj]&^cm | rb
 		if isWrite {
-			if e.laneCB[li] {
-				e.bits[b+2] |= 1 << subIdx
-			} else {
-				e.wtWords[li]++
-			}
+			e.dirty[nb+pj] = e.dirty[nb+pj]&^cm | rb&e.cbMask[pj]
+		} else {
+			e.dirty[nb+pj] &^= cm
+		}
+	}
+	if counted {
+		for li := c.lane0; li < c.lane1; li++ {
+			ln := &e.lanes[li]
+			ln.stats.TxHist[e.missWords[int(li)*e.blkWords+wo]]++
+			loaded := uint64(e.missLoaded[int(li)*e.blkWords+wo])
+			ln.stats.SubBlockFills += loaded
+			ln.stats.WordsFetched += loaded * uint64(ln.wordsPerSub)
 		}
 	}
 }
 
-// fill loads sub-blocks into the valid word at bits index b according
-// to the lane's fetch policy, mirroring multipass.lane.fill exactly
-// (transaction histogram included).
-func (e *Engine) fill(ln *lane, b int, subIdx uint, counted bool) {
-	valid := e.bits[b]
+// fillLane loads sub-blocks into the lane's field (at bit offset offb
+// of plane word valid[wi]) according to its fetch policy, with the
+// same mask arithmetic as multipass.lane.fill: set bits come from one
+// OR, counts from popcount deltas, and LoadForwardOptimized's
+// transaction runs from trailing-zeros scans over the missing mask.
+func (e *Engine) fillLane(ln *lane, offb uint, wi int, subIdx uint, counted bool) {
+	lv := e.valid[wi] >> offb & ln.subMask
 	var loaded, redundant int
 	switch ln.cfg.Fetch {
 	case cache.DemandSubBlock:
-		valid |= 1 << subIdx
+		lv |= 1 << subIdx
 		loaded = 1
 
 	case cache.LoadForward:
-		for i := subIdx; i < ln.subPerBlk; i++ {
-			if valid&(1<<i) != 0 {
-				redundant++
-			}
-			valid |= 1 << i
-			loaded++
-		}
+		mask := ln.subMask &^ (1<<subIdx - 1)
+		redundant = bits.OnesCount64(lv & mask)
+		loaded = int(ln.subPerBlk - subIdx)
+		lv |= mask
 
 	case cache.LoadForwardOptimized:
-		run := 0
-		for i := subIdx; i < ln.subPerBlk; i++ {
-			if valid&(1<<i) == 0 {
-				valid |= 1 << i
-				loaded++
-				run++
-			} else if run > 0 {
-				e.recordTransaction(ln, run, counted)
-				run = 0
-			}
-		}
-		if run > 0 {
+		missing := (ln.subMask &^ (1<<subIdx - 1)) &^ lv
+		loaded = bits.OnesCount64(missing)
+		for m := missing; m != 0; {
+			start := uint(bits.TrailingZeros64(m))
+			run := bits.TrailingZeros64(^(m >> start))
 			e.recordTransaction(ln, run, counted)
+			m &^= (1<<uint(run) - 1) << start
 		}
-		e.bits[b] = valid
+		lv |= missing
+		e.valid[wi] |= lv << offb
 		if counted {
 			ln.stats.SubBlockFills += uint64(loaded)
 			ln.stats.WordsFetched += uint64(loaded * ln.wordsPerSub)
@@ -834,15 +995,11 @@ func (e *Engine) fill(ln *lane, b int, subIdx uint, counted bool) {
 		return
 
 	case cache.WholeBlock:
-		for i := uint(0); i < ln.subPerBlk; i++ {
-			if valid&(1<<i) != 0 {
-				redundant++
-			}
-			valid |= 1 << i
-			loaded++
-		}
+		redundant = bits.OnesCount64(lv)
+		loaded = int(ln.subPerBlk)
+		lv = ln.subMask
 	}
-	e.bits[b] = valid
+	e.valid[wi] |= lv << offb
 	e.recordTransaction(ln, loaded, counted)
 	if counted {
 		ln.stats.SubBlockFills += uint64(loaded)
@@ -866,6 +1023,33 @@ func (e *Engine) AccessBatch(refs []trace.Ref) {
 	}
 }
 
+// WordSize returns the group's shared word size in bytes, the
+// granularity for trace.PackRefs.
+func (e *Engine) WordSize() int { return e.lanes[0].cfg.WordSize }
+
+// AccessBatchPacked is AccessBatch taking the chunk's packed form
+// (trace.PackRefs at the engine's word granularity) alongside, so the
+// per-reference decode is one load and two shifts; the sweep executors
+// share one packing pass across every engine of a workload.
+func (e *Engine) AccessBatchPacked(refs []trace.Ref, packed []uint64) {
+	_ = packed[:len(refs)]
+	baShift := 2 + e.blockShift - e.wordShift
+	woMask := uint64(e.blkWords - 1)
+	wIgnore := e.write == cache.WriteIgnore
+	for i := range packed {
+		v := packed[i]
+		k := trace.Kind(v & 3)
+		if k == trace.Write && wIgnore {
+			continue
+		}
+		blk := v >> baShift
+		if blk&e.partMask != e.part {
+			continue
+		}
+		e.access(blk, uint(v>>2&woMask)<<e.wordShift, k)
+	}
+}
+
 // FlushUsage finalises every configuration's statistics: still-resident
 // blocks are folded into the residency counters (a block is resident in
 // a configuration iff its valid bits there are nonzero, so one arena
@@ -882,16 +1066,18 @@ func (e *Engine) FlushUsage() {
 		if e.links[ni*e.lstride] == freeMark {
 			continue
 		}
+		nb := ni * e.nPlanes
 		for li := range e.lanes {
 			ln := &e.lanes[li]
-			b := e.laneBits(int32(ni), int32(li))
-			if e.bits[b] == 0 {
+			wi := nb + int(e.lanePlane[li])
+			offb := uint(e.laneOff[li])
+			if e.valid[wi]>>offb&ln.subMask == 0 {
 				continue
 			}
-			ln.stats.ResidencyTouched += uint64(bits.OnesCount64(e.bits[b+1]))
-			if e.bits[b+2] != 0 {
-				ln.stats.WriteBackWords += uint64(bits.OnesCount64(e.bits[b+2]) * ln.wordsPerSub)
-				e.bits[b+2] = 0
+			ln.stats.ResidencyTouched += uint64(bits.OnesCount64(e.touched[wi] >> offb & ln.subMask))
+			if d := e.dirty[wi] >> offb & ln.subMask; d != 0 {
+				ln.stats.WriteBackWords += uint64(bits.OnesCount64(d) * ln.wordsPerSub)
+				e.dirty[wi] &^= ln.subMask << offb
 			}
 		}
 	}
@@ -908,7 +1094,12 @@ func (e *Engine) FlushUsage() {
 		for li := c.lane0; li < c.lane1; li++ {
 			ln := &e.lanes[li]
 			st := &ln.stats
-			st.WriteThroughWords += e.wtWords[li]
+			// Every non-ignored write falls through to memory once per
+			// write-through lane, so the per-lane counter the eager
+			// paths used to keep is just the shared write total.
+			if !e.laneCB[li] {
+				st.WriteThroughWords += e.writes
+			}
 			st.Accesses = accesses
 			st.IFetches = ifetches
 			st.Reads = reads

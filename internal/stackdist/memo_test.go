@@ -1,0 +1,105 @@
+package stackdist
+
+// Differential fuzz for the stack engine's same-block memo: the packed
+// batch path (whose hash-table lookups are usually short-circuited by
+// the memo) against a probe-every-reference build with the memo
+// invalidated before every access, so each reference takes the full
+// open-addressing probe.  Every configuration's statistics must match.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"subcache/internal/addr"
+	"subcache/internal/cache"
+	"subcache/internal/trace"
+)
+
+func fuzzTrace(r *rand.Rand, n, wordSize int, footprint addr.Addr) []trace.Ref {
+	refs := make([]trace.Ref, 0, n)
+	pos := addr.Addr(0)
+	for len(refs) < n {
+		if r.Intn(4) == 0 {
+			pos = addr.Addr(r.Int63n(int64(footprint))) &^ addr.Addr(wordSize-1)
+		}
+		run := 1 + r.Intn(8)
+		for i := 0; i < run && len(refs) < n; i++ {
+			kind := trace.Read
+			switch r.Intn(10) {
+			case 0, 1, 2:
+				kind = trace.IFetch
+			case 3, 4:
+				kind = trace.Write
+			}
+			refs = append(refs, trace.Ref{Addr: pos % footprint, Kind: kind, Size: uint8(wordSize)})
+			pos += addr.Addr(wordSize)
+		}
+	}
+	return refs
+}
+
+// fuzzGroup draws one stack group: a shared Key (block size, write
+// policy, LRU) with net size, associativity, sub-block size, fetch
+// policy, copy-back and warm start varying across members.
+func fuzzGroup(r *rand.Rand) []cache.Config {
+	base := cache.Config{
+		BlockSize: []int{8, 32}[r.Intn(2)],
+		WordSize:  2,
+		Write:     []cache.WritePolicy{cache.WriteAllocate, cache.WriteIgnore}[r.Intn(2)],
+	}
+	var cfgs []cache.Config
+	for _, net := range []int{256, 1024} {
+		c := base
+		c.NetSize = net
+		c.Assoc = []int{1, 2, 4}[r.Intn(3)]
+		c.CopyBack = r.Intn(2) == 0
+		c.WarmStart = r.Intn(4) == 0
+		for sub := c.BlockSize; sub >= c.WordSize; sub /= 2 {
+			m := c
+			m.SubBlockSize = sub
+			m.Fetch = []cache.Fetch{cache.DemandSubBlock, cache.LoadForward,
+				cache.LoadForwardOptimized, cache.WholeBlock}[r.Intn(4)]
+			cfgs = append(cfgs, m)
+		}
+	}
+	return cfgs
+}
+
+func TestEngineMemoDifferentialFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(0x57ac4))
+	for trial := 0; trial < 25; trial++ {
+		cfgs := fuzzGroup(r)
+		memo, err := NewEngine(cfgs, 1, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		probe, err := NewEngine(cfgs, 1, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		refs := fuzzTrace(r, 4000, cfgs[0].WordSize, addr.Addr(8*1024))
+		packed := make([]uint64, 512)
+		shift := addr.Log2(uint64(cfgs[0].WordSize))
+		for off := 0; off < len(refs); off += 512 {
+			end := off + 512
+			if end > len(refs) {
+				end = len(refs)
+			}
+			trace.PackRefs(packed, refs[off:end], shift)
+			memo.AccessBatchPacked(refs[off:end], packed[:end-off])
+		}
+		for _, ref := range refs {
+			probe.memoNi = nilNode // every reference takes the hash probe
+			probe.Access(ref)
+		}
+		memo.FlushUsage()
+		probe.FlushUsage()
+		for i := range cfgs {
+			if !reflect.DeepEqual(memo.Stats(i), probe.Stats(i)) {
+				t.Fatalf("trial %d lane %d (%v): memoized packed stats %+v != probe-every-reference stats %+v",
+					trial, i, cfgs[i], *memo.Stats(i), *probe.Stats(i))
+			}
+		}
+	}
+}

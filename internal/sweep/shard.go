@@ -58,6 +58,7 @@ type shardRunner struct {
 	live  int // units not yet dead
 	chunk int // next chunk index (identical across shards)
 	in    chan *chunk
+	packs *packSet // per-runner shared packed-chunk cache
 
 	// Telemetry, accumulated locally (single-writer) and published
 	// once at end of pass: references fed to the shard, references
@@ -162,7 +163,7 @@ func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Con
 	nbuf := 2*len(lists) + 2
 	total := 0
 	for si, units := range lists {
-		runners[si] = &shardRunner{shard: si, units: units, live: len(units), in: make(chan *chunk, nbuf), estCost: costs[si]}
+		runners[si] = &shardRunner{shard: si, units: units, live: len(units), in: make(chan *chunk, nbuf), estCost: costs[si], packs: newPackSet(units)}
 		total += len(units)
 	}
 	if total == 0 {
@@ -469,11 +470,12 @@ func (rn *shardRunner) processChunk(refs []trace.Ref, workload string, hooks *Ho
 			return
 		}
 	}
+	rn.packs.next()
 	for _, u := range rn.units {
 		if u.dead {
 			continue
 		}
-		if uerr := u.accessBatch(refs, hooks, workload, rn.shard, rn.chunk); uerr != nil {
+		if uerr := u.accessBatch(refs, rn.packs.forUnit(u, refs), hooks, workload, rn.shard, rn.chunk); uerr != nil {
 			u.dead = true
 			rn.live--
 			fail(unitFailure{idxs: u.idxs, shard: rn.shard, gid: u.gid, cause: uerr}, 1)

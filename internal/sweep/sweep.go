@@ -767,6 +767,7 @@ func simulateOnePass(ctx context.Context, prof synth.Profile, req Request, eng E
 	// failure or caller abort) is noticed at every chunk boundary.
 	live := len(units)
 	chunk := 0
+	packs := newPackSet(units)
 	for off := 0; off < len(accesses) && live > 0; off += trace.ChunkRefs {
 		if ctx.Err() != nil {
 			return nil, pointErrors(prof.Name, req.Points, failed)
@@ -776,11 +777,12 @@ func simulateOnePass(ctx context.Context, prof synth.Profile, req Request, eng E
 			end = len(accesses)
 		}
 		batch := accesses[off:end]
+		packs.next()
 		for _, u := range units {
 			if u.dead {
 				continue
 			}
-			if uerr := u.accessBatch(batch, req.Hooks, prof.Name, -1, chunk); uerr != nil {
+			if uerr := u.accessBatch(batch, packs.forUnit(u, batch), req.Hooks, prof.Name, -1, chunk); uerr != nil {
 				u.dead = true
 				live--
 				failed = append(failed, unitFailure{idxs: u.idxs, shard: -1, gid: u.gid, cause: uerr})

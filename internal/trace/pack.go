@@ -1,0 +1,19 @@
+package trace
+
+// PackRefs writes the packed form of each reference into dst:
+//
+//	dst[i] = uint64(refs[i].Addr)>>wordShift<<2 | uint64(refs[i].Kind)
+//
+// The packed word carries the word index and the access kind -- all a
+// word-granular simulator reads per reference -- in one load where the
+// Ref struct costs two, and the packing is geometry-free: any block
+// size recovers its block address with a single shift and its block
+// word offset with a shift and mask.  Engines simulating many
+// configurations over one chunk therefore share a single packing pass
+// (see the sweep executors).  dst must be at least len(refs) long.
+func PackRefs(dst []uint64, refs []Ref, wordShift uint) {
+	_ = dst[:len(refs)]
+	for i := range refs {
+		dst[i] = uint64(refs[i].Addr)>>wordShift<<2 | uint64(refs[i].Kind)
+	}
+}
