@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet test-faults test-telemetry test-stackdist test-service bench bench-kernel bench-sweep bench-check experiments traces cover fmt clean
+.PHONY: all build test test-race vet test-faults test-telemetry test-stackdist test-service test-durability bench bench-kernel bench-sweep bench-check experiments traces cover fmt clean
 
 all: build test
 
@@ -37,6 +37,14 @@ test-telemetry:
 # leak regressions (see docs/SERVICE.md).
 test-service:
 	$(GO) test -race -run 'Service|Submit|Admission|Quota|Dedup|Drain|Fingerprint|RunEnd|Leak|RunClose' ./internal/service/... ./internal/telemetry/...
+
+# Durability contracts under the race detector: job-journal replay and
+# torn-tail recovery, verified-cache quarantine, TTL and LRU eviction,
+# per-job timeouts, transient retry, and the SIGKILL kill-restart
+# campaign (fixed seed 1; override with FAULTINJECT_SEED=N to explore
+# other kill timings).  See docs/SERVICE.md "Durability and recovery".
+test-durability:
+	$(GO) test -race -run 'Journal|CrashRecovery|DrainThenRestart|CacheCorruption|CacheTTL|CacheSizeCap|JobTimeout|TransientRetry|ReadyzDraining|Transient|ServiceKillRestartCampaign' ./internal/service/... ./internal/sweep/... ./internal/faultinject/...
 
 # Stack-distance engine gate under the race detector: differential
 # equivalence, inclusion/conservation property tests, partition

@@ -1,37 +1,47 @@
 // Command eventcheck validates telemetry artifacts: a structured JSONL
-// event stream (as written by -events) and, optionally, a RUN.json run
-// manifest (as written by -manifest).  It is the consumer-side contract
-// check for docs/OBSERVABILITY.md -- CI runs it against a live sweep's
-// output so schema drift is caught the moment it is introduced.
+// event stream (as written by -events), a RUN.json run manifest (as
+// written by -manifest), and a sweepd job journal (as written to
+// <dir>/jobs.jsonl; -job-journal).  It is the consumer-side contract
+// check for docs/OBSERVABILITY.md and docs/SERVICE.md -- CI runs it
+// against a live sweep's output so schema drift is caught the moment
+// it is introduced.
 //
 // Usage:
 //
-//	eventcheck [-manifest RUN.json] [-require TYPES] events.jsonl
+//	eventcheck [-manifest RUN.json] [-job-journal jobs.jsonl]
+//	           [-require TYPES] [events.jsonl]
 //
 // Every line of the stream must be a schema-valid event with strictly
 // increasing sequence numbers.  -require takes a comma-separated list
 // of event types (e.g. "run-start,point-done,shard-stat") that must
-// each appear at least once.  Exit status is non-zero on any violation,
-// with the offending line number on stderr.
+// each appear at least once.  -job-journal validates strictly: every
+// record must carry the shared journal version, a known transition
+// kind, and an intact checksum -- unknown kinds and torn tails that
+// the daemon's tolerant loader would skip are hard errors here.  Exit
+// status is non-zero on any violation, with the offending line number
+// on stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
+	"subcache/internal/service"
 	"subcache/internal/telemetry"
 )
 
 func main() {
 	var (
 		manifest = flag.String("manifest", "", "also validate a RUN.json `file`")
+		journal  = flag.String("job-journal", "", "also validate a sweepd job-journal `file` (jobs.jsonl)")
 		require  = flag.String("require", "", "comma-separated event types that must appear at least once")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 && *manifest == "" {
-		fmt.Fprintln(os.Stderr, "usage: eventcheck [-manifest RUN.json] [-require TYPES] events.jsonl")
+	if flag.NArg() != 1 && *manifest == "" && *journal == "" {
+		fmt.Fprintln(os.Stderr, "usage: eventcheck [-manifest RUN.json] [-job-journal jobs.jsonl] [-require TYPES] [events.jsonl]")
 		os.Exit(2)
 	}
 
@@ -69,6 +79,28 @@ func main() {
 		}
 		fmt.Printf("%s: manifest ok  tool=%s fingerprint=%s wall=%.2fs cpu=%.2fs\n",
 			*manifest, m.Tool, m.Fingerprint, m.WallSeconds, m.CPUSeconds)
+	}
+
+	if *journal != "" {
+		f, err := os.Open(*journal)
+		if err != nil {
+			fatal(err)
+		}
+		st, err := service.ValidateJournal(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *journal, err))
+		}
+		fmt.Printf("%s: %d journal records ok", *journal, st.Records)
+		kinds := make([]string, 0, len(st.ByKind))
+		for k := range st.ByKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Printf("  %s=%d", k, st.ByKind[k])
+		}
+		fmt.Println()
 	}
 }
 

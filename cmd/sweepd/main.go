@@ -9,6 +9,8 @@
 //
 //	sweepd [-addr HOST:PORT] [-dir DIR] [-workers N] [-queue N]
 //	       [-tenant-quota N] [-max-refs N] [-grace DUR] [-stats FILE]
+//	       [-cache-ttl DUR] [-cache-max-bytes N] [-retries N]
+//	       [-retry-backoff DUR]
 //	       [-pprof ADDR] [-cpuprofile FILE] [-memprofile FILE]
 //
 // Each job streams the structured telemetry event stream to
@@ -20,6 +22,17 @@
 // journal keeps every completed workload, so resubmitting after a
 // restart resumes bit-identically.  -stats writes the final service
 // counter snapshot as JSON at exit.
+//
+// The daemon is crash-safe beyond the graceful path: every job state
+// transition is journaled to <dir>/jobs.jsonl, so after a SIGKILL or
+// power loss the next start re-admits every job that never reached a
+// terminal state and resumes it from its checkpoint (GET /readyz
+// answers 503 "recovering" until the backlog is terminal).  The result
+// cache is verified on read (corrupt entries are quarantined under
+// <dir>/cache/corrupt/ and re-simulated) and bounded by -cache-ttl and
+// -cache-max-bytes; transient trace-source failures are retried up to
+// -retries times with exponential backoff starting at -retry-backoff.
+// docs/SERVICE.md ("Durability and recovery") has the full story.
 //
 // The API, cache semantics and drain behavior are documented in
 // docs/SERVICE.md; cmd/sweeploadgen is the matching load harness.
@@ -51,6 +64,11 @@ func main() {
 		maxRefs = flag.Int("max-refs", 2_000_000, "largest per-workload trace length a request may ask for")
 		grace   = flag.Duration("grace", 30*time.Second, "drain grace period for in-flight sweeps on SIGTERM")
 		stats   = flag.String("stats", "", "write the final service counter snapshot (JSON) to `file` at exit")
+
+		cacheTTL = flag.Duration("cache-ttl", 0, "result-cache entry lifetime (0 = service default of 168h, negative = never expire)")
+		cacheMax = flag.Int64("cache-max-bytes", 0, "result-cache size cap in bytes, LRU past it (0 = service default of 256 MiB, negative = unbounded)")
+		retries  = flag.Int("retries", 0, "max retries of a transiently failed sweep (0 = service default of 2, negative = never retry)")
+		backoff  = flag.Duration("retry-backoff", 0, "base exponential retry backoff (0 = service default of 250ms)")
 	)
 	tf := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -62,16 +80,23 @@ func main() {
 	}
 
 	srv, err := service.New(service.Options{
-		Dir:         *dir,
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		TenantQuota: *quota,
-		MaxRefs:     *maxRefs,
+		Dir:           *dir,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		TenantQuota:   *quota,
+		MaxRefs:       *maxRefs,
+		CacheTTL:      *cacheTTL,
+		CacheMaxBytes: *cacheMax,
+		MaxRetries:    *retries,
+		RetryBackoff:  *backoff,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweepd:", err)
 		sess.Close()
 		os.Exit(1)
+	}
+	if n := srv.Recovering(); n > 0 {
+		fmt.Printf("sweepd: recovered %d interrupted job(s) from the journal; /readyz reports 503 until they finish\n", n)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -11,6 +11,7 @@
 //	             [-burst-rps F] [-burst-every DUR] [-burst-len DUR]
 //	             [-fresh F] [-tenants N] [-seed N]
 //	             [-arch NAME] [-nets LIST] [-refs N]
+//	             [-retries N] [-retry-backoff DUR]
 //	             [-timeout DUR] [-poll DUR] [-out FILE]
 //
 // The generator fires sweep submissions at the scheduled rate: in
@@ -24,10 +25,16 @@
 // joining an identical in-flight sweep -- never by re-simulating.
 //
 // Every request is driven to a terminal state: submissions poll until
-// done/failed, and the record counts completions, cache hits, dedup
-// joins, fresh simulations, admission rejections (429/503), failures,
-// losses (no terminal state before -timeout) and duplicate
-// re-simulations (a repeated fingerprint admitted more than once).
+// done/failed, and a refused or unreachable submission (429 queue
+// full, 503 draining/recovering, connection reset while the daemon
+// restarts) is retried up to -retries times with capped exponential
+// backoff plus jitter starting at -retry-backoff, so a well-behaved
+// client rides out admission pressure and daemon restarts instead of
+// giving up.  The record counts completions, cache hits, dedup joins,
+// fresh simulations, submit retries (retries_total), admission
+// rejections that survived every retry, failures, losses (no terminal
+// state before -timeout) and duplicate re-simulations (a repeated
+// fingerprint admitted more than once).
 // The exit status is non-zero if any request was lost, any duplicate
 // re-simulated, or nothing completed -- so CI can assert the service
 // contract by just running this harness.
@@ -85,6 +92,10 @@ type benchRecord struct {
 	// server admitted as fresh simulations instead of serving from
 	// cache or dedup; the service contract is 0.
 	DuplicateResimulations int `json:"duplicate_resimulations"`
+	// RetriesTotal counts submit retries across all requests: each one
+	// is a 429/503 refusal or transport failure absorbed by backoff
+	// instead of surfacing as a rejection.
+	RetriesTotal int `json:"retries_total"`
 
 	CacheHitRate  float64      `json:"cache_hit_rate"`
 	ThroughputRPS float64      `json:"throughput_rps"`
@@ -97,6 +108,7 @@ type benchRecord struct {
 type outcome struct {
 	latencyMS float64
 	fp        string
+	retries   int
 	cached    bool
 	deduped   bool
 	admitted  bool
@@ -122,6 +134,8 @@ func main() {
 		arch       = flag.String("arch", "Z8000", "architecture suite for the generated sweeps")
 		nets       = flag.String("nets", "64,256", "comma-separated net sizes for the generated sweeps")
 		refs       = flag.Int("refs", 20000, "base references per workload")
+		retries    = flag.Int("retries", 5, "max submit retries on 429/503 or transport failure")
+		backoff    = flag.Duration("retry-backoff", 100*time.Millisecond, "base submit-retry backoff (doubled per attempt, jittered, capped at 2s)")
 		timeout    = flag.Duration("timeout", 60*time.Second, "per-request completion deadline")
 		poll       = flag.Duration("poll", 50*time.Millisecond, "status poll interval")
 		out        = flag.String("out", "BENCH_service.json", "output file")
@@ -184,7 +198,7 @@ func main() {
 	)
 	fire := func(req service.SweepRequest, isFresh bool) {
 		defer wg.Done()
-		o := drive(client, base, req, *timeout, *poll)
+		o := drive(client, base, req, *timeout, *poll, *retries, *backoff)
 		mu.Lock()
 		outcomes = append(outcomes, o)
 		mu.Unlock()
@@ -239,9 +253,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweeploadgen:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("sweeploadgen: %d requests, %d completed (%.1f/s), %d cache hits, %d dedup joins, %d fresh, %d rejected; p50=%.0fms p95=%.0fms p99=%.0fms\n",
+	fmt.Printf("sweeploadgen: %d requests, %d completed (%.1f/s), %d cache hits, %d dedup joins, %d fresh, %d rejected, %d retries; p50=%.0fms p95=%.0fms p99=%.0fms\n",
 		rec.Requests, rec.Completed, rec.ThroughputRPS, rec.CacheHits, rec.DedupJoins,
-		rec.FreshSimulations, rec.Rejected, rec.LatencyMS.P50, rec.LatencyMS.P95, rec.LatencyMS.P99)
+		rec.FreshSimulations, rec.Rejected, rec.RetriesTotal, rec.LatencyMS.P50, rec.LatencyMS.P95, rec.LatencyMS.P99)
 
 	if rec.Lost > 0 || rec.DuplicateResimulations > 0 || rec.Completed == 0 {
 		fmt.Fprintf(os.Stderr, "sweeploadgen: contract violated: lost=%d duplicate_resimulations=%d completed=%d\n",
@@ -250,27 +264,75 @@ func main() {
 	}
 }
 
-// drive submits one request and follows it to a terminal state.
-func drive(client *http.Client, base string, req service.SweepRequest, timeout, poll time.Duration) outcome {
-	body, _ := json.Marshal(req)
-	t0 := time.Now()
+// submitRetryCap bounds the exponential submit backoff: past it every
+// retry waits roughly the cap, jitter aside.
+const submitRetryCap = 2 * time.Second
+
+// retryDelay is the capped exponential submit backoff with jitter:
+// base<<attempt up to submitRetryCap, then uniformly jittered over
+// [d/2, d] so synchronized clients spread out on retry.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if attempt > 16 {
+		attempt = 16
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > submitRetryCap {
+		d = submitRetryCap
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// submitOnce posts one submission and decodes the envelope.  A nil
+// error means the server answered with valid JSON; the caller decides
+// from the status code whether that answer is terminal.
+func submitOnce(client *http.Client, base string, body []byte) (service.SubmitResponse, int, error) {
+	var sub service.SubmitResponse
 	resp, err := client.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return outcome{lost: true}
+		return sub, 0, err
 	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		return sub, 0, err
+	}
+	return sub, resp.StatusCode, nil
+}
+
+// drive submits one request and follows it to a terminal state.
+// Refused (429/503) and transport-failed submissions are retried up to
+// `retries` times with capped exponential backoff: admission pressure
+// and daemon restarts are transient by contract, so only an exhausted
+// retry budget counts as rejected/lost.
+func drive(client *http.Client, base string, req service.SweepRequest, timeout, poll time.Duration, retries int, backoff time.Duration) outcome {
+	body, _ := json.Marshal(req)
+	t0 := time.Now()
+	var o outcome
 	var sub service.SubmitResponse
-	err = json.NewDecoder(resp.Body).Decode(&sub)
-	resp.Body.Close()
-	if err != nil {
-		return outcome{lost: true}
+	var code int
+	for attempt := 0; ; attempt++ {
+		var err error
+		sub, code, err = submitOnce(client, base, body)
+		if err == nil && code != http.StatusTooManyRequests && code != http.StatusServiceUnavailable {
+			break
+		}
+		if attempt >= retries {
+			if err != nil {
+				o.lost = true
+			} else {
+				o.rejected = true
+			}
+			return o
+		}
+		o.retries++
+		time.Sleep(retryDelay(backoff, attempt))
 	}
-	o := outcome{fp: sub.ID, cached: sub.Cached, deduped: sub.Deduped}
-	switch resp.StatusCode {
+	o.fp, o.cached, o.deduped = sub.ID, sub.Cached, sub.Deduped
+	switch code {
 	case http.StatusOK: // cache hit, result inline
 		o.latencyMS = ms(time.Since(t0))
-		return o
-	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
-		o.rejected = true
 		return o
 	case http.StatusAccepted:
 		o.admitted = !sub.Deduped
@@ -317,6 +379,7 @@ func summarise(outcomes []outcome, mode string, secs, startRPS, targetRPS, burst
 	admitted := map[string]int{}
 	var lat []float64
 	for _, o := range outcomes {
+		rec.RetriesTotal += o.retries
 		switch {
 		case o.rejected:
 			rec.Rejected++

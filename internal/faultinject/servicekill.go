@@ -1,0 +1,141 @@
+// Service-level fault injection: a harness that runs a sweep service
+// in a separate process and kills it -- SIGKILL, no warning, no drain
+// -- at seed-chosen points under load, then restarts it.  This is the
+// offensive half of the service durability proof: the package's other
+// injectors corrupt a single sweep from the inside, while this one
+// takes out the whole daemon from the outside, the way a machine
+// crash, OOM kill or power cut would.  The defensive half lives in the
+// kill-restart campaign tests, which assert that every admitted job
+// still reaches a terminal state exactly once and that recovered
+// results are byte-identical to an uninterrupted run.
+package faultinject
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"subcache/internal/rng"
+)
+
+// KillPoint is one planned service kill: how long to let the freshly
+// started service run (and absorb load) before SIGKILLing it.
+type KillPoint struct {
+	// Delay is the service's survival time for this round.
+	Delay time.Duration
+}
+
+// KillPlan derives a deterministic kill campaign from a seed: n kills
+// with survival times uniform in [minDelay, maxDelay].  The same seed
+// always yields the same campaign, so a CI failure reproduces locally.
+func KillPlan(seed uint64, n int, minDelay, maxDelay time.Duration) []KillPoint {
+	r := rng.New(seed)
+	span := int(maxDelay - minDelay)
+	out := make([]KillPoint, n)
+	for i := range out {
+		d := minDelay
+		if span > 0 {
+			d += time.Duration(r.Intn(span + 1))
+		}
+		out[i] = KillPoint{Delay: d}
+	}
+	return out
+}
+
+// ServiceProc is one service process under harness control: started
+// with StartService, killed with Kill or stopped with Signal+Wait.
+type ServiceProc struct {
+	// Addr is the address the child announced on stdout.
+	Addr string
+
+	cmd  *exec.Cmd
+	done chan error // closed by the reaper with the Wait error
+}
+
+// ReadyPrefix is the stdout handshake line a harnessed service child
+// must print once it is listening: ReadyPrefix immediately followed by
+// its host:port address, on a line of its own.
+const ReadyPrefix = "SERVICE_READY="
+
+// StartService launches bin with the given arguments and environment
+// (nil env inherits the parent's) and waits -- at most timeout -- for
+// the child to announce readiness via the ReadyPrefix handshake on
+// stdout.  The child's stderr (and any further stdout) is forwarded to
+// this process's stderr, so a failing campaign keeps the child's logs.
+func StartService(bin string, args, env []string, timeout time.Duration) (*ServiceProc, error) {
+	cmd := exec.Command(bin, args...)
+	if env != nil {
+		cmd.Env = env
+	}
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: service stdout: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("faultinject: starting %s: %w", bin, err)
+	}
+	p := &ServiceProc{cmd: cmd, done: make(chan error, 1)}
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if addr, ok := strings.CutPrefix(line, ReadyPrefix); ok {
+				select {
+				case addrCh <- strings.TrimSpace(addr):
+				default:
+				}
+				continue
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
+		io.Copy(io.Discard, stdout)
+	}()
+	go func() { p.done <- cmd.Wait() }()
+
+	select {
+	case addr := <-addrCh:
+		p.Addr = addr
+		return p, nil
+	case err := <-p.done:
+		return nil, fmt.Errorf("faultinject: service exited before ready: %v", err)
+	case <-time.After(timeout):
+		p.Kill()
+		return nil, fmt.Errorf("faultinject: service not ready within %v", timeout)
+	}
+}
+
+// Kill SIGKILLs the service -- the crash being injected: no drain, no
+// flush, no goodbye -- and reaps it.
+func (p *ServiceProc) Kill() error {
+	if err := p.cmd.Process.Kill(); err != nil && !strings.Contains(err.Error(), "already finished") {
+		return fmt.Errorf("faultinject: kill: %w", err)
+	}
+	<-p.done
+	return nil
+}
+
+// Signal delivers a signal (e.g. SIGTERM for a graceful drain) without
+// reaping; pair with Wait.
+func (p *ServiceProc) Signal(sig syscall.Signal) error {
+	return p.cmd.Process.Signal(sig)
+}
+
+// Wait blocks until the service exits on its own, at most timeout
+// (after which it is killed and an error returned).
+func (p *ServiceProc) Wait(timeout time.Duration) error {
+	select {
+	case err := <-p.done:
+		return err
+	case <-time.After(timeout):
+		p.Kill()
+		return fmt.Errorf("faultinject: service still running after %v", timeout)
+	}
+}

@@ -1,0 +1,298 @@
+// The kill-restart campaign: the defensive half of the service-level
+// harness in servicekill.go.  A real sweepd-shaped child process (this
+// test binary re-exec'd; see TestMain) takes burst load and is
+// SIGKILLed at seed-chosen points, over and over, then restarted one
+// last time and allowed to finish.  The campaign proves the durability
+// contract end to end:
+//
+//   - every admitted job reaches a terminal state exactly once;
+//   - recovered results are byte-identical to an uninterrupted run;
+//   - the job journal replays and validates after any crash point.
+package faultinject_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+
+	"subcache/internal/faultinject"
+	"subcache/internal/service"
+)
+
+// childDirEnv switches the test binary into service-child mode: run a
+// real sweep service over the given data directory until killed.
+const childDirEnv = "FAULTINJECT_SWEEPD_DIR"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(childDirEnv) != "" {
+		runServiceChild()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runServiceChild is the harnessed daemon: a single-worker sweep
+// service (one worker keeps a backlog alive, so every kill lands on a
+// non-empty job table) announcing its address via the harness
+// handshake.  SIGTERM drains gracefully -- the campaign's final round
+// uses it so the journal ends in a cleanly validatable state; every
+// other round ends in SIGKILL, which no handler can observe.
+func runServiceChild() {
+	srv, err := service.New(service.Options{
+		Dir:          os.Getenv(childDirEnv),
+		Workers:      1,
+		Heartbeat:    10 * time.Millisecond,
+		RetryBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child:", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child:", err)
+		os.Exit(1)
+	}
+	go func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, syscall.SIGTERM)
+		<-ch
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		srv.Shutdown(ctx)
+		cancel()
+		os.Exit(0)
+	}()
+	fmt.Printf("%s%s\n", faultinject.ReadyPrefix, ln.Addr())
+	http.Serve(ln, srv)
+}
+
+// campaignRequests is the burst: distinct sweeps, each heavy enough
+// (two net sizes, long traces) that the single worker still has a
+// backlog when the kill lands.
+func campaignRequests() []service.SweepRequest {
+	reqs := make([]service.SweepRequest, 5)
+	for i := range reqs {
+		reqs[i] = service.SweepRequest{
+			Arch: "PDP-11",
+			Nets: []int{64, 256},
+			Refs: 300_000 + 1_000*i,
+		}
+	}
+	return reqs
+}
+
+// startChild re-execs this test binary in service-child mode over dir.
+func startChild(t *testing.T, dir string) *faultinject.ServiceProc {
+	t.Helper()
+	p, err := faultinject.StartService(os.Args[0], nil,
+		append(os.Environ(), childDirEnv+"="+dir), 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// submitAsync fires one submit and ignores every failure: during a
+// kill round the child can die mid-request (connection reset) or
+// refuse (queue contention), and the campaign's contract is only about
+// jobs that WERE admitted.
+func submitAsync(addr string, req service.SweepRequest) {
+	b, _ := json.Marshal(req)
+	go func() {
+		resp, err := http.Post("http://"+addr+"/v1/sweeps", "application/json", bytes.NewReader(b))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+}
+
+// submitWait submits one request with ?wait=1 and returns the terminal
+// envelope.
+func submitWait(t *testing.T, addr string, req service.SweepRequest) service.SubmitResponse {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &http.Client{Timeout: 5 * time.Minute}
+	resp, err := cl.Post("http://"+addr+"/v1/sweeps?wait=1", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	var out service.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("submit: decoding response: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: code %d status %q error %q", resp.StatusCode, out.Status, out.Error)
+	}
+	return out
+}
+
+// points parses a result envelope down to its Points array, the
+// byte-identity unit of comparison (TracePasses and Resumed legitimately
+// differ between a resumed and an uninterrupted run).
+func points(t *testing.T, raw json.RawMessage) []service.PointResult {
+	t.Helper()
+	var res service.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("decoding result: %v", err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("empty result")
+	}
+	return res.Points
+}
+
+// TestServiceKillRestartCampaign is the campaign itself.  The seed is
+// fixed for CI and overridable via FAULTINJECT_SEED to explore (or
+// reproduce) other kill timings.
+func TestServiceKillRestartCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill-restart campaign skipped in -short mode")
+	}
+	seed := uint64(1)
+	if s := os.Getenv("FAULTINJECT_SEED"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			t.Fatalf("FAULTINJECT_SEED: %v", err)
+		}
+		seed = v
+	}
+	dir := t.TempDir()
+	reqs := campaignRequests()
+	plan := faultinject.KillPlan(seed, 4, 100*time.Millisecond, 600*time.Millisecond)
+	t.Logf("seed %d, %d kill rounds: %v", seed, len(plan), plan)
+
+	// Kill rounds: start, load, survive kp.Delay, die by SIGKILL.
+	for round, kp := range plan {
+		p := startChild(t, dir)
+		for _, req := range reqs {
+			submitAsync(p.Addr, req)
+		}
+		time.Sleep(kp.Delay)
+		if err := p.Kill(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+
+	// Final round: recover, resubmit everything, and require every job
+	// to reach done -- recovered or cached, never lost, never failed.
+	p := startChild(t, dir)
+	finalPoints := make([][]service.PointResult, len(reqs))
+	ids := make([]string, len(reqs))
+	for i, req := range reqs {
+		out := submitWait(t, p.Addr, req)
+		if out.Status != string(service.StatusDone) {
+			t.Fatalf("request %d: terminal status %q, want done", i, out.Status)
+		}
+		finalPoints[i] = points(t, out.Result)
+		ids[i] = out.ID
+	}
+
+	// The survivor's own counters: at least one kill must have landed
+	// on a live job table, or the campaign proved nothing.
+	var stats struct {
+		Telemetry struct {
+			Counters map[string]uint64 `json:"counters"`
+		} `json:"telemetry"`
+	}
+	sresp, err := http.Get("http://" + p.Addr + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if got := stats.Telemetry.Counters["jobs_recovered"]; got == 0 {
+		t.Error("jobs_recovered = 0: no kill landed on a live job table; shrink the kill delays or grow the requests")
+	}
+
+	// Graceful goodbye, then the journal must validate strictly and
+	// show every fingerprint terminal exactly once.
+	if err := p.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Wait(time.Minute); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	jf, err := os.Open(filepath.Join(dir, "jobs.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	if _, err := service.ValidateJournal(jf); err != nil {
+		t.Fatalf("final journal invalid: %v", err)
+	}
+	if _, err := jf.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	stats2, err := service.ValidateJournal(jf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	terminalByFP := journalTerminalCounts(t, filepath.Join(dir, "jobs.jsonl"))
+	for fp, n := range terminalByFP {
+		if n != 1 {
+			t.Errorf("fingerprint %s reached a terminal state %d times, want exactly 1", fp, n)
+		}
+	}
+	t.Logf("final journal: %d records %v; %d fingerprints terminal", stats2.Records, stats2.ByKind, len(terminalByFP))
+
+	// Byte-identity: the same burst against a fresh, never-killed
+	// service must produce the same points.
+	cleanDir := t.TempDir()
+	pc := startChild(t, cleanDir)
+	for i, req := range reqs {
+		out := submitWait(t, pc.Addr, req)
+		if out.Status != string(service.StatusDone) {
+			t.Fatalf("clean run request %d: status %q", i, out.Status)
+		}
+		if out.ID != ids[i] {
+			t.Errorf("request %d: clean-run id %s != campaign id %s", i, out.ID, ids[i])
+		}
+		if !reflect.DeepEqual(points(t, out.Result), finalPoints[i]) {
+			t.Errorf("request %d (%s): recovered points differ from the uninterrupted run", i, ids[i])
+		}
+	}
+	pc.Signal(syscall.SIGTERM)
+	pc.Wait(time.Minute)
+}
+
+// journalTerminalCounts counts terminal (completed/failed/canceled)
+// records per fingerprint in a journal file.
+func journalTerminalCounts(t *testing.T, path string) map[string]int {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]int)
+	for _, line := range bytes.Split(b, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec service.JournalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("journal line: %v", err)
+		}
+		switch rec.Kind {
+		case service.KindCompleted, service.KindFailed, service.KindCanceled:
+			out[rec.FP]++
+		}
+	}
+	return out
+}

@@ -5,7 +5,10 @@
 //	GET  /v1/sweeps/{id}       status / result; ?wait=1 blocks
 //	GET  /v1/sweeps/{id}/events  the job's JSONL telemetry stream
 //	GET  /v1/stats             service counters (telemetry snapshot)
-//	GET  /healthz              liveness
+//	GET  /healthz              liveness (the process is up)
+//	GET  /readyz               readiness: 503 while draining or while
+//	                           journal-recovered jobs are still being
+//	                           re-run, 200 otherwise
 //
 // Status codes: 200 done (result or cache hit), 202 accepted
 // (queued/running/deduped), 400 invalid request, 404 unknown id, 409
@@ -56,6 +59,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintln(w, "ok")
 		})
+		mux.HandleFunc("GET /readyz", s.handleReady)
 		s.mux = mux
 	})
 	s.mux.ServeHTTP(w, r)
@@ -75,7 +79,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, SubmitResponse{Status: "invalid", Error: err.Error()})
 		return
 	}
-	out, err := s.submit(req, fp, wire.Tenant)
+	out, err := s.submit(req, &wire, fp, wire.Tenant)
 	switch {
 	case errors.Is(err, errDraining):
 		writeJSON(w, http.StatusServiceUnavailable, SubmitResponse{ID: fp, Status: "rejected", Error: err.Error()})
@@ -183,15 +187,42 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	http.ServeFile(w, r, path)
 }
 
+// handleReady distinguishes readiness from liveness: a draining server
+// is going away and a recovering one is still re-running journaled
+// jobs, so both answer 503 and a load balancer routes elsewhere;
+// /healthz stays 200 throughout, because the process is healthy.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining, recovering := s.draining, s.recovering
+	s.mu.Unlock()
+	switch {
+	case draining:
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case recovering > 0:
+		http.Error(w, fmt.Sprintf("recovering: %d jobs replaying", recovering), http.StatusServiceUnavailable)
+	default:
+		fmt.Fprintln(w, "ready")
+	}
+}
+
 // handleStats serves the service counter snapshot.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	draining, queued := s.draining, s.queued
+	draining, queued, recovering := s.draining, s.queued, s.recovering
 	s.mu.Unlock()
+	entries, bytes := s.store.stats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"draining":  draining,
-		"queued":    queued,
-		"workers":   s.opts.Workers,
+		"draining":   draining,
+		"ready":      !draining && recovering == 0,
+		"recovering": recovering,
+		"queued":     queued,
+		"workers":    s.opts.Workers,
+		"cache": map[string]any{
+			"entries":     entries,
+			"bytes":       bytes,
+			"max_bytes":   s.opts.CacheMaxBytes,
+			"ttl_seconds": s.opts.CacheTTL.Seconds(),
+		},
 		"telemetry": s.Stats(),
 	})
 }

@@ -9,6 +9,7 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"subcache/internal/sweep"
 	"subcache/internal/synth"
@@ -36,12 +37,26 @@ type SweepRequest struct {
 	// Tenant attributes the request for quota accounting; empty maps
 	// to "default".
 	Tenant string `json:"tenant,omitempty"`
+	// TimeoutSec bounds the job's execution wall-clock (0 = no
+	// deadline).  Execution-only, like Engine: it does not contribute
+	// to the fingerprint, so identical sweeps with different deadlines
+	// still dedup and share one result.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+// timeoutOf converts the wire deadline into a duration (0 = none).
+func timeoutOf(wire *SweepRequest) time.Duration {
+	if wire == nil || wire.TimeoutSec <= 0 {
+		return 0
+	}
+	return time.Duration(wire.TimeoutSec * float64(time.Second))
 }
 
 // Validation limits; Options can tighten MaxRefs.
 const (
 	maxNets       = 16
 	maxNetSize    = 1 << 24
+	maxTimeoutSec = 86_400
 	defaultTenant = "default"
 )
 
@@ -54,6 +69,9 @@ func (s *Server) resolve(wire *SweepRequest) (sweep.Request, string, error) {
 	}
 	if wire.Refs <= 0 || wire.Refs > s.opts.MaxRefs {
 		return sweep.Request{}, "", fmt.Errorf("refs %d out of range [1, %d]", wire.Refs, s.opts.MaxRefs)
+	}
+	if wire.TimeoutSec < 0 || wire.TimeoutSec > maxTimeoutSec {
+		return sweep.Request{}, "", fmt.Errorf("timeout_sec %g out of range [0, %d]", wire.TimeoutSec, maxTimeoutSec)
 	}
 	if len(wire.Nets) == 0 || len(wire.Nets) > maxNets {
 		return sweep.Request{}, "", fmt.Errorf("want 1-%d net sizes, got %d", maxNets, len(wire.Nets))

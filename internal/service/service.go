@@ -9,7 +9,20 @@
 // Concurrent identical requests are deduplicated singleflight-style
 // (they join the in-flight job and all observe its one result), and a
 // completed fingerprint is never re-simulated: results are cached in
-// memory and on disk (<dir>/cache/<fp>.json, written atomically).
+// memory and in the verified on-disk store (<dir>/cache/<fp>.json,
+// written atomically, checksummed on read, TTL- and size-bounded; see
+// store.go).
+//
+// The job table itself is durable: every state transition is one
+// fsynced record in the <dir>/jobs.jsonl write-ahead journal (see
+// journal.go), so a crash -- SIGKILL included -- loses nothing that was
+// admitted.  On startup the journal replays: jobs that never reached a
+// terminal state are re-admitted onto the queue and resume
+// bit-identically from their per-fingerprint checkpoint journals, while
+// /readyz reports "recovering" until they have all reached terminal
+// states again.  Graceful drain is different from a crash on purpose: a
+// drain-canceled job gets a terminal canceled record -- the client was
+// told -- so replay does not resurrect it.
 //
 // Admission control bounds the damage any client can do: a full queue
 // or an over-quota tenant is refused with 429 before any work is
@@ -21,18 +34,27 @@
 // resubmission after restart resumes bit-identically instead of
 // starting over.
 //
+// Execution is hardened per job: a request-supplied deadline
+// (timeout_sec) bounds a sweep via its context, and transient failures
+// (sweep.Transient: trace-source I/O, never panics or cancellations)
+// are retried with exponential backoff plus jitter -- each retry
+// resumes from the job's checkpoint journal, so completed workloads
+// are never paid for twice.
+//
 // Every job writes the PR 5 telemetry event stream to its own JSONL
 // file (<dir>/jobs/<fp>/events.jsonl), flushed on each heartbeat so
 // GET /v1/sweeps/{id}/events can tail a live run; the stream ends with
 // the terminal run-end event (interrupted=true when drain cancelled
 // it).  Service-level counters (requests admitted/rejected/deduped,
-// cache hits, queue depth) ride the same telemetry vocabulary; see
+// cache hits/evictions/quarantines, retries, recoveries, journal
+// records, queue depth) ride the same telemetry vocabulary; see
 // docs/SERVICE.md and docs/OBSERVABILITY.md.
 package service
 
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -48,12 +70,15 @@ import (
 // the documented default.
 type Options struct {
 	// Dir is the service's data directory: cache/ holds result and
-	// checkpoint files, jobs/ the per-job event streams.
+	// checkpoint files, jobs/ the per-job event streams, jobs.jsonl the
+	// job-table write-ahead journal.
 	Dir string
 	// Workers bounds concurrent sweep executions (default GOMAXPROCS).
 	Workers int
 	// QueueDepth bounds admitted-but-not-running jobs; a submit beyond
-	// it is refused with 429 (default 64).
+	// it is refused with 429 (default 64).  Jobs recovered from the
+	// journal at startup ride above the bound: recovery never refuses
+	// what was already admitted.
 	QueueDepth int
 	// TenantQuota bounds one tenant's live (queued + running) jobs;
 	// beyond it the tenant's submits are refused with 429 (default 8).
@@ -64,10 +89,30 @@ type Options struct {
 	// Heartbeat is the per-job event heartbeat (and event-stream flush)
 	// interval (default 500ms).
 	Heartbeat time.Duration
+	// CacheTTL bounds the age of on-disk result-cache entries; older
+	// ones are evicted -- checkpoint journal included -- and the next
+	// request re-simulates (default 7 days; negative disables).
+	CacheTTL time.Duration
+	// CacheMaxBytes caps the on-disk result cache; past it the
+	// least-recently-used entries are evicted, keeping their checkpoint
+	// journals so re-simulation resumes cheaply (default 256 MiB;
+	// negative disables).
+	CacheMaxBytes int64
+	// MaxRetries bounds sweep re-executions after a transient failure
+	// (sweep.Transient); each retry resumes from the job's checkpoint
+	// journal (default 2; negative disables retries).
+	MaxRetries int
+	// RetryBackoff is the base delay before retry attempt n, doubled
+	// per attempt with jitter (default 250ms).
+	RetryBackoff time.Duration
 	// JobHook, if non-nil, runs at the start of every job execution,
 	// before the sweep; tests use it to hold jobs in the running state.
 	// nil in production.
 	JobHook func(ctx context.Context, fp string)
+	// SweepHook, if non-nil, runs before every sweep execution attempt
+	// (including retries) and may mutate the request; tests use it to
+	// inject per-attempt faults.  nil in production.
+	SweepHook func(req *sweep.Request, fp string, attempt int)
 }
 
 // jobStatus is a job's lifecycle state.
@@ -80,7 +125,8 @@ const (
 	StatusRunning jobStatus = "running"
 	// StatusDone: completed; its result is cached and served.
 	StatusDone jobStatus = "done"
-	// StatusFailed: the sweep returned an error; resubmitting retries.
+	// StatusFailed: the sweep returned an error (or hit its deadline);
+	// resubmitting retries.
 	StatusFailed jobStatus = "failed"
 	// StatusCanceled: cut short by drain before or during simulation;
 	// completed workloads remain in the checkpoint journal and a
@@ -88,13 +134,29 @@ const (
 	StatusCanceled jobStatus = "canceled"
 )
 
+// journalKindFor maps a terminal job status to its journal transition.
+func journalKindFor(status jobStatus) string {
+	switch status {
+	case StatusDone:
+		return KindCompleted
+	case StatusCanceled:
+		return KindCanceled
+	default:
+		return KindFailed
+	}
+}
+
 // job is one admitted sweep: identity, request, lifecycle and result.
 // Status fields are guarded by the server mutex; done closes when the
 // job reaches a terminal state.
 type job struct {
-	fp     string
-	tenant string
-	req    sweep.Request
+	fp      string
+	tenant  string
+	req     sweep.Request
+	timeout time.Duration // per-job deadline (0 = none)
+	// recovered marks a job re-admitted from the journal at startup;
+	// /readyz reports recovering until all such jobs are terminal.
+	recovered bool
 
 	status  jobStatus
 	errText string
@@ -106,15 +168,18 @@ type job struct {
 // Server schedules, deduplicates, caches and serves sweeps.  Create
 // with New, serve with ServeHTTP, stop with Shutdown.
 type Server struct {
-	opts Options
-	rec  *telemetry.Run // service-level counters (no sink)
+	opts    Options
+	rec     *telemetry.Run // service-level counters (no sink)
+	journal *jobJournal
+	store   *diskStore
 
-	mu       sync.Mutex
-	jobs     map[string]*job // fingerprint -> latest job
-	tenants  map[string]int  // tenant -> live jobs
-	memCache map[string][]byte
-	queued   int
-	draining bool
+	mu         sync.Mutex
+	jobs       map[string]*job // fingerprint -> latest job
+	tenants    map[string]int  // tenant -> live jobs
+	memCache   map[string][]byte
+	queued     int
+	recovering int // recovered jobs not yet terminal
+	draining   bool
 
 	queue      chan *job
 	wg         sync.WaitGroup
@@ -125,7 +190,9 @@ type Server struct {
 	mux     *http.ServeMux
 }
 
-// New creates the data directories and starts the worker pool.
+// New creates the data directories, replays the job journal
+// (re-admitting every job that never reached a terminal state), opens
+// the verified result store, and starts the worker pool.
 func New(opts Options) (*Server, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
@@ -142,6 +209,26 @@ func New(opts Options) (*Server, error) {
 	if opts.Heartbeat <= 0 {
 		opts.Heartbeat = 500 * time.Millisecond
 	}
+	switch {
+	case opts.CacheTTL == 0:
+		opts.CacheTTL = 7 * 24 * time.Hour
+	case opts.CacheTTL < 0:
+		opts.CacheTTL = 0 // disabled
+	}
+	switch {
+	case opts.CacheMaxBytes == 0:
+		opts.CacheMaxBytes = 256 << 20
+	case opts.CacheMaxBytes < 0:
+		opts.CacheMaxBytes = 0 // disabled
+	}
+	if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	} else if opts.MaxRetries == 0 {
+		opts.MaxRetries = 2
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 250 * time.Millisecond
+	}
 	if opts.Dir == "" {
 		return nil, fmt.Errorf("service: Options.Dir is required")
 	}
@@ -150,17 +237,57 @@ func New(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("service: %w", err)
 		}
 	}
+	rec := telemetry.NewRun(telemetry.Options{})
+	journal, recovered, err := openJobJournal(filepath.Join(opts.Dir, "jobs.jsonl"), rec)
+	if err != nil {
+		return nil, err
+	}
+	store, err := openStore(filepath.Join(opts.Dir, "cache"), opts.CacheTTL, opts.CacheMaxBytes)
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		opts:       opts,
-		rec:        telemetry.NewRun(telemetry.Options{}),
-		jobs:       make(map[string]*job),
-		tenants:    make(map[string]int),
-		memCache:   make(map[string][]byte),
-		queue:      make(chan *job, opts.QueueDepth),
+		opts:     opts,
+		rec:      rec,
+		journal:  journal,
+		store:    store,
+		jobs:     make(map[string]*job),
+		tenants:  make(map[string]int),
+		memCache: make(map[string][]byte),
+		// Recovered jobs ride above QueueDepth so re-admission can
+		// never block or refuse what a previous process accepted.
+		queue:      make(chan *job, opts.QueueDepth+len(recovered)),
 		runCtx:     ctx,
 		cancelRuns: cancel,
 	}
+	for _, st := range recovered {
+		req, fp, rerr := s.resolve(st.req)
+		if rerr != nil {
+			// The request no longer resolves (e.g. limits tightened);
+			// terminalise it so replay stops resurrecting it.
+			journal.append(JournalRecord{Kind: KindFailed, FP: st.fp, Error: "recovery: " + rerr.Error()})
+			continue
+		}
+		tenant := st.tenant
+		if tenant == "" {
+			tenant = defaultTenant
+		}
+		j := &job{
+			fp: fp, tenant: tenant, req: req,
+			timeout:   timeoutOf(st.req),
+			recovered: true,
+			status:    StatusQueued,
+			done:      make(chan struct{}),
+		}
+		s.jobs[fp] = j
+		s.tenants[tenant]++
+		s.queued++
+		s.recovering++
+		rec.Add(telemetry.JobsRecovered, 1)
+		s.queue <- j
+	}
+	rec.SetGauge(telemetry.QueueDepth, int64(s.queued))
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -170,6 +297,14 @@ func New(opts Options) (*Server, error) {
 
 // Stats returns the service's counter snapshot.
 func (s *Server) Stats() *telemetry.Snapshot { return s.rec.Snapshot() }
+
+// Recovering returns the number of journal-recovered jobs that have not
+// yet reached a terminal state; /readyz reports 503 until it is zero.
+func (s *Server) Recovering() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovering
+}
 
 // submitOutcome is one admission decision, for the HTTP layer to
 // render.
@@ -183,22 +318,25 @@ type submitOutcome struct {
 
 // submit applies cache lookup, singleflight dedup and admission
 // control to one resolved request.  It returns an outcome, or an
-// admission error (errRejected / errDraining).
-func (s *Server) submit(req sweep.Request, fp, tenant string) (submitOutcome, error) {
+// admission error (errRejected / errDraining).  An admitted job is
+// journaled -- record fsynced, wire request embedded -- before submit
+// returns, so from the client's 202 onward a crash cannot lose it.
+func (s *Server) submit(req sweep.Request, wire *SweepRequest, fp, tenant string) (submitOutcome, error) {
 	if tenant == "" {
 		tenant = defaultTenant
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	// Result cache, memory then disk: a completed fingerprint is never
-	// simulated again.
+	// Result cache, memory then verified disk store: a completed
+	// fingerprint is never simulated again.
 	if b := s.cachedLocked(fp); b != nil {
 		s.rec.Add(telemetry.CacheHits, 1)
 		return submitOutcome{status: StatusDone, result: b, cached: true}, nil
 	}
 	// Singleflight: join an identical in-flight job instead of queuing
-	// a second simulation.
+	// a second simulation.  Recovery rides this same path: a client
+	// polling a crash-recovered id joins the re-admitted job.
 	if j, ok := s.jobs[fp]; ok && (j.status == StatusQueued || j.status == StatusRunning) {
 		s.rec.Add(telemetry.RequestsDeduped, 1)
 		return submitOutcome{job: j, status: j.status, deduped: true}, nil
@@ -217,7 +355,18 @@ func (s *Server) submit(req sweep.Request, fp, tenant string) (submitOutcome, er
 		return submitOutcome{}, fmt.Errorf("%w: tenant %q over quota (%d live jobs)", errRejected, tenant, s.tenants[tenant])
 	}
 
-	j := &job{fp: fp, tenant: tenant, req: req, status: StatusQueued, done: make(chan struct{})}
+	// Journal the admission before exposing it; if the record cannot be
+	// made durable the job is not admitted at all (the client sees 500
+	// and retries), preserving "journaled iff admitted".
+	if err := s.journal.append(JournalRecord{Kind: KindAdmitted, FP: fp, Tenant: tenant, Req: wire}); err != nil {
+		return submitOutcome{}, err
+	}
+	j := &job{
+		fp: fp, tenant: tenant, req: req,
+		timeout: timeoutOf(wire),
+		status:  StatusQueued,
+		done:    make(chan struct{}),
+	}
 	s.jobs[fp] = j
 	s.tenants[tenant]++
 	s.queued++
@@ -228,18 +377,48 @@ func (s *Server) submit(req sweep.Request, fp, tenant string) (submitOutcome, er
 }
 
 // cachedLocked returns the encoded result for fp from the memory
-// cache, falling back to (and refilling from) the on-disk cache.
-// Caller holds mu.
+// cache, falling back to (and refilling from) the verified disk store.
+// TTL expiry and verification failures surface here: an expired entry
+// is evicted (journal record, counter, checkpoint reclaimed) and a
+// corrupt one quarantined and counted; both read as a miss, so the
+// caller transparently re-simulates.  Caller holds mu.
 func (s *Server) cachedLocked(fp string) []byte {
 	if b, ok := s.memCache[fp]; ok {
-		return b
-	}
-	b, err := os.ReadFile(s.cachePath(fp))
-	if err != nil {
+		if fresh, expired := s.store.touch(fp); fresh {
+			return b
+		} else if expired {
+			s.noteEvictionsLocked([]string{fp}, true)
+		}
+		// Evicted or expired on disk: the memory copy dies with it.
+		delete(s.memCache, fp)
 		return nil
 	}
-	s.memCache[fp] = b
-	return b
+	payload, status := s.store.get(fp)
+	switch status {
+	case storeHit:
+		s.memCache[fp] = payload
+		return payload
+	case storeExpired:
+		s.noteEvictionsLocked([]string{fp}, true)
+	case storeCorrupt:
+		s.rec.Add(telemetry.CacheCorruptQuarantined, 1)
+	}
+	return nil
+}
+
+// noteEvictionsLocked records store evictions: counter, a journal
+// evicted record per fingerprint, the memory copy dropped, and -- for
+// TTL reclamation -- the checkpoint journal removed too (a stale
+// result's resume insurance is equally stale).  Caller holds mu.
+func (s *Server) noteEvictionsLocked(fps []string, reclaimCheckpoint bool) {
+	for _, fp := range fps {
+		s.rec.Add(telemetry.CacheEvictions, 1)
+		delete(s.memCache, fp)
+		s.journal.append(JournalRecord{Kind: KindEvicted, FP: fp})
+		if reclaimCheckpoint {
+			os.Remove(s.checkpointPath(fp))
+		}
+	}
 }
 
 func (s *Server) cachePath(fp string) string {
@@ -271,6 +450,9 @@ func (s *Server) worker() {
 		ctx, cancel := context.WithCancel(s.runCtx)
 		j.status = StatusRunning
 		j.cancel = cancel
+		// Best effort: if this record is lost, replay re-runs from the
+		// admitted record and the checkpoint journal still dedups work.
+		s.journal.append(JournalRecord{Kind: KindStarted, FP: j.fp})
 		s.mu.Unlock()
 
 		status, result, errText := s.runJob(ctx, j)
@@ -282,8 +464,8 @@ func (s *Server) worker() {
 	}
 }
 
-// finishLocked moves a job to a terminal state and releases its quota.
-// Caller holds mu.
+// finishLocked moves a job to a terminal state, journals the
+// transition, and releases its quota.  Caller holds mu.
 func (s *Server) finishLocked(j *job, status jobStatus, result []byte, errText string) {
 	j.status = status
 	j.errText = errText
@@ -291,14 +473,36 @@ func (s *Server) finishLocked(j *job, status jobStatus, result []byte, errText s
 	if status == StatusDone {
 		s.memCache[j.fp] = result
 	}
+	// Best effort: a lost terminal record means replay re-admits the
+	// job, and the result cache / checkpoint journal absorb the rerun.
+	s.journal.append(JournalRecord{Kind: journalKindFor(status), FP: j.fp, Error: errText})
+	if j.recovered {
+		s.recovering--
+	}
 	if s.tenants[j.tenant]--; s.tenants[j.tenant] <= 0 {
 		delete(s.tenants, j.tenant)
 	}
 	close(j.done)
 }
 
+// retryDelay is the backoff before retry attempt (attempt+1): base
+// doubled per attempt (capped at 64x), with uniform jitter in
+// [delay/2, delay] so synchronized failures do not retry in lockstep.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	if attempt > 6 {
+		attempt = 6
+	}
+	d := base << uint(attempt)
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
 // runJob executes one sweep with its own telemetry stream and
-// checkpoint journal.
+// checkpoint journal, applying the per-job deadline and the transient
+// retry policy.
 func (s *Server) runJob(ctx context.Context, j *job) (jobStatus, []byte, string) {
 	sink, err := telemetry.CreateJSONLSink(s.eventsPath(j.fp))
 	if err != nil {
@@ -310,23 +514,56 @@ func (s *Server) runJob(ctx context.Context, j *job) (jobStatus, []byte, string)
 		// Flush on every beat so tailing the stream mid-run works.
 		OnHeartbeat: func(*telemetry.Snapshot) { sink.Flush() },
 	})
+	// The job deadline nests inside the drain context, so "drained" and
+	// "timed out" stay distinguishable below.
+	jctx := ctx
+	if j.timeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, j.timeout)
+		defer cancel()
+	}
 	if s.opts.JobHook != nil {
-		s.opts.JobHook(ctx, j.fp)
+		s.opts.JobHook(jctx, j.fp)
 	}
 	req := j.req
 	req.Recorder = rec
 	req.Checkpoint = s.checkpointPath(j.fp)
-	res, runErr := sweep.RunContext(ctx, req)
-	interrupted := ctx.Err() != nil
-	if cerr := rec.CloseInterrupted(interrupted); cerr != nil && runErr == nil {
+
+	var res *sweep.Result
+	var runErr error
+	for attempt := 0; ; attempt++ {
+		if s.opts.SweepHook != nil {
+			s.opts.SweepHook(&req, j.fp, attempt)
+		}
+		res, runErr = sweep.RunContext(jctx, req)
+		if runErr == nil || jctx.Err() != nil ||
+			attempt >= s.opts.MaxRetries || !sweep.Transient(runErr) {
+			break
+		}
+		// Transient (trace-source I/O) and attempts remain: back off and
+		// re-run.  The checkpoint journal carries every workload that
+		// completed before the failure, so the retry resumes, not
+		// restarts.
+		s.rec.Add(telemetry.JobRetries, 1)
+		select {
+		case <-time.After(retryDelay(s.opts.RetryBackoff, attempt)):
+		case <-jctx.Done():
+		}
+	}
+
+	drained := ctx.Err() != nil
+	timedOut := !drained && jctx.Err() != nil
+	if cerr := rec.CloseInterrupted(drained || timedOut); cerr != nil && runErr == nil {
 		runErr = cerr
 	}
 	switch {
-	case interrupted:
+	case drained:
 		// Drain cancelled the sweep at a chunk boundary.  Every
 		// workload that completed is in the checkpoint journal (each
 		// record fsynced whole), so a resubmission resumes exactly.
 		return StatusCanceled, nil, "interrupted by drain; completed workloads checkpointed"
+	case timedOut:
+		return StatusFailed, nil, fmt.Sprintf("deadline exceeded (timeout %s); completed workloads checkpointed", j.timeout)
 	case runErr != nil:
 		return StatusFailed, nil, runErr.Error()
 	}
@@ -334,8 +571,15 @@ func (s *Server) runJob(ctx context.Context, j *job) (jobStatus, []byte, string)
 	if err != nil {
 		return StatusFailed, nil, err.Error()
 	}
-	if err := telemetry.WriteFileAtomic(s.cachePath(j.fp), b, 0o644); err != nil {
+	expired, evicted, err := s.store.put(j.fp, b)
+	if err != nil {
 		return StatusFailed, nil, err.Error()
+	}
+	if len(expired) > 0 || len(evicted) > 0 {
+		s.mu.Lock()
+		s.noteEvictionsLocked(expired, true)
+		s.noteEvictionsLocked(evicted, false)
+		s.mu.Unlock()
 	}
 	return StatusDone, b, ""
 }
@@ -356,8 +600,9 @@ func (s *Server) BeginDrain() {
 // for in-flight sweeps.  If ctx expires first, in-flight sweeps are
 // cancelled at their next chunk boundary -- their checkpoint journals
 // keep every completed workload -- and Shutdown waits for the workers
-// to exit.  Safe to call once; returns ctx's error if the grace
-// period expired.
+// to exit.  Every job the workers terminalise on the way down gets its
+// journal record, so a drained server's journal replays to nothing.
+// Safe to call once; returns ctx's error if the grace period expired.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.BeginDrain()
 	done := make(chan struct{})
@@ -375,5 +620,6 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.cancelRuns()
 	s.rec.Close()
+	s.journal.Close()
 	return err
 }

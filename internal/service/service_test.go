@@ -466,11 +466,12 @@ func TestPoolNoGoroutineLeak(t *testing.T) {
 		}
 		// A couple of real jobs, then an immediate hard drain.
 		for k := 0; k < 2; k++ {
-			req, fp, err := s.resolve(&SweepRequest{Arch: "PDP-11", Nets: []int{64}, Refs: 50000 + i + k})
+			wire := &SweepRequest{Arch: "PDP-11", Nets: []int{64}, Refs: 50000 + i + k}
+			req, fp, err := s.resolve(wire)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := s.submit(req, fmt.Sprint(fp, "-", i, "-", k), "t"); err != nil {
+			if _, err := s.submit(req, wire, fmt.Sprint(fp, "-", i, "-", k), "t"); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -17,6 +17,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -84,6 +85,31 @@ func (e *PointError) event() *telemetry.Event {
 		Cause:    e.Cause.Error(),
 		Panic:    errors.As(e.Cause, &pe),
 	}}
+}
+
+// Transient reports whether a sweep failure is plausibly transient and
+// worth retrying: a workload-scope PointError -- a trace-source failure
+// such as a short read or a corrupt record, which loses the workload
+// without poisoning any state -- whose cause is neither a recovered
+// panic (a programming error repeats identically) nor the caller's own
+// cancellation or deadline.  Point-scope failures (configuration
+// construction, unit panics) and non-attributed errors are never
+// transient.  The sweep service retries transient failures with
+// exponential backoff; because completed workloads sit in the
+// checkpoint journal, a retry resumes instead of restarting.
+func Transient(err error) bool {
+	var pe *PointError
+	if !errors.As(err, &pe) || !pe.WorkloadScope() {
+		return false
+	}
+	var pan *PanicError
+	if errors.As(pe.Cause, &pan) {
+		return false
+	}
+	if errors.Is(pe.Cause, context.Canceled) || errors.Is(pe.Cause, context.DeadlineExceeded) {
+		return false
+	}
+	return true
 }
 
 // PanicError is a panic recovered from a simulation unit, a hook, or a

@@ -1,0 +1,41 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// TestTransientClassifier pins the retry contract: only workload-scope
+// I/O-style failures are transient; panics, point-scope failures,
+// cancellations and unattributed errors are not.
+func TestTransientClassifier(t *testing.T) {
+	point := Point{Net: 64, Block: 16, Sub: 8}
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"plain error", fmt.Errorf("boom"), false},
+		{"workload-scope io", &PointError{Workload: "W", Shard: -1, Cause: io.ErrUnexpectedEOF}, true},
+		{"workload-scope wrapped io", fmt.Errorf("sweep: %w",
+			&PointError{Workload: "W", Shard: -1, Cause: fmt.Errorf("read: %w", io.ErrUnexpectedEOF)}), true},
+		{"workload-scope panic", &PointError{Workload: "W", Shard: -1,
+			Cause: &PanicError{Value: "kaboom"}}, false},
+		{"workload-scope cancel", &PointError{Workload: "W", Shard: -1,
+			Cause: context.Canceled}, false},
+		{"workload-scope deadline", &PointError{Workload: "W", Shard: -1,
+			Cause: fmt.Errorf("aborted: %w", context.DeadlineExceeded)}, false},
+		{"point-scope io", &PointError{Workload: "W", Point: point, Shard: 0,
+			Cause: io.ErrUnexpectedEOF}, false},
+		{"point-scope panic", &PointError{Workload: "W", Point: point, Shard: 1,
+			Cause: &PanicError{Value: 42}}, false},
+	}
+	for _, tc := range cases {
+		if got := Transient(tc.err); got != tc.want {
+			t.Errorf("%s: Transient = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -68,28 +68,52 @@ const (
 	// CacheHits counts requests served from the fingerprint-keyed
 	// result cache (memory or disk) without any simulation.
 	CacheHits
+	// CacheEvictions counts on-disk result-cache entries removed by the
+	// service's TTL or size-cap eviction policy.
+	CacheEvictions
+	// CacheCorruptQuarantined counts on-disk result-cache entries that
+	// failed verification (bad checksum, fingerprint mismatch, torn or
+	// unparsable envelope) and were moved to the cache's corrupt/
+	// directory instead of being served.
+	CacheCorruptQuarantined
+	// JobRetries counts sweep re-executions after a transient failure
+	// (trace-source I/O; see sweep.Transient), each preceded by an
+	// exponential-backoff delay.
+	JobRetries
+	// JobsRecovered counts jobs re-admitted from the service's job
+	// journal at startup: admitted or started at crash time, never
+	// terminal.
+	JobsRecovered
+	// JobJournalRecords counts state-transition records appended to the
+	// service's job journal, fsync included.
+	JobJournalRecords
 	numCounters
 )
 
 // counterNames is the stable wire name of each counter.
 var counterNames = [numCounters]string{
-	RefsRead:             "refs_read",
-	RefsSimulated:        "refs_simulated",
-	BytesRead:            "bytes_read",
-	ChunksBroadcast:      "chunks_broadcast",
-	FamiliesFlushed:      "families_flushed",
-	CheckpointRecords:    "checkpoint_records",
-	CheckpointFsyncNanos: "checkpoint_fsync_nanos",
-	PointsPlanned:        "points_planned",
-	PointsCompleted:      "points_completed",
-	PointsFailed:         "points_failed",
-	PointsResumed:        "points_resumed",
-	EventsDropped:        "events_dropped",
-	StackUnitsFlushed:    "stack_units_flushed",
-	RequestsAdmitted:     "requests_admitted",
-	RequestsRejected:     "requests_rejected",
-	RequestsDeduped:      "requests_deduped",
-	CacheHits:            "cache_hits",
+	RefsRead:                "refs_read",
+	RefsSimulated:           "refs_simulated",
+	BytesRead:               "bytes_read",
+	ChunksBroadcast:         "chunks_broadcast",
+	FamiliesFlushed:         "families_flushed",
+	CheckpointRecords:       "checkpoint_records",
+	CheckpointFsyncNanos:    "checkpoint_fsync_nanos",
+	PointsPlanned:           "points_planned",
+	PointsCompleted:         "points_completed",
+	PointsFailed:            "points_failed",
+	PointsResumed:           "points_resumed",
+	EventsDropped:           "events_dropped",
+	StackUnitsFlushed:       "stack_units_flushed",
+	RequestsAdmitted:        "requests_admitted",
+	RequestsRejected:        "requests_rejected",
+	RequestsDeduped:         "requests_deduped",
+	CacheHits:               "cache_hits",
+	CacheEvictions:          "cache_evictions",
+	CacheCorruptQuarantined: "cache_corrupt_quarantined",
+	JobRetries:              "job_retries",
+	JobsRecovered:           "jobs_recovered",
+	JobJournalRecords:       "job_journal_records",
 }
 
 // String returns the counter's wire name.
