@@ -2,12 +2,17 @@
 
 GO ?= go
 
+# Link-time version stamp, surfaced by every command's -version flag,
+# RUN.json, /v1/stats and the /metrics build-info series.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -ldflags "-X subcache/internal/telemetry.Version=$(VERSION)"
+
 .PHONY: all build test test-race vet test-faults test-telemetry test-stackdist test-service test-durability bench bench-kernel bench-sweep bench-check experiments traces cover fmt clean
 
 all: build test
 
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
 test:
 	$(GO) test ./...
@@ -29,7 +34,7 @@ test-faults:
 # and error-attribution mirroring in the fault campaign (see
 # docs/OBSERVABILITY.md).
 test-telemetry:
-	$(GO) test -race -run 'Telemetry|Event|Stream|Sink|Manifest|Fingerprint|Snapshot|Run(Emit|Close|Concurrent)|Nop|Mirrored|WriteFileAtomic' ./internal/telemetry/... ./internal/sweep/... ./internal/faultinject/...
+	$(GO) test -race -run 'Telemetry|Event|Stream|Sink|Manifest|Fingerprint|Snapshot|Run(Emit|Close|Concurrent)|Nop|Mirrored|WriteFileAtomic|Histogram|Quantile|Prom|Span|Metrics' ./internal/telemetry/... ./internal/sweep/... ./internal/faultinject/... ./internal/service/...
 
 # Sweep service contracts under the race detector: admission control,
 # singleflight dedup, tenant quotas, graceful drain with bit-identical

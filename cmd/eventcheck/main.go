@@ -1,25 +1,33 @@
-// Command eventcheck validates telemetry artifacts: a structured JSONL
-// event stream (as written by -events), a RUN.json run manifest (as
-// written by -manifest), and a sweepd job journal (as written to
-// <dir>/jobs.jsonl; -job-journal).  It is the consumer-side contract
-// check for docs/OBSERVABILITY.md and docs/SERVICE.md -- CI runs it
-// against a live sweep's output so schema drift is caught the moment
-// it is introduced.
+// Command eventcheck validates telemetry artifacts: structured JSONL
+// event streams (as written by -events and sweepd's per-job streams), a
+// RUN.json run manifest (as written by -manifest), a sweepd job journal
+// (as written to <dir>/jobs.jsonl; -job-journal), and a Prometheus text
+// exposition (as served by sweepd's GET /metrics; -metrics).  It is the
+// consumer-side contract check for docs/OBSERVABILITY.md and
+// docs/SERVICE.md -- CI runs it against a live sweep's output so schema
+// drift is caught the moment it is introduced.
 //
 // Usage:
 //
 //	eventcheck [-manifest RUN.json] [-job-journal jobs.jsonl]
-//	           [-require TYPES] [events.jsonl]
+//	           [-metrics metrics.txt] [-require TYPES] [-spans]
+//	           [events.jsonl ...]
 //
-// Every line of the stream must be a schema-valid event with strictly
-// increasing sequence numbers.  -require takes a comma-separated list
-// of event types (e.g. "run-start,point-done,shard-stat") that must
-// each appear at least once.  -job-journal validates strictly: every
-// record must carry the shared journal version, a known transition
-// kind, and an intact checksum -- unknown kinds and torn tails that
-// the daemon's tolerant loader would skip are hard errors here.  Exit
-// status is non-zero on any violation, with the offending line number
-// on stderr.
+// Every line of a stream must be a schema-valid event with strictly
+// increasing sequence numbers; span-start/span-end events must nest
+// (balanced, parents open before children, all closed by run-end).
+// -require takes a comma-separated list of event types (e.g.
+// "run-start,point-done,span-start") that must each appear at least
+// once in every stream.  -spans additionally prints each stream's span
+// tree: per-span duration, share of parent, critical-path marker and a
+// per-stage rollup.  -job-journal validates strictly: every record must
+// carry the shared journal version, a known transition kind, and an
+// intact checksum -- unknown kinds and torn tails that the daemon's
+// tolerant loader would skip are hard errors here.  -metrics validates
+// the exposition grammar (HELP/TYPE lines, family contiguity, label
+// syntax, no duplicate series) and histogram coherence (cumulative
+// buckets, +Inf == _count, _sum present).  Exit status is non-zero on
+// any violation, with the offending line number on stderr.
 package main
 
 import (
@@ -37,39 +45,23 @@ func main() {
 	var (
 		manifest = flag.String("manifest", "", "also validate a RUN.json `file`")
 		journal  = flag.String("job-journal", "", "also validate a sweepd job-journal `file` (jobs.jsonl)")
+		metrics  = flag.String("metrics", "", "also validate a Prometheus text exposition `file` (as served by sweepd /metrics)")
 		require  = flag.String("require", "", "comma-separated event types that must appear at least once")
+		spans    = flag.Bool("spans", false, "print each stream's span tree (durations, critical path, stage rollup)")
+		version  = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 && *manifest == "" && *journal == "" {
-		fmt.Fprintln(os.Stderr, "usage: eventcheck [-manifest RUN.json] [-job-journal jobs.jsonl] [-require TYPES] [events.jsonl]")
+	if *version {
+		telemetry.PrintVersion("eventcheck")
+		return
+	}
+	if flag.NArg() == 0 && *manifest == "" && *journal == "" && *metrics == "" {
+		fmt.Fprintln(os.Stderr, "usage: eventcheck [-manifest RUN.json] [-job-journal jobs.jsonl] [-metrics metrics.txt] [-require TYPES] [-spans] [events.jsonl ...]")
 		os.Exit(2)
 	}
 
-	if flag.NArg() == 1 {
-		path := flag.Arg(0)
-		f, err := os.Open(path)
-		if err != nil {
-			fatal(err)
-		}
-		st, err := telemetry.ValidateStream(f)
-		f.Close()
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", path, err))
-		}
-		for _, typ := range splitList(*require) {
-			if st.ByType[typ] == 0 {
-				fatal(fmt.Errorf("%s: no %q events (have %v)", path, typ, st.ByType))
-			}
-		}
-		fmt.Printf("%s: %d events ok", path, st.Events)
-		for _, typ := range []string{telemetry.EventRunStart, telemetry.EventPointDone,
-			telemetry.EventShardStat, telemetry.EventErrorAttributed, telemetry.EventHeartbeat,
-			telemetry.EventRunEnd} {
-			if n := st.ByType[typ]; n > 0 {
-				fmt.Printf("  %s=%d", typ, n)
-			}
-		}
-		fmt.Println()
+	for _, path := range flag.Args() {
+		checkStream(path, splitList(*require), *spans)
 	}
 
 	if *manifest != "" {
@@ -77,8 +69,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%s: manifest ok  tool=%s fingerprint=%s wall=%.2fs cpu=%.2fs\n",
-			*manifest, m.Tool, m.Fingerprint, m.WallSeconds, m.CPUSeconds)
+		fmt.Printf("%s: manifest ok  tool=%s fingerprint=%s build=%s wall=%.2fs cpu=%.2fs\n",
+			*manifest, m.Tool, m.Fingerprint, m.BuildVersion, m.WallSeconds, m.CPUSeconds)
 	}
 
 	if *journal != "" {
@@ -101,6 +93,59 @@ func main() {
 			fmt.Printf("  %s=%d", k, st.ByKind[k])
 		}
 		fmt.Println()
+	}
+
+	if *metrics != "" {
+		f, err := os.Open(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		st, err := telemetry.ValidatePromText(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *metrics, err))
+		}
+		fmt.Printf("%s: exposition ok  families=%d series=%d samples=%d\n",
+			*metrics, st.Families, st.Series, st.Samples)
+	}
+}
+
+// checkStream validates one event stream and optionally prints its
+// span report.
+func checkStream(path string, require []string, spans bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := telemetry.ValidateStream(f)
+	f.Close()
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	for _, typ := range require {
+		if st.ByType[typ] == 0 {
+			fatal(fmt.Errorf("%s: no %q events (have %v)", path, typ, st.ByType))
+		}
+	}
+	fmt.Printf("%s: %d events ok", path, st.Events)
+	for _, typ := range []string{telemetry.EventRunStart, telemetry.EventPointDone,
+		telemetry.EventShardStat, telemetry.EventErrorAttributed, telemetry.EventHeartbeat,
+		telemetry.EventSpanStart, telemetry.EventSpanEnd, telemetry.EventRunEnd} {
+		if n := st.ByType[typ]; n > 0 {
+			fmt.Printf("  %s=%d", typ, n)
+		}
+	}
+	fmt.Println()
+	if spans {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		err = telemetry.WriteSpanReport(os.Stdout, f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
 	}
 }
 

@@ -106,7 +106,7 @@ func main() {
 		os.Exit(1)
 	}
 	hs := &http.Server{Handler: srv}
-	fmt.Printf("sweepd: listening on http://%s (data dir %s)\n", ln.Addr(), *dir)
+	fmt.Printf("sweepd %s: listening on http://%s (data dir %s)\n", telemetry.Version, ln.Addr(), *dir)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()

@@ -49,7 +49,6 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -100,21 +99,26 @@ type benchRecord struct {
 	CacheHitRate  float64      `json:"cache_hit_rate"`
 	ThroughputRPS float64      `json:"throughput_rps"`
 	LatencyMS     latencyStats `json:"latency_ms"`
+	// QueueWaitMS and ExecutionMS break the end-to-end latency into its
+	// server-side components, read from sweepd's /v1/stats histograms
+	// (absent when the server predates them or saw no jobs).
+	QueueWaitMS *latencyStats `json:"queue_wait_ms,omitempty"`
+	ExecutionMS *latencyStats `json:"execution_ms,omitempty"`
 
 	Server json.RawMessage `json:"server_stats,omitempty"`
 }
 
 // outcome classifies one finished request.
 type outcome struct {
-	latencyMS float64
-	fp        string
-	retries   int
-	cached    bool
-	deduped   bool
-	admitted  bool
-	rejected  bool
-	failed    bool
-	lost      bool
+	latency  time.Duration
+	fp       string
+	retries  int
+	cached   bool
+	deduped  bool
+	admitted bool
+	rejected bool
+	failed   bool
+	lost     bool
 }
 
 func main() {
@@ -139,8 +143,13 @@ func main() {
 		timeout    = flag.Duration("timeout", 60*time.Second, "per-request completion deadline")
 		poll       = flag.Duration("poll", 50*time.Millisecond, "status poll interval")
 		out        = flag.String("out", "BENCH_service.json", "output file")
+		version    = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *version {
+		telemetry.PrintVersion("sweeploadgen")
+		return
+	}
 
 	netSizes, err := parseInts(*nets)
 	if err != nil {
@@ -242,6 +251,13 @@ func main() {
 	rec := summarise(outcomes, *mode, genSecs, *startRPS, *targetRPS, *burstRPS, *fresh, *tenants, *refs)
 	if b, err := fetch(client, base+"/v1/stats"); err == nil {
 		rec.Server = b
+		var sv struct {
+			Telemetry *telemetry.Snapshot `json:"telemetry"`
+		}
+		if json.Unmarshal(b, &sv) == nil && sv.Telemetry != nil {
+			rec.QueueWaitMS = histLatency(sv.Telemetry.Hist(telemetry.HistQueueWait))
+			rec.ExecutionMS = histLatency(sv.Telemetry.Hist(telemetry.HistExecution))
+		}
 	}
 
 	b, err := json.MarshalIndent(rec, "", "  ")
@@ -332,7 +348,7 @@ func drive(client *http.Client, base string, req service.SweepRequest, timeout, 
 	o.fp, o.cached, o.deduped = sub.ID, sub.Cached, sub.Deduped
 	switch code {
 	case http.StatusOK: // cache hit, result inline
-		o.latencyMS = ms(time.Since(t0))
+		o.latency = time.Since(t0)
 		return o
 	case http.StatusAccepted:
 		o.admitted = !sub.Deduped
@@ -352,7 +368,7 @@ func drive(client *http.Client, base string, req service.SweepRequest, timeout, 
 		resp.Body.Close()
 		switch code {
 		case http.StatusOK:
-			o.latencyMS = ms(time.Since(t0))
+			o.latency = time.Since(t0)
 			return o
 		case http.StatusConflict:
 			o.failed = true
@@ -377,7 +393,7 @@ func summarise(outcomes []outcome, mode string, secs, startRPS, targetRPS, burst
 		rec.BurstRPS = burstRPS
 	}
 	admitted := map[string]int{}
-	var lat []float64
+	var lat telemetry.Histogram
 	for _, o := range outcomes {
 		rec.RetriesTotal += o.retries
 		switch {
@@ -389,7 +405,7 @@ func summarise(outcomes []outcome, mode string, secs, startRPS, targetRPS, burst
 			rec.Lost++
 		default:
 			rec.Completed++
-			lat = append(lat, o.latencyMS)
+			lat.ObserveDur(o.latency)
 			switch {
 			case o.cached:
 				rec.CacheHits++
@@ -409,35 +425,26 @@ func summarise(outcomes []outcome, mode string, secs, startRPS, targetRPS, burst
 	if rec.Completed > 0 {
 		rec.CacheHitRate = round3(float64(rec.CacheHits+rec.DedupJoins) / float64(rec.Completed))
 		rec.ThroughputRPS = round3(float64(rec.Completed) / secs)
-		sort.Float64s(lat)
-		var sum float64
-		for _, l := range lat {
-			sum += l
-		}
-		rec.LatencyMS = latencyStats{
-			P50:  round3(quantile(lat, 0.50)),
-			P95:  round3(quantile(lat, 0.95)),
-			P99:  round3(quantile(lat, 0.99)),
-			Mean: round3(sum / float64(len(lat))),
-			Max:  round3(lat[len(lat)-1]),
+		if ls := histLatency(lat.Snap()); ls != nil {
+			rec.LatencyMS = *ls
 		}
 	}
 	return rec
 }
 
-// quantile returns the q-th quantile of sorted values (nearest rank).
-func quantile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
+// histLatency folds a latency histogram snapshot into the record's
+// millisecond stats; nil when the histogram is empty.
+func histLatency(hs *telemetry.HistSnap) *latencyStats {
+	if hs == nil || hs.Count == 0 {
+		return nil
 	}
-	i := int(q*float64(len(sorted))+0.5) - 1
-	if i < 0 {
-		i = 0
+	return &latencyStats{
+		P50:  round3(hs.Quantile(0.50) / 1e6),
+		P95:  round3(hs.Quantile(0.95) / 1e6),
+		P99:  round3(hs.Quantile(0.99) / 1e6),
+		Mean: round3(hs.MeanNanos() / 1e6),
+		Max:  round3(float64(hs.MaxNanos) / 1e6),
 	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
 }
 
 // waitReady polls the health endpoint until the daemon answers.
@@ -478,7 +485,5 @@ func parseInts(list string) ([]int, error) {
 	}
 	return out, nil
 }
-
-func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 func round3(x float64) float64 { return float64(int64(x*1000+0.5)) / 1000 }

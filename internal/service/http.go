@@ -5,6 +5,7 @@
 //	GET  /v1/sweeps/{id}       status / result; ?wait=1 blocks
 //	GET  /v1/sweeps/{id}/events  the job's JSONL telemetry stream
 //	GET  /v1/stats             service counters (telemetry snapshot)
+//	GET  /metrics              Prometheus text exposition (0.0.4)
 //	GET  /healthz              liveness (the process is up)
 //	GET  /readyz               readiness: 503 while draining or while
 //	                           journal-recovered jobs are still being
@@ -22,6 +23,9 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"runtime"
+
+	"subcache/internal/telemetry"
 )
 
 // errRejected marks an admission-control refusal (429); errDraining a
@@ -56,6 +60,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
 		mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
 		mux.HandleFunc("GET /v1/stats", s.handleStats)
+		mux.HandleFunc("GET /metrics", s.handleMetrics)
 		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintln(w, "ok")
 		})
@@ -212,6 +217,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Unlock()
 	entries, bytes := s.store.stats()
 	writeJSON(w, http.StatusOK, map[string]any{
+		"version":    telemetry.Version,
 		"draining":   draining,
 		"ready":      !draining && recovering == 0,
 		"recovering": recovering,
@@ -225,6 +231,38 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		},
 		"telemetry": s.Stats(),
 	})
+}
+
+// handleMetrics serves the counter snapshot in Prometheus text
+// exposition format (version 0.0.4): counters, gauges, per-stage and
+// service-level latency histograms, and a sweepd_build_info series
+// carrying the link-time version stamp.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining, queued, recovering := s.draining, s.queued, s.recovering
+	s.mu.Unlock()
+	entries, bytes := s.store.stats()
+	snap := s.rec.Snapshot()
+	drainVal := 0.0
+	if draining {
+		drainVal = 1
+	}
+	extra := map[string]float64{
+		"cache_entries":   float64(entries),
+		"cache_bytes":     float64(bytes),
+		"queued_jobs":     float64(queued),
+		"recovering_jobs": float64(recovering),
+		"draining":        drainVal,
+		"workers":         float64(s.opts.Workers),
+	}
+	build := map[string]string{
+		"version":    telemetry.Version,
+		"go_version": runtime.Version(),
+		"goos":       runtime.GOOS,
+		"goarch":     runtime.GOARCH,
+	}
+	w.Header().Set("Content-Type", telemetry.PromContentType)
+	telemetry.WritePromText(w, "sweepd", snap, extra, build)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -59,6 +59,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -158,11 +159,33 @@ type job struct {
 	// /readyz reports recovering until all such jobs are terminal.
 	recovered bool
 
+	// Per-job telemetry, created at admission so the event stream and
+	// the job/queue spans cover the whole lifecycle, queue wait
+	// included.  admittedAt anchors the queue-wait and end-to-end
+	// latency histograms; span/qspan are the "job" and "queue" spans.
+	admittedAt time.Time
+	rec        *telemetry.Run
+	sink       *telemetry.JSONLSink
+	span       *telemetry.ActiveSpan
+	qspan      *telemetry.ActiveSpan
+
 	status  jobStatus
 	errText string
 	result  []byte // encoded Result, set iff status == StatusDone
 	done    chan struct{}
 	cancel  context.CancelFunc // set while running
+}
+
+// closeRecorder ends any spans still open and finalises the job's
+// event stream (terminal run-end, sink close).  Idempotent, like
+// everything it calls; safe on a job whose recorder never existed.
+func (j *job) closeRecorder(interrupted bool) error {
+	if j.rec == nil {
+		return nil
+	}
+	j.qspan.End()
+	j.span.End()
+	return j.rec.CloseInterrupted(interrupted)
 }
 
 // Server schedules, deduplicates, caches and serves sweeps.  Create
@@ -280,6 +303,12 @@ func New(opts Options) (*Server, error) {
 			status:    StatusQueued,
 			done:      make(chan struct{}),
 		}
+		if rerr := s.openJobRecorder(j); rerr != nil {
+			// The event stream cannot be (re)created; terminalise rather
+			// than abort startup over an observability file.
+			journal.append(JournalRecord{Kind: KindFailed, FP: st.fp, Error: "recovery: " + rerr.Error()})
+			continue
+		}
 		s.jobs[fp] = j
 		s.tenants[tenant]++
 		s.queued++
@@ -297,6 +326,36 @@ func New(opts Options) (*Server, error) {
 
 // Stats returns the service's counter snapshot.
 func (s *Server) Stats() *telemetry.Snapshot { return s.rec.Snapshot() }
+
+// openJobRecorder creates a job's event stream and recorder at
+// admission time, so the stream covers the whole lifecycle: the "job"
+// span opens immediately and the "queue" span inside it measures the
+// wait until a worker dequeues the job.  The sink truncates any
+// previous stream for the fingerprint (a recovered job's torn one
+// included).  The job fingerprint is the trace id on every span.
+func (s *Server) openJobRecorder(j *job) error {
+	sink, err := telemetry.CreateJSONLSink(s.eventsPath(j.fp))
+	if err != nil {
+		return err
+	}
+	j.sink = sink
+	j.rec = telemetry.NewRun(telemetry.Options{
+		Sink:      sink,
+		Heartbeat: s.opts.Heartbeat,
+		TraceID:   j.fp,
+		// Flush on every beat so tailing the stream mid-run works.
+		OnHeartbeat: func(*telemetry.Snapshot) { sink.Flush() },
+	})
+	j.admittedAt = time.Now()
+	detail := ""
+	if j.recovered {
+		detail = "recovered"
+	}
+	j.span = telemetry.StartSpan(j.rec, telemetry.Span{Name: "job", Detail: detail})
+	j.qspan = telemetry.StartSpan(j.rec, telemetry.Span{Name: "queue", Parent: j.span.ID()})
+	sink.Flush()
+	return nil
+}
 
 // Recovering returns the number of journal-recovered jobs that have not
 // yet reached a terminal state; /readyz reports 503 until it is zero.
@@ -355,17 +414,24 @@ func (s *Server) submit(req sweep.Request, wire *SweepRequest, fp, tenant string
 		return submitOutcome{}, fmt.Errorf("%w: tenant %q over quota (%d live jobs)", errRejected, tenant, s.tenants[tenant])
 	}
 
-	// Journal the admission before exposing it; if the record cannot be
-	// made durable the job is not admitted at all (the client sees 500
-	// and retries), preserving "journaled iff admitted".
-	if err := s.journal.append(JournalRecord{Kind: KindAdmitted, FP: fp, Tenant: tenant, Req: wire}); err != nil {
-		return submitOutcome{}, err
-	}
+	// The event stream opens before the admission is journaled, so a
+	// journaled job always has a stream; if the stream cannot be
+	// created the submit fails before any durable state exists.
 	j := &job{
 		fp: fp, tenant: tenant, req: req,
 		timeout: timeoutOf(wire),
 		status:  StatusQueued,
 		done:    make(chan struct{}),
+	}
+	if err := s.openJobRecorder(j); err != nil {
+		return submitOutcome{}, err
+	}
+	// Journal the admission before exposing it; if the record cannot be
+	// made durable the job is not admitted at all (the client sees 500
+	// and retries), preserving "journaled iff admitted".
+	if err := s.journal.append(JournalRecord{Kind: KindAdmitted, FP: fp, Tenant: tenant, Req: wire}); err != nil {
+		j.closeRecorder(true)
+		return submitOutcome{}, err
 	}
 	s.jobs[fp] = j
 	s.tenants[tenant]++
@@ -393,7 +459,10 @@ func (s *Server) cachedLocked(fp string) []byte {
 		delete(s.memCache, fp)
 		return nil
 	}
+	t0 := time.Now()
 	payload, status := s.store.get(fp)
+	// Disk-read latency only; memory-cache hits return above unobserved.
+	s.rec.ObserveDur(telemetry.HistCacheRead, time.Since(t0))
 	switch status {
 	case storeHit:
 		s.memCache[fp] = payload
@@ -442,7 +511,13 @@ func (s *Server) worker() {
 		s.rec.SetGauge(telemetry.QueueDepth, int64(s.queued))
 		if s.draining {
 			// Drained before starting: nothing was simulated, nothing
-			// is lost; the client resubmits after restart.
+			// is lost; the client resubmits after restart.  The event
+			// stream is finalised (spans closed, run-end interrupted)
+			// outside the lock -- it is file I/O -- before the terminal
+			// state is published.
+			s.mu.Unlock()
+			j.closeRecorder(true)
+			s.mu.Lock()
 			s.finishLocked(j, StatusCanceled, nil, "server draining")
 			s.mu.Unlock()
 			continue
@@ -473,6 +548,9 @@ func (s *Server) finishLocked(j *job, status jobStatus, result []byte, errText s
 	if status == StatusDone {
 		s.memCache[j.fp] = result
 	}
+	if !j.admittedAt.IsZero() {
+		s.rec.ObserveDur(telemetry.HistJobLatency, time.Since(j.admittedAt))
+	}
 	// Best effort: a lost terminal record means replay re-admits the
 	// job, and the result cache / checkpoint journal absorb the rerun.
 	s.journal.append(JournalRecord{Kind: journalKindFor(status), FP: j.fp, Error: errText})
@@ -500,20 +578,17 @@ func retryDelay(base time.Duration, attempt int) time.Duration {
 	return time.Duration(half + rand.Int63n(half+1))
 }
 
-// runJob executes one sweep with its own telemetry stream and
-// checkpoint journal, applying the per-job deadline and the transient
-// retry policy.
+// runJob executes one sweep on the job's admission-time telemetry
+// stream and checkpoint journal, applying the per-job deadline and the
+// transient retry policy.  Queue wait, per-attempt execution, retry
+// backoff and the cache write are observed on both the job's recorder
+// (so they land in its event stream and RUN-style snapshot) and the
+// server recorder (so /metrics aggregates across jobs).
 func (s *Server) runJob(ctx context.Context, j *job) (jobStatus, []byte, string) {
-	sink, err := telemetry.CreateJSONLSink(s.eventsPath(j.fp))
-	if err != nil {
-		return StatusFailed, nil, err.Error()
-	}
-	rec := telemetry.NewRun(telemetry.Options{
-		Sink:      sink,
-		Heartbeat: s.opts.Heartbeat,
-		// Flush on every beat so tailing the stream mid-run works.
-		OnHeartbeat: func(*telemetry.Snapshot) { sink.Flush() },
-	})
+	wait := time.Since(j.admittedAt)
+	j.qspan.End()
+	s.rec.ObserveDur(telemetry.HistQueueWait, wait)
+	j.rec.ObserveDur(telemetry.HistQueueWait, wait)
 	// The job deadline nests inside the drain context, so "drained" and
 	// "timed out" stay distinguishable below.
 	jctx := ctx
@@ -526,7 +601,7 @@ func (s *Server) runJob(ctx context.Context, j *job) (jobStatus, []byte, string)
 		s.opts.JobHook(jctx, j.fp)
 	}
 	req := j.req
-	req.Recorder = rec
+	req.Recorder = j.rec
 	req.Checkpoint = s.checkpointPath(j.fp)
 
 	var res *sweep.Result
@@ -535,7 +610,21 @@ func (s *Server) runJob(ctx context.Context, j *job) (jobStatus, []byte, string)
 		if s.opts.SweepHook != nil {
 			s.opts.SweepHook(&req, j.fp, attempt)
 		}
-		res, runErr = sweep.RunContext(jctx, req)
+		asp := telemetry.StartSpan(j.rec, telemetry.Span{
+			Name:   "attempt",
+			Parent: j.span.ID(),
+			Detail: strconv.Itoa(attempt),
+		})
+		t0 := time.Now()
+		res, runErr = sweep.RunContext(telemetry.ContextWithSpan(jctx, asp.ID()), req)
+		exec := time.Since(t0)
+		s.rec.ObserveDur(telemetry.HistExecution, exec)
+		j.rec.ObserveDur(telemetry.HistExecution, exec)
+		if runErr != nil {
+			asp.EndErr(runErr.Error())
+		} else {
+			asp.End()
+		}
 		if runErr == nil || jctx.Err() != nil ||
 			attempt >= s.opts.MaxRetries || !sweep.Transient(runErr) {
 			break
@@ -545,43 +634,64 @@ func (s *Server) runJob(ctx context.Context, j *job) (jobStatus, []byte, string)
 		// completed before the failure, so the retry resumes, not
 		// restarts.
 		s.rec.Add(telemetry.JobRetries, 1)
+		t0 = time.Now()
 		select {
 		case <-time.After(retryDelay(s.opts.RetryBackoff, attempt)):
 		case <-jctx.Done():
 		}
+		backoff := time.Since(t0)
+		s.rec.ObserveDur(telemetry.HistRetryBackoff, backoff)
+		j.rec.ObserveDur(telemetry.HistRetryBackoff, backoff)
 	}
 
 	drained := ctx.Err() != nil
 	timedOut := !drained && jctx.Err() != nil
-	if cerr := rec.CloseInterrupted(drained || timedOut); cerr != nil && runErr == nil {
-		runErr = cerr
+	status, result, errText := func() (jobStatus, []byte, string) {
+		switch {
+		case drained:
+			// Drain cancelled the sweep at a chunk boundary.  Every
+			// workload that completed is in the checkpoint journal (each
+			// record fsynced whole), so a resubmission resumes exactly.
+			return StatusCanceled, nil, "interrupted by drain; completed workloads checkpointed"
+		case timedOut:
+			return StatusFailed, nil, fmt.Sprintf("deadline exceeded (timeout %s); completed workloads checkpointed", j.timeout)
+		case runErr != nil:
+			return StatusFailed, nil, runErr.Error()
+		}
+		b, err := encodeResult(buildResult(j.fp, j.req, res))
+		if err != nil {
+			return StatusFailed, nil, err.Error()
+		}
+		csp := telemetry.StartSpan(j.rec, telemetry.Span{Name: "cache-write", Parent: j.span.ID()})
+		t0 := time.Now()
+		expired, evicted, err := s.store.put(j.fp, b)
+		wdur := time.Since(t0)
+		s.rec.ObserveDur(telemetry.HistCacheWrite, wdur)
+		j.rec.ObserveDur(telemetry.HistCacheWrite, wdur)
+		if err != nil {
+			csp.EndErr(err.Error())
+			return StatusFailed, nil, err.Error()
+		}
+		csp.End()
+		if len(expired) > 0 || len(evicted) > 0 {
+			s.mu.Lock()
+			s.noteEvictionsLocked(expired, true)
+			s.noteEvictionsLocked(evicted, false)
+			s.mu.Unlock()
+		}
+		return StatusDone, b, ""
+	}()
+	if errText != "" {
+		j.span.EndErr(errText)
+	} else {
+		j.span.End()
 	}
-	switch {
-	case drained:
-		// Drain cancelled the sweep at a chunk boundary.  Every
-		// workload that completed is in the checkpoint journal (each
-		// record fsynced whole), so a resubmission resumes exactly.
-		return StatusCanceled, nil, "interrupted by drain; completed workloads checkpointed"
-	case timedOut:
-		return StatusFailed, nil, fmt.Sprintf("deadline exceeded (timeout %s); completed workloads checkpointed", j.timeout)
-	case runErr != nil:
-		return StatusFailed, nil, runErr.Error()
+	if cerr := j.closeRecorder(drained || timedOut); cerr != nil && status == StatusDone {
+		// A torn event stream on a completed job: the result is good,
+		// but the observable record is not -- surface it.
+		return StatusFailed, nil, cerr.Error()
 	}
-	b, err := encodeResult(buildResult(j.fp, j.req, res))
-	if err != nil {
-		return StatusFailed, nil, err.Error()
-	}
-	expired, evicted, err := s.store.put(j.fp, b)
-	if err != nil {
-		return StatusFailed, nil, err.Error()
-	}
-	if len(expired) > 0 || len(evicted) > 0 {
-		s.mu.Lock()
-		s.noteEvictionsLocked(expired, true)
-		s.noteEvictionsLocked(evicted, false)
-		s.mu.Unlock()
-	}
-	return StatusDone, b, ""
+	return status, result, errText
 }
 
 // BeginDrain stops admission (new submits get 503) without touching

@@ -205,6 +205,7 @@ func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Con
 	var produceErr error
 	var wg sync.WaitGroup
 	wg.Add(1)
+	parentSpan := telemetry.SpanFromContext(ctx)
 	go func() {
 		defer wg.Done()
 		defer func() {
@@ -212,6 +213,8 @@ func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Con
 				close(rn.in)
 			}
 		}()
+		psp := telemetry.StartSpan(rec, telemetry.Span{Name: "produce", Parent: parentSpan, Workload: prof.Name})
+		defer psp.End()
 		// Producer-side stage accounting, at chunk granularity: time
 		// decoding the stream is trace-read; time waiting for a free
 		// buffer (backpressure from the slowest shard) plus time
@@ -286,6 +289,11 @@ func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Con
 		wg.Add(1)
 		go func(rn *shardRunner) {
 			defer wg.Done()
+			ssp := telemetry.StartSpan(rec, telemetry.Span{
+				Name: "shard", Parent: parentSpan, Workload: prof.Name,
+				Detail: fmt.Sprintf("%d", rn.shard),
+			})
+			defer ssp.End()
 			for ck := range rn.in {
 				// On cancellation keep draining (the producer may have
 				// broadcast chunks already) but stop simulating.
@@ -349,6 +357,8 @@ func runConfigsSharded(ctx context.Context, prof synth.Profile, cfgs []cache.Con
 	if enabled {
 		flushStart = time.Now()
 	}
+	fsp := telemetry.StartSpan(rec, telemetry.Span{Name: "flush", Parent: parentSpan, Workload: prof.Name})
+	defer fsp.End()
 	var families, stackUnits uint64
 	runs = make([]metrics.Run, len(cfgs))
 	ok = make([]bool, len(cfgs))

@@ -366,10 +366,17 @@ func RunContext(ctx context.Context, req Request) (*Result, error) {
 			// parallel within each (the legacy baseline scheduling).
 			outer = 1
 			fn = func(ctx context.Context, prof synth.Profile) (map[Point]metrics.Run, []*PointError) {
+				rec := telemetry.OrNop(req.Recorder)
+				parent := telemetry.SpanFromContext(ctx)
+				tsp := telemetry.StartSpan(rec, telemetry.Span{Name: "trace-read", Parent: parent, Workload: prof.Name})
 				accesses, err := wordTrace(prof, req)
 				if err != nil {
+					tsp.EndErr(err.Error())
 					return nil, workloadError(prof.Name, -1, err)
 				}
+				tsp.End()
+				ssp := telemetry.StartSpan(rec, telemetry.Span{Name: "simulate", Parent: parent, Workload: prof.Name})
+				defer ssp.End()
 				return simulatePoints(ctx, prof.Name, accesses, req, par)
 			}
 		}
@@ -504,12 +511,21 @@ func runWorkloads(
 					resumed++
 					mu.Unlock()
 					rec.Add(telemetry.PointsResumed, uint64(len(runs)))
+					sp := telemetry.StartSpan(rec, telemetry.Span{
+						Name: "workload", Workload: prof.Name,
+						Parent: telemetry.SpanFromContext(ctx), Detail: "resumed",
+					})
 					emitPointsDone(rec, prof.Name, req.Points, runs, true)
+					sp.End()
 					continue
 				}
 				attempted[i] = true
 				rec.SetGauge(telemetry.ActiveWorkloads, active.Add(1))
-				runs, pes := fn(ctx, prof)
+				sp := telemetry.StartSpan(rec, telemetry.Span{
+					Name: "workload", Workload: prof.Name,
+					Parent: telemetry.SpanFromContext(ctx),
+				})
+				runs, pes := fn(telemetry.ContextWithSpan(ctx, sp.ID()), prof)
 				rec.SetGauge(telemetry.ActiveWorkloads, active.Add(-1))
 				perProf[i] = runs
 				if runs != nil && len(pes) == 0 && ctx.Err() == nil {
@@ -524,8 +540,13 @@ func runWorkloads(
 					rec.Add(telemetry.PointsFailed, 1)
 					rec.Emit(pe.event())
 				}
-				if len(pes) > 0 && !req.ContinueOnError {
-					cancel()
+				if len(pes) > 0 {
+					sp.EndErr(pes[0].Cause.Error())
+					if !req.ContinueOnError {
+						cancel()
+					}
+				} else {
+					sp.End()
 				}
 			}
 		}()
@@ -744,23 +765,29 @@ func unitPoints(points []Point, idxs []int) []Point {
 // A panicking unit is retired with its points attributed; surviving
 // units consume the complete trace and stay bit-identical.
 func simulateOnePass(ctx context.Context, prof synth.Profile, req Request, eng Engine) (map[Point]metrics.Run, []*PointError) {
+	rec := telemetry.OrNop(req.Recorder)
+	parent := telemetry.SpanFromContext(ctx)
+	tsp := telemetry.StartSpan(rec, telemetry.Span{Name: "trace-read", Parent: parent, Workload: prof.Name})
 	accesses, err := wordTrace(prof, req)
 	if err != nil {
+		tsp.EndErr(err.Error())
 		return nil, workloadError(prof.Name, -1, err)
 	}
+	tsp.End()
 
 	units, failed := buildUnits(req, eng)
 	if len(failed) > 0 && !req.ContinueOnError {
 		return nil, pointErrors(prof.Name, req.Points, failed[:1])
 	}
 
-	rec := telemetry.OrNop(req.Recorder)
 	enabled := rec.Enabled()
 	var simStart time.Time
 	var simRefs uint64
 	if enabled {
 		simStart = time.Now()
 	}
+	ssp := telemetry.StartSpan(rec, telemetry.Span{Name: "simulate", Parent: parent, Workload: prof.Name})
+	defer ssp.End()
 
 	// The single pass: every live unit sees each access once, fed in
 	// trace.ChunkRefs-sized batches.  A cancelled sweep (sibling
@@ -799,12 +826,15 @@ func simulateOnePass(ctx context.Context, prof synth.Profile, req Request, eng E
 		rec.Observe(telemetry.StageSimulate, time.Since(simStart))
 		rec.Add(telemetry.RefsSimulated, simRefs)
 	}
+	ssp.End()
 
 	var flushStart time.Time
 	var families, stacks uint64
 	if enabled {
 		flushStart = time.Now()
 	}
+	fsp := telemetry.StartSpan(rec, telemetry.Span{Name: "flush", Parent: parent, Workload: prof.Name})
+	defer fsp.End()
 	out := make(map[Point]metrics.Run, len(req.Points))
 	runs := make([]metrics.Run, len(req.Points))
 	for _, u := range units {

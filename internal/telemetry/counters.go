@@ -203,16 +203,28 @@ type ShardSnap struct {
 }
 
 // Snapshot is a consistent-enough copy of a recorder's state: counters
-// and gauges by wire name, stage wall-times in milliseconds, and
-// per-shard aggregates.  Individual values are read atomically;
-// cross-counter consistency is not guaranteed while workers run, which
-// is fine for heartbeats and exact once the run has quiesced.
+// and gauges by wire name, stage wall-times in milliseconds with their
+// observation counts (mean stage latency = stages_ms[s]/stages_n[s]),
+// latency histograms, and per-shard aggregates.  Individual values are
+// read atomically; cross-counter consistency is not guaranteed while
+// workers run, which is fine for heartbeats and exact once the run has
+// quiesced.
 type Snapshot struct {
 	Counters map[string]uint64  `json:"counters"`
 	Gauges   map[string]int64   `json:"gauges,omitempty"`
 	StagesMS map[string]float64 `json:"stages_ms,omitempty"`
-	Shards   []ShardSnap        `json:"shards,omitempty"`
+	// StagesN counts Observe calls per stage, so any heartbeat or
+	// manifest yields a mean stage latency, not just a total.
+	StagesN map[string]uint64 `json:"stages_n,omitempty"`
+	// Hists carries the latency histograms: the service-level set
+	// (job_queue_wait, job_execution, ...) under their own names and
+	// each stage's under "stage_<name>".
+	Hists  map[string]*HistSnap `json:"hists,omitempty"`
+	Shards []ShardSnap          `json:"shards,omitempty"`
 }
 
 // Counter returns a counter's value by its identifier (0 if absent).
 func (s *Snapshot) Counter(c Counter) uint64 { return s.Counters[c.String()] }
+
+// Hist returns a histogram snapshot by its identifier (nil if absent).
+func (s *Snapshot) Hist(h Hist) *HistSnap { return s.Hists[h.String()] }

@@ -42,6 +42,13 @@ const (
 	// always the last event -- ValidateStream rejects anything after
 	// it, which is how consumers detect a torn shutdown.
 	EventRunEnd = "run-end"
+	// EventSpanStart opens one timed span of the run's lifecycle
+	// (queue wait, a sweep attempt, a shard's pass...).  Spans nest:
+	// a non-empty parent must name a span that is still open, and
+	// ValidateStream enforces balanced nesting.
+	EventSpanStart = "span-start"
+	// EventSpanEnd closes one span with its measured duration.
+	EventSpanEnd = "span-end"
 )
 
 // Event is the envelope every telemetry event shares.  Exactly one
@@ -63,6 +70,8 @@ type Event struct {
 	Error     *ErrorAttributed `json:"error,omitempty"`
 	Heartbeat *Heartbeat       `json:"heartbeat,omitempty"`
 	RunEnd    *RunEnd          `json:"run_end,omitempty"`
+	Span      *Span            `json:"span,omitempty"`
+	SpanEnd   *SpanEnd         `json:"span_end,omitempty"`
 }
 
 // RunStart is the EventRunStart payload.
@@ -129,6 +138,40 @@ type ErrorAttributed struct {
 	Panic bool   `json:"panic,omitempty"`
 }
 
+// Span is the EventSpanStart payload: one timed slice of the run.
+type Span struct {
+	// Trace groups every span of one logical operation; the service
+	// uses the job fingerprint, CLI sweeps the config fingerprint.
+	// Run.Emit stamps it from Options.TraceID when left empty.
+	Trace string `json:"trace,omitempty"`
+	// ID is unique within the stream; SpanEnd closes it by ID.
+	ID string `json:"id"`
+	// Parent is the enclosing span's ID; empty for a root span.  A
+	// non-empty parent must be open when the child starts.
+	Parent string `json:"parent,omitempty"`
+	// Name is the span's kind: "job", "queue", "attempt", "workload",
+	// "trace-read", "simulate", "produce", "shard", "flush",
+	// "cache-write"...
+	Name string `json:"name"`
+	// Workload names the workload a sweep-level span serves, when
+	// there is one; point-done events reconcile against it.
+	Workload string `json:"workload,omitempty"`
+	// Detail disambiguates siblings: attempt number, shard index,
+	// "resumed"...
+	Detail string `json:"detail,omitempty"`
+}
+
+// SpanEnd is the EventSpanEnd payload.
+type SpanEnd struct {
+	Trace string `json:"trace,omitempty"`
+	// ID matches the span-start being closed.
+	ID string `json:"id"`
+	// DurNanos is the span's measured wall duration.
+	DurNanos int64 `json:"dur_ns"`
+	// Err carries the failure that ended the span, when there was one.
+	Err string `json:"err,omitempty"`
+}
+
 // Heartbeat is the EventHeartbeat payload.
 type Heartbeat struct {
 	Snapshot *Snapshot `json:"snapshot"`
@@ -154,7 +197,7 @@ func (ev *Event) Validate() error {
 		return fmt.Errorf("telemetry: event seq %d: negative elapsed_ms %d", ev.Seq, ev.ElapsedMS)
 	}
 	payloads := 0
-	for _, p := range []bool{ev.RunStart != nil, ev.PointDone != nil, ev.ShardStat != nil, ev.Error != nil, ev.Heartbeat != nil, ev.RunEnd != nil} {
+	for _, p := range []bool{ev.RunStart != nil, ev.PointDone != nil, ev.ShardStat != nil, ev.Error != nil, ev.Heartbeat != nil, ev.RunEnd != nil, ev.Span != nil, ev.SpanEnd != nil} {
 		if p {
 			payloads++
 		}
@@ -200,6 +243,20 @@ func (ev *Event) Validate() error {
 			return payloadMismatch(ev)
 		} else if p.Snapshot == nil {
 			return fmt.Errorf("telemetry: run-end seq %d: nil snapshot", ev.Seq)
+		}
+	case EventSpanStart:
+		if p := ev.Span; p == nil {
+			return payloadMismatch(ev)
+		} else if p.ID == "" || p.Name == "" {
+			return fmt.Errorf("telemetry: span-start seq %d: empty id or name", ev.Seq)
+		}
+	case EventSpanEnd:
+		if p := ev.SpanEnd; p == nil {
+			return payloadMismatch(ev)
+		} else if p.ID == "" {
+			return fmt.Errorf("telemetry: span-end seq %d: empty id", ev.Seq)
+		} else if p.DurNanos < 0 {
+			return fmt.Errorf("telemetry: span-end seq %d: negative dur_ns %d", ev.Seq, p.DurNanos)
 		}
 	default:
 		return fmt.Errorf("telemetry: event seq %d: unknown type %q", ev.Seq, ev.Type)
@@ -305,18 +362,58 @@ type StreamStats struct {
 	ByType map[string]int
 }
 
+// newStreamScanner sizes a line scanner for event streams (heartbeat
+// snapshots can be large).
+func newStreamScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<26)
+	return sc
+}
+
+// decodeStreamLine parses one stream line into a schema-validated
+// event; skip is true for a blank line.
+func decodeStreamLine(raw []byte) (Event, bool, error) {
+	raw = bytes.TrimSpace(raw)
+	if len(raw) == 0 {
+		return Event{}, true, nil
+	}
+	var ev Event
+	if err := json.Unmarshal(raw, &ev); err != nil {
+		return ev, false, err
+	}
+	if err := ev.Validate(); err != nil {
+		return ev, false, err
+	}
+	return ev, false, nil
+}
+
+// openSpan tracks one not-yet-ended span during stream validation.
+type openSpan struct {
+	parent   string
+	workload string
+	children int
+}
+
 // ValidateStream reads a JSONL event stream and validates every line:
-// schema-valid events with strictly increasing sequence numbers, and
-// nothing after a run-end event (the stream's terminal record -- a
-// heartbeat landing after it would mean a torn shutdown).  It returns
-// the summary and the first error (with its line number).
+// schema-valid events with strictly increasing sequence numbers and
+// non-decreasing elapsed times, nothing after a run-end event (the
+// stream's terminal record -- a heartbeat landing after it would mean
+// a torn shutdown), and well-formed spans: unique IDs, parents open
+// when a child starts, balanced nesting (a span may not end while a
+// child is open, and a completed stream -- one that reaches run-end --
+// may not leave spans open), and every point-done emitted after spans
+// appear attributable to an open span carrying its workload.  It
+// returns the summary and the first error (with its line number).
 func ValidateStream(r io.Reader) (StreamStats, error) {
 	st := StreamStats{ByType: make(map[string]int)}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<26)
 	line := 0
 	var lastSeq uint64
+	var lastElapsed int64
 	ended := false
+	open := make(map[string]*openSpan)
+	seenIDs := make(map[string]bool)
 	for sc.Scan() {
 		line++
 		raw := bytes.TrimSpace(sc.Bytes())
@@ -333,11 +430,65 @@ func ValidateStream(r io.Reader) (StreamStats, error) {
 		if st.Events > 0 && ev.Seq <= lastSeq {
 			return st, fmt.Errorf("line %d: seq %d not after %d", line, ev.Seq, lastSeq)
 		}
+		if ev.ElapsedMS < lastElapsed {
+			return st, fmt.Errorf("line %d: elapsed_ms %d before %d (time went backwards)", line, ev.ElapsedMS, lastElapsed)
+		}
 		if ended {
 			return st, fmt.Errorf("line %d: %s event after run-end (torn shutdown)", line, ev.Type)
 		}
+		switch ev.Type {
+		case EventSpanStart:
+			p := ev.Span
+			if seenIDs[p.ID] {
+				return st, fmt.Errorf("line %d: duplicate span id %q", line, p.ID)
+			}
+			seenIDs[p.ID] = true
+			if p.Parent != "" {
+				par, ok := open[p.Parent]
+				if !ok {
+					return st, fmt.Errorf("line %d: span %q parent %q not open", line, p.ID, p.Parent)
+				}
+				par.children++
+			}
+			open[p.ID] = &openSpan{parent: p.Parent, workload: p.Workload}
+		case EventSpanEnd:
+			p := ev.SpanEnd
+			sp, ok := open[p.ID]
+			if !ok {
+				return st, fmt.Errorf("line %d: span-end for %q, which is not open", line, p.ID)
+			}
+			if sp.children > 0 {
+				return st, fmt.Errorf("line %d: span %q ended with %d open children (unbalanced nesting)", line, p.ID, sp.children)
+			}
+			if sp.parent != "" {
+				if par, ok := open[sp.parent]; ok {
+					par.children--
+				}
+			}
+			delete(open, p.ID)
+		case EventPointDone:
+			if len(seenIDs) > 0 {
+				wl, found := ev.PointDone.Workload, false
+				for _, sp := range open {
+					if sp.workload == wl {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return st, fmt.Errorf("line %d: point-done for workload %q with no open span carrying it", line, wl)
+				}
+			}
+		case EventRunEnd:
+			if len(open) > 0 {
+				for id := range open {
+					return st, fmt.Errorf("line %d: run-end with span %q still open", line, id)
+				}
+			}
+		}
 		ended = ev.Type == EventRunEnd
 		lastSeq = ev.Seq
+		lastElapsed = ev.ElapsedMS
 		st.Events++
 		st.ByType[ev.Type]++
 	}

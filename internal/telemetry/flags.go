@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 )
 
@@ -18,6 +19,7 @@ type Flags struct {
 	Pprof      string
 	CPUProfile string
 	MemProfile string
+	Version    bool
 
 	Events    string
 	Manifest  string
@@ -33,7 +35,13 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof on `addr` (e.g. localhost:6060; :0 picks a port) for live profiling")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the run to `file`")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile at exit to `file`")
+	fs.BoolVar(&f.Version, "version", false, "print the build version and exit")
 	return f
+}
+
+// PrintVersion writes the standard one-line version report.
+func PrintVersion(tool string) {
+	fmt.Printf("%s %s %s %s/%s\n", tool, Version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
 }
 
 // RegisterSweepFlags additionally registers the sweep-driver telemetry
@@ -68,6 +76,10 @@ type Session struct {
 // fingerprint should hash whatever determines the run's results (see
 // Fingerprint); it lands in the manifest.
 func (f *Flags) Start(tool, fingerprint string) (*Session, error) {
+	if f.Version {
+		PrintVersion(tool)
+		os.Exit(0)
+	}
 	s := &Session{flags: f, start: time.Now(), Manifest: NewManifest(tool, fingerprint)}
 
 	var sink Sink
@@ -83,7 +95,7 @@ func (f *Flags) Start(tool, fingerprint string) (*Session, error) {
 		s.progress = NewProgress(os.Stderr, tool)
 	}
 	if sink != nil || s.progress != nil || f.Manifest != "" {
-		opts := Options{Sink: sink}
+		opts := Options{Sink: sink, TraceID: fingerprint}
 		if sink != nil || s.progress != nil {
 			opts.Heartbeat = f.Heartbeat
 		}

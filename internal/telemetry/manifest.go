@@ -33,6 +33,9 @@ type Manifest struct {
 	Shards int    `json:"shards,omitempty"`
 	// Seed is the run's random seed, for commands that take one.
 	Seed uint64 `json:"seed,omitempty"`
+	// BuildVersion is the link-time version stamp (telemetry.Version);
+	// "dev" for unstamped builds.
+	BuildVersion string `json:"build_version,omitempty"`
 	// GoVersion, GOOS, GOARCH and NumCPU describe the machine.
 	GoVersion string `json:"go_version"`
 	GOOS      string `json:"goos"`
@@ -76,13 +79,14 @@ func (m *Manifest) Validate() error {
 // in; the caller sets the run description and calls Finish.
 func NewManifest(tool, fingerprint string) *Manifest {
 	return &Manifest{
-		V:           ManifestVersion,
-		Tool:        tool,
-		Fingerprint: fingerprint,
-		GoVersion:   runtime.Version(),
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
-		NumCPU:      runtime.NumCPU(),
+		V:            ManifestVersion,
+		Tool:         tool,
+		Fingerprint:  fingerprint,
+		BuildVersion: Version,
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		NumCPU:       runtime.NumCPU(),
 	}
 }
 

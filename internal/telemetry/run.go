@@ -28,19 +28,26 @@ type Options struct {
 	// OnHeartbeat, if set, observes each heartbeat snapshot; the
 	// progress line hangs off this.
 	OnHeartbeat func(*Snapshot)
+	// TraceID, when set, is stamped into every emitted span event that
+	// does not carry its own trace: the job fingerprint for service
+	// jobs, the config fingerprint for CLI sweeps.
+	TraceID string
 }
 
 // Run is the live Recorder: pre-sized atomic arrays for counters,
 // gauges, stage times and shard aggregates, plus an optional event
 // sink and heartbeat.  All methods are safe for concurrent use.
 type Run struct {
-	start    time.Time
-	counters [numCounters]atomic.Uint64
-	gauges   [numGauges]atomic.Int64
-	stages   [numStages]atomic.Int64 // nanoseconds
-	shards   [maxShards]shardCell
-	nshards  atomic.Int64 // highest shard index observed + 1
-	seq      atomic.Uint64
+	start      time.Time
+	counters   [numCounters]atomic.Uint64
+	gauges     [numGauges]atomic.Int64
+	stages     [numStages]atomic.Int64 // nanoseconds
+	stageN     [numStages]atomic.Uint64
+	stageHists [numStages]Histogram
+	hists      [numHists]Histogram
+	shards     [maxShards]shardCell
+	nshards    atomic.Int64 // highest shard index observed + 1
+	seq        atomic.Uint64
 
 	opts Options
 
@@ -82,10 +89,21 @@ func (r *Run) SetGauge(g Gauge, v int64) {
 	}
 }
 
-// Observe implements Recorder.
+// Observe implements Recorder: the duration accumulates into the
+// stage's total, bumps its observation count, and lands in its latency
+// histogram, all atomically.
 func (r *Run) Observe(s Stage, d time.Duration) {
 	if s >= 0 && s < numStages {
 		r.stages[s].Add(int64(d))
+		r.stageN[s].Add(1)
+		r.stageHists[s].ObserveDur(d)
+	}
+}
+
+// ObserveDur implements Recorder.
+func (r *Run) ObserveDur(h Hist, d time.Duration) {
+	if h >= 0 && h < numHists {
+		r.hists[h].ObserveDur(d)
 	}
 }
 
@@ -115,6 +133,14 @@ func (r *Run) ShardObserve(shard int, refs uint64, busy time.Duration) {
 // never fails a simulation.
 func (r *Run) Emit(ev *Event) {
 	ev.V = SchemaVersion
+	if r.opts.TraceID != "" {
+		if ev.Span != nil && ev.Span.Trace == "" {
+			ev.Span.Trace = r.opts.TraceID
+		}
+		if ev.SpanEnd != nil && ev.SpanEnd.Trace == "" {
+			ev.SpanEnd.Trace = r.opts.TraceID
+		}
+	}
 	if r.opts.Sink == nil {
 		ev.Seq = r.seq.Add(1) - 1
 		ev.ElapsedMS = time.Since(r.start).Milliseconds()
@@ -152,6 +178,26 @@ func (r *Run) Snapshot() *Snapshot {
 	for st := Stage(0); st < numStages; st++ {
 		if v := r.stages[st].Load(); v != 0 {
 			s.StagesMS[st.String()] = float64(v) / 1e6
+		}
+		if n := r.stageN[st].Load(); n != 0 {
+			if s.StagesN == nil {
+				s.StagesN = make(map[string]uint64, numStages)
+			}
+			s.StagesN[st.String()] = n
+		}
+		if hs := r.stageHists[st].Snap(); hs != nil {
+			if s.Hists == nil {
+				s.Hists = make(map[string]*HistSnap)
+			}
+			s.Hists["stage_"+st.String()] = hs
+		}
+	}
+	for h := Hist(0); h < numHists; h++ {
+		if hs := r.hists[h].Snap(); hs != nil {
+			if s.Hists == nil {
+				s.Hists = make(map[string]*HistSnap)
+			}
+			s.Hists[h.String()] = hs
 		}
 	}
 	for i := int64(0); i < r.nshards.Load(); i++ {

@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Spans are the event stream's timeline: where counters say how much
+// work a run did and stage timings say where worker-seconds went in
+// aggregate, spans say what one job spent its wall clock on, nested --
+// admit -> queue -> attempt -> simulate -> flush -> cache-write.  They
+// ride the existing versioned stream as span-start/span-end events, so
+// everything already built for events (sinks, drops accounting,
+// ValidateStream, eventcheck) applies unchanged.
+
+// spanSeq allocates process-unique span IDs.  IDs are diagnostic
+// labels, not results: streams are never byte-compared, so a shared
+// atomic is fine.
+var spanSeq atomic.Uint64
+
+// StartSpan emits a span-start and returns the handle that will end
+// it.  Safe to call with a nil or disabled recorder: the returned span
+// is inert (and may itself be nil-received).  Spans are single-
+// goroutine: the goroutine that starts one ends it.
+func StartSpan(rec Recorder, s Span) *ActiveSpan {
+	if rec == nil || !rec.Enabled() {
+		return nil
+	}
+	s.ID = s.Name + "#" + strconv.FormatUint(spanSeq.Add(1), 10)
+	rec.Emit(&Event{Type: EventSpanStart, Span: &s})
+	return &ActiveSpan{rec: rec, id: s.ID, start: time.Now()}
+}
+
+// ActiveSpan is an open span.  End and EndErr are idempotent, so a
+// deferred End composes with an explicit EndErr on a failure path.
+type ActiveSpan struct {
+	rec   Recorder
+	id    string
+	start time.Time
+	ended bool
+}
+
+// ID returns the span's stream ID ("" for an inert span), for use as a
+// child's Parent.
+func (a *ActiveSpan) ID() string {
+	if a == nil {
+		return ""
+	}
+	return a.id
+}
+
+// End emits the span-end with the measured duration.
+func (a *ActiveSpan) End() { a.EndErr("") }
+
+// EndErr ends the span recording the failure that terminated it.
+func (a *ActiveSpan) EndErr(errText string) {
+	if a == nil || a.ended {
+		return
+	}
+	a.ended = true
+	a.rec.Emit(&Event{Type: EventSpanEnd, SpanEnd: &SpanEnd{
+		ID:       a.id,
+		DurNanos: time.Since(a.start).Nanoseconds(),
+		Err:      errText,
+	}})
+}
+
+// spanKey is the context key carrying the enclosing span's ID across
+// API boundaries (service -> sweep -> shard executor).
+type spanKey struct{}
+
+// ContextWithSpan returns a context whose operations are children of
+// the span with the given ID ("" returns ctx unchanged).
+func ContextWithSpan(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, id)
+}
+
+// SpanFromContext returns the enclosing span's ID, or "".
+func SpanFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(spanKey{}).(string)
+	return id
+}
+
+// reportSpan is one span as reconstructed from a stream for the text
+// report.
+type reportSpan struct {
+	Span
+	startMS  int64
+	durNanos int64
+	err      string
+	ended    bool
+	children []*reportSpan
+}
+
+// WriteSpanReport reads one event stream and prints a per-trace span
+// tree: each span with its duration and share of its parent, the
+// critical path (the longest child at every level) marked, and a
+// per-name stage rollup.  This is eventcheck -spans.
+func WriteSpanReport(w io.Writer, r io.Reader) error {
+	spans := make(map[string]*reportSpan)
+	var order []*reportSpan
+	sc := newStreamScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		ev, skip, err := decodeStreamLine(sc.Bytes())
+		if err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		if skip {
+			continue
+		}
+		switch ev.Type {
+		case EventSpanStart:
+			rs := &reportSpan{Span: *ev.Span, startMS: ev.ElapsedMS}
+			spans[rs.ID] = rs
+			order = append(order, rs)
+		case EventSpanEnd:
+			if rs, ok := spans[ev.SpanEnd.ID]; ok {
+				rs.durNanos = ev.SpanEnd.DurNanos
+				rs.err = ev.SpanEnd.Err
+				rs.ended = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("line %d: %w", line, err)
+	}
+	if len(order) == 0 {
+		fmt.Fprintln(w, "no spans in stream")
+		return nil
+	}
+
+	// Build the trees: children under parents, roots grouped by trace.
+	byTrace := make(map[string][]*reportSpan)
+	var traces []string
+	for _, rs := range order {
+		if rs.Parent != "" {
+			if par, ok := spans[rs.Parent]; ok {
+				par.children = append(par.children, rs)
+				continue
+			}
+		}
+		if _, ok := byTrace[rs.Trace]; !ok {
+			traces = append(traces, rs.Trace)
+		}
+		byTrace[rs.Trace] = append(byTrace[rs.Trace], rs)
+	}
+	sort.Strings(traces)
+
+	totals := make(map[string]struct {
+		n   int
+		dur int64
+	})
+	var walk func(rs *reportSpan, indent string, parentDur int64, critical bool)
+	walk = func(rs *reportSpan, indent string, parentDur int64, critical bool) {
+		t := totals[rs.Name]
+		t.n++
+		t.dur += rs.durNanos
+		totals[rs.Name] = t
+
+		label := rs.Name
+		if rs.Detail != "" {
+			label += "[" + rs.Detail + "]"
+		}
+		if rs.Workload != "" {
+			label += " workload=" + rs.Workload
+		}
+		mark := "  "
+		if critical {
+			mark = "* "
+		}
+		suffix := ""
+		switch {
+		case !rs.ended:
+			suffix = "  (unfinished)"
+		case rs.err != "":
+			suffix = "  err=" + rs.err
+		}
+		share := ""
+		if parentDur > 0 {
+			share = fmt.Sprintf("  %4.1f%%", 100*float64(rs.durNanos)/float64(parentDur))
+		}
+		fmt.Fprintf(w, "  %s%s%-*s %10s%s%s\n", mark, indent, 44-len(indent), label, fmtDur(rs.durNanos), share, suffix)
+
+		kids := append([]*reportSpan(nil), rs.children...)
+		sort.Slice(kids, func(i, j int) bool {
+			if kids[i].startMS != kids[j].startMS {
+				return kids[i].startMS < kids[j].startMS
+			}
+			return kids[i].ID < kids[j].ID
+		})
+		longest := -1
+		var best int64 = -1
+		for i, k := range kids {
+			if k.durNanos > best {
+				best, longest = k.durNanos, i
+			}
+		}
+		for i, k := range kids {
+			walk(k, indent+"  ", rs.durNanos, critical && i == longest)
+		}
+	}
+	for _, tr := range traces {
+		name := tr
+		if name == "" {
+			name = "(no trace id)"
+		}
+		fmt.Fprintf(w, "trace %s\n", name)
+		for _, root := range byTrace[tr] {
+			walk(root, "", 0, true)
+		}
+	}
+
+	fmt.Fprintln(w, "stage totals (sum over spans; * marks the critical path above)")
+	names := make([]string, 0, len(totals))
+	for n := range totals {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if totals[names[i]].dur != totals[names[j]].dur {
+			return totals[names[i]].dur > totals[names[j]].dur
+		}
+		return names[i] < names[j]
+	})
+	for _, n := range names {
+		t := totals[n]
+		fmt.Fprintf(w, "  %-24s n=%-5d total=%s\n", n, t.n, fmtDur(t.dur))
+	}
+	return nil
+}
+
+// fmtDur renders nanoseconds with a sensible unit for a report column.
+func fmtDur(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

@@ -39,8 +39,12 @@ type Recorder interface {
 	Add(c Counter, n uint64)
 	// SetGauge records the current value of an instantaneous gauge.
 	SetGauge(g Gauge, v int64)
-	// Observe accumulates wall time into a pipeline stage.
+	// Observe accumulates wall time into a pipeline stage, and records
+	// the same duration in the stage's latency histogram.
 	Observe(s Stage, d time.Duration)
+	// ObserveDur records one duration in a service-level latency
+	// histogram.
+	ObserveDur(h Hist, d time.Duration)
 	// ShardObserve accumulates one shard worker's fed references and
 	// busy time (time spent simulating, not waiting).
 	ShardObserve(shard int, refs uint64, busy time.Duration)
@@ -57,6 +61,7 @@ func (nop) Enabled() bool                           { return false }
 func (nop) Add(Counter, uint64)                     {}
 func (nop) SetGauge(Gauge, int64)                   {}
 func (nop) Observe(Stage, time.Duration)            {}
+func (nop) ObserveDur(Hist, time.Duration)          {}
 func (nop) ShardObserve(int, uint64, time.Duration) {}
 func (nop) Emit(*Event)                             {}
 

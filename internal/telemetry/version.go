@@ -1,0 +1,10 @@
+package telemetry
+
+// Version is the build's version string, stamped at link time:
+//
+//	go build -ldflags "-X subcache/internal/telemetry.Version=$(git describe --tags --always --dirty)"
+//
+// (the Makefile does exactly this).  It is reported by every command's
+// -version flag, in RUN.json manifests, in sweepd's /v1/stats, and in
+// the /metrics build-info gauge.  Unstamped builds say "dev".
+var Version = "dev"
